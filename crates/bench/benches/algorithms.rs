@@ -1,0 +1,38 @@
+//! Native-execution throughput of the eight visualization algorithms
+//! (the measured side of the study: real kernels over real CloverLeaf
+//! data).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vizalgo::Algorithm;
+use vizpower::study::{build_filter, dataset_for, StudyConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let config = StudyConfig {
+        caps: vec![120.0],
+        isovalues: 10,
+        render_px: 32,
+        cameras: 4,
+        particles: 200,
+        advect_steps: 200,
+    };
+    let ds = dataset_for(16);
+    let mut group = c.benchmark_group("native");
+    group.sample_size(10);
+    for algorithm in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &algorithm,
+            |b, &alg| {
+                b.iter(|| {
+                    let filter = build_filter(&config, alg, &ds);
+                    black_box(filter.execute(&ds))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! One bench per figure family of the paper: the cost of regenerating
+//! the Fig. 2 metric series, the Fig. 3 efficiency rates, and the
+//! Fig. 4/5/6 size sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vizalgo::Algorithm;
+use vizpower::experiments::{fig2, fig3, fig_size_ipc, FigMetric};
+use vizpower::study::{StudyConfig, StudyContext, PAPER_CAPS};
+
+fn quick_context() -> StudyContext {
+    StudyContext::new(StudyConfig {
+        caps: PAPER_CAPS.to_vec(),
+        isovalues: 5,
+        render_px: 16,
+        cameras: 2,
+        particles: 50,
+        advect_steps: 60,
+    })
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // Warm the caches once so the benches measure series generation, not
+    // the one-off native runs.
+    let mut ctx = quick_context();
+    for a in Algorithm::ALL {
+        ctx.run(a, 16);
+    }
+    for n in [8, 12, 16] {
+        ctx.run(Algorithm::Slice, n);
+        ctx.run(Algorithm::VolumeRendering, n);
+        ctx.run(Algorithm::ParticleAdvection, n);
+    }
+
+    c.bench_function("fig2a_effective_frequency", |b| {
+        b.iter(|| black_box(fig2(&mut ctx, 16, FigMetric::EffectiveFrequency)))
+    });
+    c.bench_function("fig2b_ipc", |b| {
+        b.iter(|| black_box(fig2(&mut ctx, 16, FigMetric::Ipc)))
+    });
+    c.bench_function("fig2c_llc_miss_rate", |b| {
+        b.iter(|| black_box(fig2(&mut ctx, 16, FigMetric::LlcMissRate)))
+    });
+    c.bench_function("fig3_elements_per_second", |b| {
+        b.iter(|| black_box(fig3(&mut ctx, 16)))
+    });
+    c.bench_function("fig4_slice_ipc_by_size", |b| {
+        b.iter(|| black_box(fig_size_ipc(&mut ctx, Algorithm::Slice, &[8, 12, 16])))
+    });
+    c.bench_function("fig5_volren_ipc_by_size", |b| {
+        b.iter(|| {
+            black_box(fig_size_ipc(
+                &mut ctx,
+                Algorithm::VolumeRendering,
+                &[8, 12, 16],
+            ))
+        })
+    });
+    c.bench_function("fig6_advection_ipc_by_size", |b| {
+        b.iter(|| {
+            black_box(fig_size_ipc(
+                &mut ctx,
+                Algorithm::ParticleAdvection,
+                &[8, 12, 16],
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Microbenchmarks of the substrate systems: the hydro solver, the
+//! marching-cubes core, BVH construction, tetrahedral clipping, RK4
+//! advection steps, and the simulated-processor executor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloverleaf::{Problem, SimConfig, Simulation};
+use powersim::{KernelPhase, Package, Workload};
+use vizalgo::contour::{marching_cubes, triangle_table};
+use vizalgo::raytrace::{external_face_triangles, Bvh};
+use vizalgo::tetclip::{clip_keep_above, TetMesh, HEX_TO_TETS};
+use vizmesh::{Association, DataSet, Field, UniformGrid, Vec3};
+
+fn sphere_dataset(n: usize) -> DataSet {
+    let grid = UniformGrid::cube_cells(n);
+    let c = grid.bounds().center();
+    let vals: Vec<f64> = (0..grid.num_points())
+        .map(|p| grid.point_coord_id(p).distance(c))
+        .collect();
+    DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals))
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    // Hydro: one full time step at 24³.
+    c.bench_function("cloverleaf_step_24", |b| {
+        let mut sim = Simulation::new(Problem::TwoState, 24, SimConfig::default());
+        b.iter(|| black_box(sim.step()))
+    });
+
+    // Marching cubes: one isovalue pass over 24³.
+    let ds = sphere_dataset(24);
+    let grid = ds.as_uniform().unwrap().clone();
+    let vals: Vec<f64> = ds.point_scalars("f").unwrap().to_vec();
+    triangle_table(); // exclude one-time table generation
+    c.bench_function("marching_cubes_24", |b| {
+        b.iter(|| black_box(marching_cubes(&grid, &vals, 0.35)))
+    });
+
+    // BVH build over the external faces of 24³.
+    let (tris, _) = external_face_triangles(&ds, "f");
+    c.bench_function("bvh_build_ext_faces_24", |b| {
+        b.iter(|| black_box(Bvh::build(&tris)))
+    });
+
+    // Tetrahedral clipping of a decomposed 12³ block.
+    c.bench_function("tetclip_block_12", |b| {
+        b.iter(|| {
+            let grid = UniformGrid::cube_cells(12);
+            let center = grid.bounds().center();
+            let mut mesh = TetMesh::new();
+            let ids: Vec<u32> = (0..grid.num_points())
+                .map(|p| {
+                    let q = grid.point_coord_id(p);
+                    mesh.add_point(q, q.distance(center) - 0.35)
+                })
+                .collect();
+            let mut tets = Vec::new();
+            for cell in 0..grid.num_cells() {
+                let corners = grid.cell_point_ids(cell);
+                for t in HEX_TO_TETS {
+                    tets.push([
+                        ids[corners[t[0]]],
+                        ids[corners[t[1]]],
+                        ids[corners[t[2]]],
+                        ids[corners[t[3]]],
+                    ]);
+                }
+            }
+            black_box(clip_keep_above(&mut mesh, &tets, 0.0))
+        })
+    });
+
+    // RK4 advection through a rotating flow.
+    let grid = UniformGrid::cube_cells(16);
+    let center = grid.bounds().center();
+    let vel: Vec<Vec3> = (0..grid.num_points())
+        .map(|p| {
+            let q = grid.point_coord_id(p) - center;
+            Vec3::new(-q.y, q.x, 0.05)
+        })
+        .collect();
+    let flow = DataSet::uniform(grid).with_field(Field::vector(
+        "velocity",
+        Association::Points,
+        vel,
+    ));
+    c.bench_function("rk4_advection_100x100", |b| {
+        let adv = vizalgo::ParticleAdvection::new("velocity", 100, 100, 1e-3, 7);
+        b.iter(|| black_box(vizalgo::Filter::execute(&adv, &flow)))
+    });
+
+    // Simulated processor: a mixed workload under a 70 W cap.
+    let workload = Workload::new("mixed")
+        .with_phase(KernelPhase::compute("hot", 50_000_000_000))
+        .with_phase(KernelPhase::memory("cold", 5_000_000_000, 100_000_000_000));
+    c.bench_function("powersim_run_capped_70w", |b| {
+        b.iter(|| {
+            let mut pkg = Package::broadwell();
+            black_box(pkg.run_capped(&workload, 70.0))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_substrates
+}
+criterion_main!(benches);

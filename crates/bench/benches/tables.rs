@@ -1,0 +1,70 @@
+//! One bench per table of the paper: the cost of regenerating Table I,
+//! Table II, and Table III (characterization + the nine-cap simulated
+//! sweep per algorithm) from already-measured native runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use powersim::CpuSpec;
+use std::hint::black_box;
+use vizalgo::Algorithm;
+use vizpower::study::{dataset_for, native_run, sweep, AlgorithmRun, StudyConfig, PAPER_CAPS};
+
+fn quick_config() -> StudyConfig {
+    StudyConfig {
+        caps: PAPER_CAPS.to_vec(),
+        isovalues: 5,
+        render_px: 16,
+        cameras: 2,
+        particles: 50,
+        advect_steps: 60,
+    }
+}
+
+fn runs_at(size: usize) -> Vec<AlgorithmRun> {
+    let config = quick_config();
+    let ds = dataset_for(size);
+    Algorithm::ALL
+        .iter()
+        .map(|&a| native_run(&config, a, size, &ds))
+        .collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let spec = CpuSpec::broadwell_e5_2695v4();
+
+    // Table I: contour alone across the nine caps.
+    let contour = {
+        let config = quick_config();
+        let ds = dataset_for(16);
+        native_run(&config, Algorithm::Contour, 16, &ds)
+    };
+    c.bench_function("table1_contour_sweep", |b| {
+        b.iter(|| black_box(sweep(&contour, &PAPER_CAPS, &spec)))
+    });
+
+    // Table II: all eight algorithms at the "128³" role size.
+    let t2_runs = runs_at(16);
+    c.bench_function("table2_all_algorithms_sweep", |b| {
+        b.iter(|| {
+            for run in &t2_runs {
+                black_box(sweep(run, &PAPER_CAPS, &spec));
+            }
+        })
+    });
+
+    // Table III: all eight at the larger role size.
+    let t3_runs = runs_at(24);
+    c.bench_function("table3_all_algorithms_sweep", |b| {
+        b.iter(|| {
+            for run in &t3_runs {
+                black_box(sweep(run, &PAPER_CAPS, &spec));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! `insitu_run` — an Ascent-style command-line driver.
+//!
+//! ```text
+//! insitu_run <actions.json> [--cells N] [--steps N] [--every N]
+//!            [--out DIR] [--vtk]
+//! ```
+//!
+//! Reads a JSON action list (the same schema as
+//! `insitu::ActionList::from_json`), couples it with the CloverLeaf
+//! proxy, runs the simulation, and writes each cycle's rendered images
+//! (PPM) and, with `--vtk`, the simulation state as legacy VTK files —
+//! everything a user needs to drive the toolkit without writing Rust.
+
+use insitu::{ActionList, InSituRuntime, RuntimeConfig, Trigger};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    actions_path: PathBuf,
+    cells: usize,
+    steps: u64,
+    every: u64,
+    out: PathBuf,
+    vtk: bool,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut args = std::env::args().skip(1);
+    let mut parsed = Args {
+        actions_path: PathBuf::new(),
+        cells: 32,
+        steps: 40,
+        every: 10,
+        out: PathBuf::from("target/insitu_out"),
+        vtk: false,
+    };
+    let mut have_path = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cells" => parsed.cells = args.next()?.parse().ok()?,
+            "--steps" => parsed.steps = args.next()?.parse().ok()?,
+            "--every" => parsed.every = args.next()?.parse().ok()?,
+            "--out" => parsed.out = PathBuf::from(args.next()?),
+            "--vtk" => parsed.vtk = true,
+            other if !other.starts_with("--") && !have_path => {
+                parsed.actions_path = PathBuf::from(other);
+                have_path = true;
+            }
+            _ => return None,
+        }
+    }
+    if have_path {
+        Some(parsed)
+    } else {
+        None
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        eprintln!(
+            "usage: insitu_run <actions.json> [--cells N] [--steps N] [--every N] [--out DIR] [--vtk]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(&args.actions_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.actions_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let actions = match ActionList::from_json(&json) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("invalid actions file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+
+    let config = RuntimeConfig {
+        grid_cells: args.cells,
+        total_steps: args.steps,
+        trigger: Trigger::EveryN { n: args.every },
+    };
+    println!(
+        "insitu_run: {} pipelines, {} scenes, {}³ cells, {} steps, viz every {}",
+        actions.pipelines().count(),
+        actions.scenes().count(),
+        args.cells,
+        args.steps,
+        args.every
+    );
+    let mut runtime = InSituRuntime::new(cloverleaf::Problem::TwoState, config, actions);
+    // Route scene output into the chosen directory.
+    for scene in &mut runtime.scenes {
+        *scene = scene.clone().with_output_dir(&args.out);
+    }
+    let run = runtime.run();
+
+    for cycle in &run.cycles {
+        println!(
+            "  cycle @ step {:>4}: {} viz kernels, {} images",
+            cycle.step,
+            cycle.viz_kernels.len(),
+            cycle.images.len()
+        );
+    }
+    if args.vtk {
+        let ds = runtime.sim.dataset();
+        let path = args.out.join(format!("state_{:04}.vtk", runtime.sim.step_count()));
+        vizmesh::save_vtk(&path, &ds, "cloverleaf state").expect("write vtk");
+        println!("  wrote {}", path.display());
+    }
+    println!(
+        "done: {} cycles, outputs in {}",
+        run.cycles.len(),
+        args.out.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,208 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce all [--quick]
+//! reproduce table1 | table2 | table3 [--quick]
+//! reproduce fig2a | fig2b | fig2c | fig3 | fig4 | fig5 | fig6 [--quick]
+//! reproduce summary [--quick]     # one-line classification per algorithm
+//! reproduce energy  [--quick]     # extension: energy / EDP per cap
+//! reproduce arch    [--quick]     # extension: cross-architecture study
+//! reproduce ablation [--quick]    # extension: model-mechanism ablations
+//! ```
+//!
+//! `--quick` shrinks data sizes and render resolutions ~100× while
+//! preserving the experiment structure; use it for smoke runs. Without
+//! it, sizes match the paper (32³–256³ cells; allow several minutes).
+
+use std::env;
+use std::process::ExitCode;
+use vizalgo::Algorithm;
+use vizpower::experiments::{self, FigMetric};
+use vizpower::report;
+use vizpower::study::StudyContext;
+use vizpower::{ablation, arch, energy};
+use vizpower_bench::Fidelity;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation> [--quick]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let Some(&target) = targets.first() else {
+        return usage();
+    };
+    let fidelity = if quick { Fidelity::Quick } else { Fidelity::Paper };
+    let mut ctx = StudyContext::new(fidelity.study_config());
+
+    let run = |ctx: &mut StudyContext, what: &str| -> bool {
+        let t2 = fidelity.table2_size();
+        let t3 = fidelity.table3_size();
+        let sizes = fidelity.sizes();
+        match what {
+            "table1" => {
+                println!("== Table I: Phase 1 — contour across processor power caps ==");
+                let sweep = experiments::table1(ctx, t2);
+                print!("{}", report::render_table1(&sweep));
+            }
+            "table2" => {
+                println!("== Table II: Phase 2 — all algorithms at {t2}³ ==");
+                let sweeps = experiments::slowdown_table(ctx, t2);
+                print!("{}", report::render_slowdown_table(&sweeps));
+            }
+            "table3" => {
+                println!("== Table III: Phase 3 — all algorithms at {t3}³ ==");
+                let sweeps = experiments::slowdown_table(ctx, t3);
+                print!("{}", report::render_slowdown_table(&sweeps));
+            }
+            "fig2a" => {
+                let s = experiments::fig2(ctx, t2, FigMetric::EffectiveFrequency);
+                print!(
+                    "{}",
+                    report::render_series("Fig 2a: effective frequency (GHz) vs cap", &s)
+                );
+            }
+            "fig2b" => {
+                let s = experiments::fig2(ctx, t2, FigMetric::Ipc);
+                print!("{}", report::render_series("Fig 2b: IPC vs cap", &s));
+            }
+            "fig2c" => {
+                let s = experiments::fig2(ctx, t2, FigMetric::LlcMissRate);
+                print!(
+                    "{}",
+                    report::render_series("Fig 2c: LLC miss rate vs cap", &s)
+                );
+            }
+            "fig3" => {
+                let s = experiments::fig3(ctx, t2);
+                print!(
+                    "{}",
+                    report::render_series(
+                        "Fig 3: elements (M)/sec, cell-centered algorithms",
+                        &s
+                    )
+                );
+            }
+            "fig4" => {
+                let s = experiments::fig_size_ipc(ctx, Algorithm::Slice, &sizes);
+                print!(
+                    "{}",
+                    report::render_series("Fig 4: slice IPC vs cap across sizes", &s)
+                );
+            }
+            "fig5" => {
+                let s = experiments::fig_size_ipc(ctx, Algorithm::VolumeRendering, &sizes);
+                print!(
+                    "{}",
+                    report::render_series(
+                        "Fig 5: volume rendering IPC vs cap across sizes",
+                        &s
+                    )
+                );
+            }
+            "fig6" => {
+                let s = experiments::fig_size_ipc(ctx, Algorithm::ParticleAdvection, &sizes);
+                print!(
+                    "{}",
+                    report::render_series(
+                        "Fig 6: particle advection IPC vs cap across sizes",
+                        &s
+                    )
+                );
+            }
+            "summary" => {
+                println!("== Classification summary at {t2}³ ==");
+                for sweep in experiments::slowdown_table(ctx, t2) {
+                    println!("{}", report::summarize(&sweep));
+                }
+            }
+            "energy" => {
+                println!("== Extension: energy and EDP vs cap at {t2}³ ==");
+                for algorithm in Algorithm::ALL {
+                    let sweep = ctx.sweep(algorithm, t2);
+                    let rows = energy::energy_rows(&sweep);
+                    print!("{:<20}", algorithm.name());
+                    for r in &rows {
+                        print!(" {:>5.2}E", r.eratio);
+                    }
+                    println!();
+                    print!("{:<20}", "");
+                    for r in &rows {
+                        print!(" {:>5.2}D", r.edp_ratio);
+                    }
+                    println!("   (E = energy ratio, D = EDP ratio)");
+                }
+            }
+            "arch" => {
+                println!("== Extension: cross-architecture comparison at {t2}³ ==");
+                for algorithm in [
+                    Algorithm::Contour,
+                    Algorithm::Threshold,
+                    Algorithm::ParticleAdvection,
+                    Algorithm::VolumeRendering,
+                ] {
+                    let run = ctx.run(algorithm, t2);
+                    for row in arch::compare_architectures(&run) {
+                        println!("{row}");
+                    }
+                }
+            }
+            "ablation" => {
+                println!("== Extension: model ablations (contour at {t2}³) ==");
+                let run = ctx.run(Algorithm::Contour, t2);
+                let caps = ctx.config().caps;
+                for ab in ablation::Ablation::ALL {
+                    let result = ablation::run_ablation(&run, &caps, ab);
+                    let (rt, at) = (
+                        result.reference.last().unwrap().tratio,
+                        result.ablated.last().unwrap().tratio,
+                    );
+                    let (rf, af) = (
+                        result.reference.last().unwrap().fratio,
+                        result.ablated.last().unwrap().fratio,
+                    );
+                    println!(
+                        "{:<20} floor Tratio {:.2}X -> {:.2}X   Fratio {:.2}X -> {:.2}X   (max ΔT {:.2})",
+                        ab.name(),
+                        rt,
+                        at,
+                        rf,
+                        af,
+                        result.max_tratio_delta()
+                    );
+                }
+            }
+            _ => return false,
+        }
+        println!();
+        true
+    };
+
+    let all = [
+        "table1", "table2", "table3", "fig2a", "fig2b", "fig2c", "fig3", "fig4", "fig5", "fig6",
+        "summary", "energy", "arch", "ablation",
+    ];
+    let ok = match target {
+        "all" => {
+            for what in all {
+                run(&mut ctx, what);
+            }
+            true
+        }
+        other => run(&mut ctx, other),
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

@@ -1,0 +1,80 @@
+//! # vizpower-bench — reproduction harness and benchmarks
+//!
+//! Two surfaces:
+//!
+//! * the `reproduce` binary — regenerates **every table and figure** of
+//!   the paper (`reproduce all`, or one of `table1 table2 table3 fig2a
+//!   fig2b fig2c fig3 fig4 fig5 fig6`), printing the same rows/series the
+//!   paper reports; `--quick` shrinks sizes for a fast smoke run;
+//! * Criterion benches (`cargo bench`) — one bench group per
+//!   table/figure family plus native-kernel microbenchmarks for the
+//!   eight algorithms and the substrates (hydro step, MC table, BVH
+//!   build, simulated executor).
+//!
+//! The library part hosts the shared harness configuration so the binary
+//! and the benches stay consistent.
+
+use vizpower::study::{StudyConfig, PAPER_SIZES};
+
+/// Sizes used by the reproduction at each fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Paper-faithful sizes: 32³–256³ cells, 128² images × 50 cameras.
+    Paper,
+    /// Scaled-down smoke run (about 100× cheaper, same structure).
+    Quick,
+}
+
+impl Fidelity {
+    pub fn sizes(self) -> Vec<usize> {
+        match self {
+            Fidelity::Paper => PAPER_SIZES.to_vec(),
+            Fidelity::Quick => vec![8, 12, 16, 24],
+        }
+    }
+
+    /// The size playing the role of the paper's 128³ (Tables I–II).
+    pub fn table2_size(self) -> usize {
+        match self {
+            Fidelity::Paper => 128,
+            Fidelity::Quick => 16,
+        }
+    }
+
+    /// The size playing the role of the paper's 256³ (Table III).
+    pub fn table3_size(self) -> usize {
+        match self {
+            Fidelity::Paper => 256,
+            Fidelity::Quick => 24,
+        }
+    }
+
+    pub fn study_config(self) -> StudyConfig {
+        match self {
+            Fidelity::Paper => StudyConfig::paper(),
+            Fidelity::Quick => StudyConfig::quick(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fidelity_matches_study_constants() {
+        assert_eq!(Fidelity::Paper.sizes(), vec![32, 64, 128, 256]);
+        assert_eq!(Fidelity::Paper.table2_size(), 128);
+        assert_eq!(Fidelity::Paper.table3_size(), 256);
+        assert_eq!(Fidelity::Paper.study_config().cameras, 50);
+        assert_eq!(Fidelity::Paper.study_config().isovalues, 10);
+    }
+
+    #[test]
+    fn quick_fidelity_preserves_structure() {
+        let q = Fidelity::Quick;
+        assert_eq!(q.sizes().len(), 4);
+        assert!(q.table3_size() > q.table2_size());
+        assert_eq!(q.study_config().caps.len(), 9);
+    }
+}

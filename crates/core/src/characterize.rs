@@ -1,0 +1,316 @@
+//! The characterization bridge: measured kernel work → processor
+//! workload.
+//!
+//! Instrumented algorithm executions produce exact *counts* (items,
+//! instructions, bytes, working sets) but a count alone does not say how
+//! a kernel behaves microarchitecturally. This module assigns each
+//! [`KernelClass`] a **signature** — core CPI, dynamic-power activity,
+//! cache-line amplification, and LLC locality — and combines signature ×
+//! measured counts into the [`powersim::KernelPhase`]s the simulated
+//! package executes.
+//!
+//! The signatures are the model's calibration surface, and they are the
+//! *only* place where paper-matching constants live. They are chosen so
+//! the emergent behaviour reproduces §VI: streaming cell-centered kernels
+//! land at IPC < 1 with 50–60 W draw; the image-order FP kernels land at
+//! IPC 2.5–2.7 with ~85 W draw; isovolume's tet-clipping shows the worst
+//! LLC locality (Fig. 2c); and the LLC capacity term makes volume
+//! rendering's IPC fall with data-set size (Fig. 5).
+
+use powersim::{CpuSpec, KernelPhase, Workload};
+use vizalgo::{KernelClass, KernelReport};
+
+/// Microarchitectural signature of a kernel class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSignature {
+    /// Core-limited cycles per instruction (no memory stalls).
+    pub cpi_core: f64,
+    /// Dynamic-power activity factor.
+    pub activity: f64,
+    /// Amplification of measured array bytes into memory-system traffic
+    /// (cache-line granularity, gather waste, prefetch overshoot).
+    pub line_amplification: f64,
+    /// LLC miss-rate floor for working sets that fit in cache
+    /// (streaming kernels miss regardless of capacity).
+    pub miss_floor: f64,
+}
+
+/// Signature table. One row per [`KernelClass`].
+pub fn signature(class: KernelClass) -> ClassSignature {
+    match class {
+        // Streaming per-cell compares: load/store bound, low power.
+        KernelClass::CellClassify => ClassSignature {
+            cpi_core: 2.8,
+            activity: 0.3,
+            line_amplification: 1.0,
+            miss_floor: 0.3,
+        },
+        // Marching-cubes case classification: gathers 8 corners and
+        // indexes the case tables — more ILP than a raw compare stream.
+        KernelClass::CaseTable => ClassSignature {
+            cpi_core: 1.6,
+            activity: 0.3,
+            line_amplification: 1.0,
+            miss_floor: 0.3,
+        },
+        // Contour interpolation: moderate FP mixed with lookups.
+        KernelClass::Interpolate => ClassSignature {
+            cpi_core: 1.0,
+            activity: 0.4,
+            line_amplification: 1.2,
+            miss_floor: 0.3,
+        },
+        // Implicit-function evaluation: FP-dense streaming (slice).
+        KernelClass::SignedDistance => ClassSignature {
+            cpi_core: 0.62,
+            activity: 0.42,
+            line_amplification: 1.0,
+            miss_floor: 0.22,
+        },
+        // Output compaction: pointer-chasing gathers, poor locality.
+        KernelClass::GatherScatter => ClassSignature {
+            cpi_core: 2.4,
+            activity: 0.4,
+            line_amplification: 1.1,
+            miss_floor: 0.35,
+        },
+        // Tetrahedral subdivision: irregular, weld-map lookups — the
+        // worst LLC behaviour in the study (isovolume, Fig. 2c).
+        KernelClass::TetClip => ClassSignature {
+            cpi_core: 1.7,
+            activity: 0.8,
+            line_amplification: 1.2,
+            miss_floor: 0.52,
+        },
+        // BVH construction: sorts and bounding-box reductions.
+        KernelClass::BvhBuild => ClassSignature {
+            cpi_core: 1.8,
+            activity: 0.42,
+            line_amplification: 2.0,
+            miss_floor: 0.42,
+        },
+        // BVH traversal: branchy but cache-resident FP.
+        KernelClass::RayTraverse => ClassSignature {
+            cpi_core: 0.75,
+            activity: 0.64,
+            line_amplification: 1.0,
+            miss_floor: 0.1,
+        },
+        // Volume sampling loop: the highest-IPC kernel in the paper.
+        KernelClass::RayMarch => ClassSignature {
+            cpi_core: 0.5,
+            activity: 0.84,
+            line_amplification: 4.0,
+            miss_floor: 0.05,
+        },
+        // RK4 integration: "computationally very efficient … large
+        // number of high power instructions" (§VI-C).
+        KernelClass::Rk4Advect => ClassSignature {
+            cpi_core: 0.46,
+            activity: 1.0,
+            line_amplification: 1.0,
+            miss_floor: 0.03,
+        },
+        // Per-pixel shading.
+        KernelClass::Shade => ClassSignature {
+            cpi_core: 0.8,
+            activity: 0.55,
+            line_amplification: 1.0,
+            miss_floor: 0.1,
+        },
+        // Hydrodynamics: bandwidth-heavy stencil sweeps with real FP.
+        KernelClass::Simulation => ClassSignature {
+            cpi_core: 1.1,
+            activity: 0.78,
+            line_amplification: 1.3,
+            miss_floor: 0.4,
+        },
+    }
+}
+
+/// LLC capacity term: extra miss fraction once the working set exceeds
+/// the cache. A 3× overshoot costs ~30 extra points — calibrated to the
+/// magnitude of volume rendering's IPC drop from 128³ to 256³ (Fig. 5).
+pub fn capacity_miss(working_set_bytes: u64, llc_bytes: u64) -> f64 {
+    if working_set_bytes == 0 {
+        return 0.0;
+    }
+    let x = working_set_bytes as f64 / llc_bytes as f64;
+    if x <= 1.0 {
+        0.0
+    } else {
+        (0.45 * (1.0 - 1.0 / x)).min(0.45)
+    }
+}
+
+/// Calibration of abstract operation counts to retired instructions.
+///
+/// The instrumentation tallies count algorithmic work (comparisons,
+/// interpolations, traversal steps); a real VTK-m worklet retires several
+/// times more instructions per item (index arithmetic, bounds checks,
+/// field fetch plumbing, TBB task management). The uniform factor below
+/// converts counted work into realistic instruction/traffic volumes — it
+/// scales compute and memory identically, so every ratio in the study is
+/// invariant to it; it only sets absolute times and the Fig. 3
+/// elements/sec magnitudes (calibrated to the paper's 10–60 M/s band).
+pub const WORK_SCALE: u64 = 10;
+
+/// Fixed per-kernel dispatch overhead: worklet/task-scheduler setup that
+/// does not scale with the data (thread-pool wakeups, control flow,
+/// lookup-table initialization). At small data sizes this low-ILP work
+/// dilutes the kernel's IPC — the mechanism behind Fig. 4's rising IPC
+/// with data size for the cell-centered algorithms. At paper sizes
+/// (≥ 32³ with real per-cell work) it is negligible.
+pub const DISPATCH_OVERHEAD_INSTR: u64 = 500_000;
+
+/// CPI of the dispatch overhead (branchy, serial, uncached).
+pub const DISPATCH_OVERHEAD_CPI: f64 = 6.0;
+
+/// Translate one kernel report into a processor phase.
+pub fn phase_for(report: &KernelReport, spec: &CpuSpec) -> KernelPhase {
+    let sig = signature(report.class);
+    let w = &report.work;
+    let traffic = (w.bytes_total() as f64 * sig.line_amplification) as u64;
+    let llc_refs = (traffic / 64).max(1);
+    let miss_rate = (sig.miss_floor
+        + (1.0 - sig.miss_floor) * capacity_miss(w.working_set_bytes, spec.llc_bytes))
+    .clamp(0.0, 1.0);
+    let dram_bytes = (llc_refs as f64 * miss_rate * 64.0) as u64;
+    // Fold the fixed dispatch overhead into the phase: total instructions
+    // grow by the overhead, and the core CPI becomes the
+    // instruction-weighted blend of kernel and overhead CPI.
+    let kernel_instr = w.instructions.max(1);
+    let instructions = kernel_instr + DISPATCH_OVERHEAD_INSTR;
+    let cpi_core = (kernel_instr as f64 * sig.cpi_core
+        + DISPATCH_OVERHEAD_INSTR as f64 * DISPATCH_OVERHEAD_CPI)
+        / instructions as f64;
+    KernelPhase {
+        name: report.name.clone(),
+        instructions: instructions * WORK_SCALE,
+        cpi_core,
+        activity: sig.activity,
+        llc_refs: llc_refs * WORK_SCALE,
+        llc_miss_rate: miss_rate,
+        dram_bytes: dram_bytes * WORK_SCALE,
+    }
+}
+
+/// Translate a full instrumented run into a workload.
+pub fn characterize(name: impl Into<String>, reports: &[KernelReport], spec: &CpuSpec) -> Workload {
+    let mut w = Workload::new(name);
+    for r in reports {
+        if r.work.instructions == 0 {
+            continue; // empty kernels contribute no execution time
+        }
+        w.push(phase_for(r, spec));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::WorkCounters;
+
+    fn report(class: KernelClass, instr: u64, bytes: u64, ws: u64) -> KernelReport {
+        let work = WorkCounters {
+            items: instr / 10,
+            instructions: instr,
+            flops: instr / 3,
+            bytes_read: bytes,
+            bytes_written: bytes / 8,
+            working_set_bytes: ws,
+        };
+        KernelReport::new("k", class, work)
+    }
+
+    #[test]
+    fn every_class_has_valid_signature() {
+        for class in [
+            KernelClass::CellClassify,
+            KernelClass::CaseTable,
+            KernelClass::Interpolate,
+            KernelClass::SignedDistance,
+            KernelClass::GatherScatter,
+            KernelClass::TetClip,
+            KernelClass::BvhBuild,
+            KernelClass::RayTraverse,
+            KernelClass::RayMarch,
+            KernelClass::Rk4Advect,
+            KernelClass::Shade,
+            KernelClass::Simulation,
+        ] {
+            let s = signature(class);
+            assert!(s.cpi_core > 0.0 && s.cpi_core < 3.0);
+            assert!((0.0..=1.2).contains(&s.activity));
+            assert!(s.line_amplification >= 1.0);
+            assert!((0.0..=1.0).contains(&s.miss_floor));
+        }
+    }
+
+    #[test]
+    fn compute_classes_hotter_than_memory_classes() {
+        assert!(
+            signature(KernelClass::Rk4Advect).activity
+                > signature(KernelClass::CellClassify).activity + 0.4
+        );
+        assert!(
+            signature(KernelClass::RayMarch).activity
+                > signature(KernelClass::GatherScatter).activity + 0.4
+        );
+    }
+
+    #[test]
+    fn capacity_miss_kicks_in_past_llc() {
+        let llc = 45 * 1024 * 1024;
+        assert_eq!(capacity_miss(0, llc), 0.0);
+        assert_eq!(capacity_miss(llc / 2, llc), 0.0);
+        assert_eq!(capacity_miss(llc, llc), 0.0);
+        let over3x = capacity_miss(llc * 3, llc);
+        assert!(over3x > 0.25 && over3x <= 0.45, "3x overshoot = {over3x}");
+        // Monotone in the working set.
+        assert!(capacity_miss(llc * 8, llc) >= over3x);
+    }
+
+    #[test]
+    fn phase_reflects_measured_counts_and_signature() {
+        let spec = CpuSpec::broadwell_e5_2695v4();
+        let r = report(KernelClass::CellClassify, 1_000_000, 640_000, 0);
+        let p = phase_for(&r, &spec);
+        let sig = signature(KernelClass::CellClassify);
+        assert_eq!(p.instructions, (1_000_000 + DISPATCH_OVERHEAD_INSTR) * WORK_SCALE);
+        // Blended CPI sits between the kernel's and the overhead's.
+        assert!(p.cpi_core > sig.cpi_core && p.cpi_core < DISPATCH_OVERHEAD_CPI);
+        // 640 kB read + 80 kB written, amplified, /64 per line.
+        let expect_refs = ((720_000.0 * sig.line_amplification) as u64) / 64 * WORK_SCALE;
+        assert_eq!(p.llc_refs, expect_refs);
+        assert!((p.llc_miss_rate - sig.miss_floor).abs() < 1e-12);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn oversized_working_set_raises_miss_rate() {
+        let spec = CpuSpec::broadwell_e5_2695v4();
+        let small = phase_for(
+            &report(KernelClass::RayMarch, 1_000_000, 1_000_000, 16 << 20),
+            &spec,
+        );
+        let big = phase_for(
+            &report(KernelClass::RayMarch, 1_000_000, 1_000_000, 200 << 20),
+            &spec,
+        );
+        assert!(big.llc_miss_rate > small.llc_miss_rate + 0.05);
+    }
+
+    #[test]
+    fn characterize_skips_empty_kernels() {
+        let spec = CpuSpec::broadwell_e5_2695v4();
+        let empty = KernelReport::new("e", KernelClass::TetClip, WorkCounters::new());
+        let real = report(KernelClass::Interpolate, 500, 100, 0);
+        let w = characterize("test", &[empty, real], &spec);
+        assert_eq!(w.phases.len(), 1);
+        // A tiny kernel (500 instructions) is dominated by the dispatch
+        // overhead, so its blended CPI approaches the overhead CPI.
+        assert!(w.phases[0].cpi_core > signature(KernelClass::Interpolate).cpi_core);
+    }
+}

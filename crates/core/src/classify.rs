@@ -1,0 +1,100 @@
+//! The paper's two algorithm classes (§I, §VI-B).
+
+use crate::metrics::{first_slowdown_cap, Ratios};
+use serde::{Deserialize, Serialize};
+
+/// The paper's classification of visualization algorithms under a cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerClass {
+    /// Memory/data-bound: insensitive to the cap until severe values —
+    /// power can be taken away "for free".
+    PowerOpportunity,
+    /// Compute-bound: performance degrades almost proportionally with
+    /// the cap.
+    PowerSensitive,
+}
+
+impl std::fmt::Display for PowerClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PowerClass::PowerOpportunity => "power opportunity",
+            PowerClass::PowerSensitive => "power sensitive",
+        })
+    }
+}
+
+/// Cap boundary: the paper's sensitive algorithms first slow ≥ 10 % at
+/// 70–80 W ("roughly 67 % of TDP"), the opportunity algorithms at 60 W or
+/// below. A first slowdown at or above this cap ⇒ power sensitive.
+pub const SENSITIVE_CAP_WATTS: f64 = 70.0;
+
+/// Classify an algorithm from its cap-sweep ratios.
+pub fn classify(rows: &[Ratios]) -> PowerClass {
+    match first_slowdown_cap(rows) {
+        Some(cap) if cap >= SENSITIVE_CAP_WATTS => PowerClass::PowerSensitive,
+        _ => PowerClass::PowerOpportunity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(pairs: &[(f64, f64)]) -> Vec<Ratios> {
+        pairs
+            .iter()
+            .map(|&(cap, tratio)| Ratios {
+                cap_watts: cap,
+                pratio: 120.0 / cap,
+                tratio,
+                fratio: 1.0,
+                seconds: tratio,
+                freq_ghz: 2.6,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn contour_like_is_opportunity() {
+        // Table II contour: no 10 % slowdown until 40 W.
+        let r = rows(&[
+            (120.0, 1.0),
+            (80.0, 1.0),
+            (60.0, 0.91),
+            (50.0, 0.93),
+            (40.0, 1.17),
+        ]);
+        assert_eq!(classify(&r), PowerClass::PowerOpportunity);
+    }
+
+    #[test]
+    fn advection_like_is_sensitive() {
+        // Table II particle advection: 1.11 at 80 W already.
+        let r = rows(&[
+            (120.0, 1.0),
+            (90.0, 1.05),
+            (80.0, 1.11),
+            (70.0, 1.21),
+            (40.0, 3.12),
+        ]);
+        assert_eq!(classify(&r), PowerClass::PowerSensitive);
+    }
+
+    #[test]
+    fn volren_like_at_70w_is_sensitive() {
+        let r = rows(&[(120.0, 1.0), (70.0, 1.12), (40.0, 1.86)]);
+        assert_eq!(classify(&r), PowerClass::PowerSensitive);
+    }
+
+    #[test]
+    fn never_slowing_is_opportunity() {
+        let r = rows(&[(120.0, 1.0), (40.0, 1.05)]);
+        assert_eq!(classify(&r), PowerClass::PowerOpportunity);
+    }
+
+    #[test]
+    fn boundary_cap_counts_as_sensitive() {
+        let r = rows(&[(120.0, 1.0), (70.0, 1.10), (40.0, 2.0)]);
+        assert_eq!(classify(&r), PowerClass::PowerSensitive);
+    }
+}

@@ -1,0 +1,185 @@
+//! One entry point per table/figure of the paper's evaluation.
+//!
+//! Every function takes the caching [`StudyContext`] plus the data-set
+//! size(s) to use, so the reproduction harness can run paper-scale sizes
+//! while the test-suite runs scaled-down ones — the *structure* of each
+//! experiment (which algorithms, which caps, which metric) is identical.
+
+use crate::efficiency;
+use crate::study::{CapSweep, StudyContext};
+use serde::{Deserialize, Serialize};
+use vizalgo::Algorithm;
+
+/// A plottable series: one labelled line of (power cap, value) points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigSeries {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Which per-sample metric a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigMetric {
+    /// Fig. 2a: effective frequency (GHz).
+    EffectiveFrequency,
+    /// Fig. 2b: instructions per cycle.
+    Ipc,
+    /// Fig. 2c: last-level-cache miss rate.
+    LlcMissRate,
+}
+
+impl FigMetric {
+    fn extract(&self, row: &powersim::ExecResult) -> f64 {
+        match self {
+            FigMetric::EffectiveFrequency => row.avg_effective_freq_ghz,
+            FigMetric::Ipc => row.avg_ipc,
+            FigMetric::LlcMissRate => row.avg_llc_miss_rate,
+        }
+    }
+}
+
+/// **Table I** — Phase 1: the contour baseline across the cap sweep.
+pub fn table1(ctx: &mut StudyContext, size: usize) -> CapSweep {
+    ctx.sweep(Algorithm::Contour, size)
+}
+
+/// **Table II / Table III** — Phases 2 and 3: every algorithm at one
+/// data-set size (128³ for Table II, 256³ for Table III).
+pub fn slowdown_table(ctx: &mut StudyContext, size: usize) -> Vec<CapSweep> {
+    Algorithm::ALL
+        .iter()
+        .map(|&a| ctx.sweep(a, size))
+        .collect()
+}
+
+/// **Fig. 2a/2b/2c** — the chosen metric vs power cap for all algorithms
+/// at one size.
+pub fn fig2(ctx: &mut StudyContext, size: usize, metric: FigMetric) -> Vec<FigSeries> {
+    Algorithm::ALL
+        .iter()
+        .map(|&a| {
+            let sweep = ctx.sweep(a, size);
+            FigSeries {
+                label: a.name().to_string(),
+                points: sweep
+                    .rows
+                    .iter()
+                    .map(|r| (r.cap_watts, metric.extract(r)))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// **Fig. 3** — elements (millions) per second for the cell-centered
+/// algorithms.
+pub fn fig3(ctx: &mut StudyContext, size: usize) -> Vec<FigSeries> {
+    Algorithm::CELL_CENTERED
+        .iter()
+        .map(|&a| {
+            let sweep = ctx.sweep(a, size);
+            FigSeries {
+                label: a.name().to_string(),
+                points: sweep
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.cap_watts,
+                            efficiency::rate(sweep.input_cells, r.seconds),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// **Figs. 4/5/6** — IPC vs cap across data-set sizes for one algorithm
+/// (slice: rises with size; volume rendering: falls; advection: flat).
+pub fn fig_size_ipc(ctx: &mut StudyContext, algorithm: Algorithm, sizes: &[usize]) -> Vec<FigSeries> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let sweep = ctx.sweep(algorithm, n);
+            FigSeries {
+                label: format!("{n}"),
+                points: sweep
+                    .rows
+                    .iter()
+                    .map(|r| (r.cap_watts, r.avg_ipc))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyConfig;
+
+    fn ctx() -> StudyContext {
+        StudyContext::new(StudyConfig {
+            caps: vec![120.0, 70.0, 40.0],
+            isovalues: 3,
+            render_px: 10,
+            cameras: 2,
+            particles: 15,
+            advect_steps: 25,
+        })
+    }
+
+    #[test]
+    fn table1_has_one_row_per_cap() {
+        let mut ctx = ctx();
+        let t = table1(&mut ctx, 10);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.algorithm, Algorithm::Contour);
+    }
+
+    #[test]
+    fn slowdown_table_covers_all_algorithms() {
+        let mut ctx = ctx();
+        let t = slowdown_table(&mut ctx, 8);
+        assert_eq!(t.len(), 8);
+        for sweep in &t {
+            assert_eq!(sweep.rows.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fig2_metrics_are_positive_and_distinct() {
+        let mut ctx = ctx();
+        let freq = fig2(&mut ctx, 8, FigMetric::EffectiveFrequency);
+        let ipc = fig2(&mut ctx, 8, FigMetric::Ipc);
+        assert_eq!(freq.len(), 8);
+        for s in &freq {
+            // Counter rounding in short runs can nudge the APERF/MPERF
+            // ratio a hair past turbo.
+            assert!(s.points.iter().all(|&(_, v)| v > 0.5 && v <= 2.61));
+        }
+        for s in &ipc {
+            assert!(s.points.iter().all(|&(_, v)| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn fig3_covers_cell_centered_only() {
+        let mut ctx = ctx();
+        let series = fig3(&mut ctx, 8);
+        assert_eq!(series.len(), 5);
+        for s in &series {
+            assert!(s.points.iter().all(|&(_, v)| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn fig_size_ipc_one_series_per_size() {
+        let mut ctx = ctx();
+        let series = fig_size_ipc(&mut ctx, Algorithm::ParticleAdvection, &[8, 12]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label, "8");
+        assert_eq!(series[1].label, "12");
+    }
+}

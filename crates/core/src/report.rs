@@ -1,0 +1,187 @@
+//! Paper-style rendering of tables and figure series.
+//!
+//! The paper highlights in red the first cell of each row where a 10 %
+//! slowdown appears; plain-text output marks the same cells with `*`.
+
+use crate::classify::classify;
+use crate::experiments::FigSeries;
+use crate::metrics::first_slowdown_cap;
+use crate::study::CapSweep;
+use std::fmt::Write;
+
+/// Render Table I: P, Pratio, T, Tratio, F, Fratio for one sweep.
+pub fn render_table1(sweep: &CapSweep) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} ({}³ cells)",
+        sweep.algorithm, sweep.size
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>7} {:>10} {:>7} {:>9} {:>7}",
+        "P", "Pratio", "T", "Tratio", "F", "Fratio"
+    )
+    .unwrap();
+    let ratios = sweep.ratios();
+    let marker_cap = first_slowdown_cap(&ratios);
+    for r in &ratios {
+        let mark = match marker_cap {
+            Some(c) if (r.cap_watts - c).abs() < 0.5 => "*",
+            _ => " ",
+        };
+        writeln!(
+            out,
+            "{:>5.0}W {:>6.1}X {:>9.3}s {:>6.2}X{} {:>6.2}GHz {:>6.2}X",
+            r.cap_watts, r.pratio, r.seconds, r.tratio, mark, r.freq_ghz, r.fratio
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Render Table II / III: per-algorithm Tratio and Fratio rows across
+/// caps, with the first-10 %-slowdown marker and the class label.
+pub fn render_slowdown_table(sweeps: &[CapSweep]) -> String {
+    let mut out = String::new();
+    if sweeps.is_empty() {
+        return out;
+    }
+    let caps: Vec<f64> = sweeps[0].rows.iter().map(|r| r.cap_watts).collect();
+    write!(out, "{:<20} {:>7}", "P", "").unwrap();
+    for c in &caps {
+        write!(out, " {:>7.0}W", c).unwrap();
+    }
+    writeln!(out).unwrap();
+    write!(out, "{:<20} {:>7}", "Pratio", "").unwrap();
+    for c in &caps {
+        write!(out, " {:>7.1}X", caps[0] / c).unwrap();
+    }
+    writeln!(out).unwrap();
+
+    for sweep in sweeps {
+        let ratios = sweep.ratios();
+        let marker = first_slowdown_cap(&ratios);
+        let class = classify(&ratios);
+        write!(out, "{:<20} {:>7}", sweep.algorithm.name(), "Tratio").unwrap();
+        for r in &ratios {
+            let mark = match marker {
+                Some(c) if (r.cap_watts - c).abs() < 0.5 => "*",
+                _ => " ",
+            };
+            write!(out, " {:>6.2}X{}", r.tratio, mark).unwrap();
+        }
+        writeln!(out).unwrap();
+        write!(out, "{:<20} {:>7}", format!("  [{class}]"), "Fratio").unwrap();
+        for r in &ratios {
+            write!(out, " {:>6.2}X ", r.fratio).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Render figure series as aligned columns (cap, then one column per
+/// series) — easy to eyeball or feed to a plotting tool.
+pub fn render_series(title: &str, series: &[FigSeries]) -> String {
+    let mut out = String::new();
+    writeln!(out, "# {title}").unwrap();
+    if series.is_empty() {
+        return out;
+    }
+    write!(out, "{:>6}", "cap_W").unwrap();
+    for s in series {
+        write!(out, " {:>18}", s.label).unwrap();
+    }
+    writeln!(out).unwrap();
+    for i in 0..series[0].points.len() {
+        write!(out, "{:>6.0}", series[0].points[i].0).unwrap();
+        for s in series {
+            write!(out, " {:>18.4}", s.points[i].1).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+/// Summarize the Ratios rows of one sweep as a compact one-liner.
+pub fn summarize(sweep: &CapSweep) -> String {
+    let ratios = sweep.ratios();
+    let last = ratios.last().expect("non-empty sweep");
+    format!(
+        "{:<20} {}³  Tratio(40W) = {:.2}X  Fratio(40W) = {:.2}X  first 10% slowdown at {}",
+        sweep.algorithm.name(),
+        sweep.size,
+        last.tratio,
+        last.fratio,
+        match first_slowdown_cap(&ratios) {
+            Some(c) => format!("{c:.0}W"),
+            None => "never".to_string(),
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{StudyConfig, StudyContext};
+    use vizalgo::Algorithm;
+
+    fn sweep() -> CapSweep {
+        let mut ctx = StudyContext::new(StudyConfig {
+            caps: vec![120.0, 40.0],
+            isovalues: 2,
+            render_px: 8,
+            cameras: 1,
+            particles: 10,
+            advect_steps: 10,
+        });
+        ctx.sweep(Algorithm::Threshold, 8)
+    }
+
+    #[test]
+    fn table1_renders_all_rows_with_headers() {
+        let t = render_table1(&sweep());
+        assert!(t.contains("Pratio"));
+        assert!(t.contains("120W"));
+        assert!(t.contains("40W"));
+        assert!(t.contains("GHz"));
+    }
+
+    #[test]
+    fn slowdown_table_contains_class_labels() {
+        let s = sweep();
+        let t = render_slowdown_table(&[s]);
+        assert!(t.contains("Threshold"));
+        assert!(t.contains("power"));
+        assert!(t.contains("Tratio"));
+        assert!(t.contains("Fratio"));
+    }
+
+    #[test]
+    fn series_rendering_is_column_aligned() {
+        let series = vec![
+            FigSeries {
+                label: "A".into(),
+                points: vec![(120.0, 1.0), (40.0, 2.0)],
+            },
+            FigSeries {
+                label: "B".into(),
+                points: vec![(120.0, 3.0), (40.0, 4.0)],
+            },
+        ];
+        let out = render_series("Fig test", &series);
+        assert!(out.contains("# Fig test"));
+        assert!(out.lines().count() >= 4);
+        assert!(out.contains("120"));
+        assert!(out.contains("3.0000"));
+    }
+
+    #[test]
+    fn summarize_mentions_first_slowdown() {
+        let line = summarize(&sweep());
+        assert!(line.contains("Threshold"));
+        assert!(line.contains("Tratio(40W)"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Declarative actions, JSON-compatible in the spirit of Ascent's
+//! `ascent_actions.json`.
+
+use serde::{Deserialize, Serialize};
+use vizalgo::{
+    Contour, Filter, Isovolume, ParticleAdvection, RayTracer, SphericalClip, ThreeSlice,
+    Threshold, VolumeRenderer,
+};
+use vizmesh::DataSet;
+
+/// A filter declaration inside a pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum FilterSpec {
+    Contour {
+        field: String,
+        /// Number of evenly spaced isovalues (the paper uses 10).
+        isovalues: usize,
+    },
+    Threshold {
+        field: String,
+        /// Keep the upper fraction of the field range.
+        upper_fraction: f64,
+    },
+    SphericalClip {
+        field: String,
+        /// Radius as a fraction of the dataset diagonal.
+        radius_fraction: f64,
+    },
+    Isovolume {
+        field: String,
+        /// Width of the middle band, as a fraction of the field range.
+        band_fraction: f64,
+    },
+    Slice {
+        field: String,
+    },
+    ParticleAdvection {
+        field: String,
+        particles: usize,
+        steps: usize,
+    },
+}
+
+impl FilterSpec {
+    /// Instantiate the filter against a concrete dataset (ranges and
+    /// bounds are data dependent).
+    pub fn build(&self, input: &DataSet) -> Box<dyn Filter> {
+        match self {
+            FilterSpec::Contour { field, isovalues } => {
+                Box::new(Contour::spanning(field.clone(), input, *isovalues))
+            }
+            FilterSpec::Threshold {
+                field,
+                upper_fraction,
+            } => Box::new(Threshold::upper_fraction(
+                field.clone(),
+                input,
+                *upper_fraction,
+            )),
+            FilterSpec::SphericalClip {
+                field,
+                radius_fraction,
+            } => {
+                let b = input.bounds();
+                let mut clip =
+                    SphericalClip::new(b.center(), b.diagonal() * radius_fraction.max(1e-6));
+                clip.carry_field = field.clone();
+                Box::new(clip)
+            }
+            FilterSpec::Isovolume {
+                field,
+                band_fraction,
+            } => Box::new(Isovolume::middle_band(field.clone(), input, *band_fraction)),
+            FilterSpec::Slice { field } => Box::new(ThreeSlice::centered(input, field.clone())),
+            FilterSpec::ParticleAdvection {
+                field,
+                particles,
+                steps,
+            } => Box::new(ParticleAdvection::new(
+                field.clone(),
+                *particles,
+                *steps,
+                5e-4,
+                0x5eed_1234,
+            )),
+        }
+    }
+
+    /// A paper-default spec for each of the six data-producing algorithms.
+    pub fn paper_default(name: &str) -> Option<FilterSpec> {
+        Some(match name {
+            "contour" => FilterSpec::Contour {
+                field: "energy".into(),
+                isovalues: 10,
+            },
+            "threshold" => FilterSpec::Threshold {
+                field: "energy".into(),
+                upper_fraction: 0.5,
+            },
+            "spherical_clip" => FilterSpec::SphericalClip {
+                field: "energy".into(),
+                radius_fraction: 0.3,
+            },
+            "isovolume" => FilterSpec::Isovolume {
+                field: "energy".into(),
+                band_fraction: 0.5,
+            },
+            "slice" => FilterSpec::Slice {
+                field: "energy".into(),
+            },
+            "particle_advection" => FilterSpec::ParticleAdvection {
+                field: "velocity".into(),
+                particles: 1000,
+                steps: 1000,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// A renderer declaration inside a scene.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum RendererSpec {
+    RayTracing {
+        field: String,
+        width: usize,
+        height: usize,
+        images: usize,
+    },
+    VolumeRendering {
+        field: String,
+        width: usize,
+        height: usize,
+        images: usize,
+    },
+}
+
+impl RendererSpec {
+    pub fn build(&self) -> Box<dyn Filter> {
+        match self {
+            RendererSpec::RayTracing {
+                field,
+                width,
+                height,
+                images,
+            } => Box::new(RayTracer::new(field.clone(), *width, *height, *images)),
+            RendererSpec::VolumeRendering {
+                field,
+                width,
+                height,
+                images,
+            } => Box::new(VolumeRenderer::new(field.clone(), *width, *height, *images)),
+        }
+    }
+}
+
+/// One action in the list.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum Action {
+    AddPipeline { name: String, filters: Vec<FilterSpec> },
+    AddScene { name: String, renderer: RendererSpec },
+}
+
+/// The full declarative document.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct ActionList(pub Vec<Action>);
+
+impl ActionList {
+    /// Parse from JSON (the Ascent-style interface).
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("actions serialize")
+    }
+
+    pub fn pipelines(&self) -> impl Iterator<Item = (&str, &[FilterSpec])> {
+        self.0.iter().filter_map(|a| match a {
+            Action::AddPipeline { name, filters } => Some((name.as_str(), filters.as_slice())),
+            _ => None,
+        })
+    }
+
+    pub fn scenes(&self) -> impl Iterator<Item = (&str, &RendererSpec)> {
+        self.0.iter().filter_map(|a| match a {
+            Action::AddScene { name, renderer } => Some((name.as_str(), renderer)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::{Association, Field, UniformGrid, Vec3};
+
+    fn dataset() -> DataSet {
+        let grid = UniformGrid::cube_cells(6);
+        let np = grid.num_points();
+        let vals: Vec<f64> = (0..np).map(|p| grid.point_coord_id(p).x).collect();
+        DataSet::uniform(grid)
+            .with_field(Field::scalar("energy", Association::Points, vals))
+            .with_field(Field::vector(
+                "velocity",
+                Association::Points,
+                vec![Vec3::X; np],
+            ))
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let list = ActionList(vec![
+            Action::AddPipeline {
+                name: "pl1".into(),
+                filters: vec![FilterSpec::Contour {
+                    field: "energy".into(),
+                    isovalues: 10,
+                }],
+            },
+            Action::AddScene {
+                name: "s1".into(),
+                renderer: RendererSpec::VolumeRendering {
+                    field: "energy".into(),
+                    width: 64,
+                    height: 64,
+                    images: 50,
+                },
+            },
+        ]);
+        let json = list.to_json();
+        let parsed = ActionList::from_json(&json).unwrap();
+        assert_eq!(parsed, list);
+    }
+
+    #[test]
+    fn parses_handwritten_json() {
+        let json = r#"[
+            {"action": "add_pipeline", "name": "p",
+             "filters": [{"type": "slice", "field": "energy"}]},
+            {"action": "add_scene", "name": "s",
+             "renderer": {"type": "ray_tracing", "field": "energy",
+                          "width": 32, "height": 32, "images": 2}}
+        ]"#;
+        let list = ActionList::from_json(json).unwrap();
+        assert_eq!(list.pipelines().count(), 1);
+        assert_eq!(list.scenes().count(), 1);
+    }
+
+    #[test]
+    fn every_filter_spec_builds_and_runs() {
+        let ds = dataset();
+        for name in [
+            "contour",
+            "threshold",
+            "spherical_clip",
+            "isovolume",
+            "slice",
+            "particle_advection",
+        ] {
+            let spec = FilterSpec::paper_default(name).unwrap();
+            let filter = spec.build(&ds);
+            let out = filter.execute(&ds);
+            assert!(!out.kernels.is_empty(), "{name} produced no kernels");
+        }
+        assert!(FilterSpec::paper_default("bogus").is_none());
+    }
+
+    #[test]
+    fn renderers_build_and_produce_images() {
+        let ds = dataset();
+        for spec in [
+            RendererSpec::RayTracing {
+                field: "energy".into(),
+                width: 16,
+                height: 16,
+                images: 2,
+            },
+            RendererSpec::VolumeRendering {
+                field: "energy".into(),
+                width: 16,
+                height: 16,
+                images: 2,
+            },
+        ] {
+            let out = spec.build().execute(&ds);
+            assert_eq!(out.images.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The tightly-coupled runtime: alternate simulation and visualization
+//! on the same resources, recording both sides' instrumented work.
+
+use crate::actions::ActionList;
+use crate::scene::Scene;
+use crate::trigger::Trigger;
+use cloverleaf::{Problem, SimConfig, Simulation};
+use serde::{Deserialize, Serialize};
+use vizalgo::{KernelClass, KernelReport};
+use vizmesh::{Image, WorkCounters};
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Cells per axis (the paper's 32/64/128/256).
+    pub grid_cells: usize,
+    /// Total simulation steps to run.
+    pub total_steps: u64,
+    /// Visualization trigger.
+    pub trigger: Trigger,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            grid_cells: 32,
+            total_steps: 20,
+            trigger: Trigger::EveryN { n: 10 },
+        }
+    }
+}
+
+/// One visualization cycle's record: the simulation work since the last
+/// cycle and the per-kernel visualization work.
+#[derive(Debug, Clone)]
+pub struct CycleRecord {
+    pub step: u64,
+    /// Work of the simulation steps since the previous cycle.
+    pub sim_work: KernelReport,
+    /// Work of every visualization kernel in this cycle.
+    pub viz_kernels: Vec<KernelReport>,
+    /// Images rendered by the scenes this cycle.
+    pub images: Vec<Image>,
+}
+
+/// The result of a coupled run.
+#[derive(Debug, Clone, Default)]
+pub struct CoupledRun {
+    pub cycles: Vec<CycleRecord>,
+    /// Simulation work after the final visualization cycle.
+    pub trailing_sim_work: WorkCounters,
+}
+
+impl CoupledRun {
+    /// Total visualization work across cycles.
+    pub fn total_viz_work(&self) -> WorkCounters {
+        let mut w = WorkCounters::new();
+        for c in &self.cycles {
+            for k in &c.viz_kernels {
+                w += k.work;
+            }
+        }
+        w
+    }
+
+    /// Total simulation work across cycles.
+    pub fn total_sim_work(&self) -> WorkCounters {
+        let mut w = self.trailing_sim_work;
+        for c in &self.cycles {
+            w += c.sim_work.work;
+        }
+        w
+    }
+}
+
+/// The coupled driver.
+pub struct InSituRuntime {
+    pub sim: Simulation,
+    pub actions: ActionList,
+    pub scenes: Vec<Scene>,
+    config: RuntimeConfig,
+}
+
+impl InSituRuntime {
+    pub fn new(problem: Problem, config: RuntimeConfig, actions: ActionList) -> Self {
+        let scenes = actions
+            .scenes()
+            .map(|(name, renderer)| Scene::new(name, renderer.clone()))
+            .collect();
+        InSituRuntime {
+            sim: Simulation::new(problem, config.grid_cells, SimConfig::default()),
+            actions,
+            scenes,
+            config,
+        }
+    }
+
+    /// Run the coupled loop to completion.
+    pub fn run(&mut self) -> CoupledRun {
+        let mut out = CoupledRun::default();
+        let mut sim_since_viz = WorkCounters::new();
+        for _ in 0..self.config.total_steps {
+            let report = self.sim.step();
+            sim_since_viz += report.work;
+            let data = self.sim.dataset();
+            if !self.config.trigger.fires(report.step, &data) {
+                continue;
+            }
+            // Visualization cycle: pipelines, then scenes.
+            let mut viz_kernels = Vec::new();
+            for (_name, filters) in self.actions.pipelines() {
+                for spec in filters {
+                    let filter = spec.build(&data);
+                    let result = filter.execute(&data);
+                    viz_kernels.extend(result.kernels);
+                }
+            }
+            let mut images = Vec::new();
+            for scene in &self.scenes {
+                let result = scene
+                    .render(&data, report.step)
+                    .expect("scene render should not fail without an output dir");
+                viz_kernels.extend(result.kernels);
+                images.extend(result.images);
+            }
+            out.cycles.push(CycleRecord {
+                step: report.step,
+                sim_work: KernelReport::new("cloverleaf-steps", KernelClass::Simulation, sim_since_viz),
+                viz_kernels,
+                images,
+            });
+            sim_since_viz = WorkCounters::new();
+        }
+        out.trailing_sim_work = sim_since_viz;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::{Action, FilterSpec, RendererSpec};
+
+    fn actions() -> ActionList {
+        ActionList(vec![
+            Action::AddPipeline {
+                name: "pl".into(),
+                filters: vec![FilterSpec::Contour {
+                    field: "energy".into(),
+                    isovalues: 3,
+                }],
+            },
+            Action::AddScene {
+                name: "sc".into(),
+                renderer: RendererSpec::VolumeRendering {
+                    field: "energy".into(),
+                    width: 12,
+                    height: 12,
+                    images: 2,
+                },
+            },
+        ])
+    }
+
+    #[test]
+    fn coupled_loop_alternates_sim_and_viz() {
+        let config = RuntimeConfig {
+            grid_cells: 8,
+            total_steps: 10,
+            trigger: Trigger::EveryN { n: 5 },
+        };
+        let mut rt = InSituRuntime::new(Problem::TwoState, config, actions());
+        let run = rt.run();
+        assert_eq!(run.cycles.len(), 2);
+        for c in &run.cycles {
+            assert!(c.sim_work.work.instructions > 0);
+            assert!(!c.viz_kernels.is_empty());
+            assert_eq!(c.images.len(), 2);
+        }
+        assert_eq!(run.cycles[0].step, 5);
+        assert_eq!(run.cycles[1].step, 10);
+    }
+
+    #[test]
+    fn viz_and_sim_totals_are_disjoint_accumulations() {
+        let config = RuntimeConfig {
+            grid_cells: 6,
+            total_steps: 6,
+            trigger: Trigger::EveryN { n: 3 },
+        };
+        let mut rt = InSituRuntime::new(Problem::TwoState, config, actions());
+        let run = rt.run();
+        let viz = run.total_viz_work();
+        let sim = run.total_sim_work();
+        assert!(viz.instructions > 0);
+        assert!(sim.instructions > 0);
+        // Simulation classify work counts hydro cells, viz counts its own.
+        assert!(sim.items > 0 && viz.items > 0);
+    }
+
+    #[test]
+    fn trigger_gates_visualization() {
+        let config = RuntimeConfig {
+            grid_cells: 6,
+            total_steps: 5,
+            trigger: Trigger::EveryN { n: 100 },
+        };
+        let mut rt = InSituRuntime::new(Problem::TwoState, config, actions());
+        let run = rt.run();
+        assert!(run.cycles.is_empty());
+        assert!(run.trailing_sim_work.instructions > 0);
+    }
+}

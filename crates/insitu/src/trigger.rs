@@ -1,0 +1,98 @@
+//! Visualization triggers: when a cycle should run the pipelines.
+
+use serde::{Deserialize, Serialize};
+use vizmesh::DataSet;
+
+/// When to trigger an in situ visualization cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Trigger {
+    /// Every `n` simulation steps (the common Ascent configuration).
+    EveryN { n: u64 },
+    /// When a scalar field's maximum first exceeds `above`, then every
+    /// step while it remains above.
+    FieldMax { field: String, above: f64 },
+    /// Both conditions must hold.
+    Both {
+        a: Box<Trigger>,
+        b: Box<Trigger>,
+    },
+}
+
+impl Trigger {
+    /// Should step `step` (1-based) visualize, given the current data?
+    pub fn fires(&self, step: u64, data: &DataSet) -> bool {
+        match self {
+            Trigger::EveryN { n } => *n > 0 && step % n == 0,
+            Trigger::FieldMax { field, above } => data
+                .field(field)
+                .and_then(|f| f.scalar_range())
+                .map(|(_, hi)| hi > *above)
+                .unwrap_or(false),
+            Trigger::Both { a, b } => a.fires(step, data) && b.fires(step, data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::{Association, Field, UniformGrid};
+
+    fn data(max: f64) -> DataSet {
+        let grid = UniformGrid::cube_cells(2);
+        let n = grid.num_points();
+        let mut vals = vec![0.0; n];
+        vals[0] = max;
+        DataSet::uniform(grid).with_field(Field::scalar("energy", Association::Points, vals))
+    }
+
+    #[test]
+    fn every_n_cadence() {
+        let t = Trigger::EveryN { n: 10 };
+        let d = data(1.0);
+        assert!(!t.fires(1, &d));
+        assert!(t.fires(10, &d));
+        assert!(!t.fires(15, &d));
+        assert!(t.fires(20, &d));
+        // n = 0 never fires.
+        assert!(!Trigger::EveryN { n: 0 }.fires(10, &d));
+    }
+
+    #[test]
+    fn field_max_threshold() {
+        let t = Trigger::FieldMax {
+            field: "energy".into(),
+            above: 2.0,
+        };
+        assert!(!t.fires(1, &data(1.5)));
+        assert!(t.fires(1, &data(2.5)));
+        // Missing field never fires.
+        let t2 = Trigger::FieldMax {
+            field: "nope".into(),
+            above: 0.0,
+        };
+        assert!(!t2.fires(1, &data(5.0)));
+    }
+
+    #[test]
+    fn conjunction() {
+        let t = Trigger::Both {
+            a: Box::new(Trigger::EveryN { n: 2 }),
+            b: Box::new(Trigger::FieldMax {
+                field: "energy".into(),
+                above: 2.0,
+            }),
+        };
+        assert!(t.fires(4, &data(3.0)));
+        assert!(!t.fires(3, &data(3.0)));
+        assert!(!t.fires(4, &data(1.0)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Trigger::EveryN { n: 10 };
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<Trigger>(&json).unwrap(), t);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the in situ action/trigger layer.
+
+use insitu::{Action, ActionList, FilterSpec, RendererSpec, Trigger};
+use proptest::prelude::*;
+use vizmesh::{Association, DataSet, Field, UniformGrid};
+
+fn filter_spec_strategy() -> impl Strategy<Value = FilterSpec> {
+    prop_oneof![
+        (1usize..20).prop_map(|isovalues| FilterSpec::Contour {
+            field: "energy".into(),
+            isovalues,
+        }),
+        // Fractions are quantized to 1/1000 so the JSON round trip is
+        // bitwise (serde_json's float parsing is not exact to the ULP).
+        (0u32..1000).prop_map(|q| FilterSpec::Threshold {
+            field: "energy".into(),
+            upper_fraction: q as f64 / 1000.0,
+        }),
+        (50u32..500).prop_map(|q| FilterSpec::SphericalClip {
+            field: "energy".into(),
+            radius_fraction: q as f64 / 1000.0,
+        }),
+        (100u32..900).prop_map(|q| FilterSpec::Isovolume {
+            field: "energy".into(),
+            band_fraction: q as f64 / 1000.0,
+        }),
+        Just(FilterSpec::Slice {
+            field: "energy".into()
+        }),
+        ((1usize..50), (1usize..50)).prop_map(|(particles, steps)| {
+            FilterSpec::ParticleAdvection {
+                field: "velocity".into(),
+                particles,
+                steps,
+            }
+        }),
+    ]
+}
+
+fn renderer_spec_strategy() -> impl Strategy<Value = RendererSpec> {
+    prop_oneof![
+        ((4usize..32), (1usize..6)).prop_map(|(px, images)| RendererSpec::RayTracing {
+            field: "energy".into(),
+            width: px,
+            height: px,
+            images,
+        }),
+        ((4usize..32), (1usize..6)).prop_map(|(px, images)| RendererSpec::VolumeRendering {
+            field: "energy".into(),
+            width: px,
+            height: px,
+            images,
+        }),
+    ]
+}
+
+fn action_list_strategy() -> impl Strategy<Value = ActionList> {
+    prop::collection::vec(
+        prop_oneof![
+            (prop::collection::vec(filter_spec_strategy(), 1..3), "[a-z]{1,8}")
+                .prop_map(|(filters, name)| Action::AddPipeline { name, filters }),
+            (renderer_spec_strategy(), "[a-z]{1,8}")
+                .prop_map(|(renderer, name)| Action::AddScene { name, renderer }),
+        ],
+        0..5,
+    )
+    .prop_map(ActionList)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any action list survives a JSON round trip bitwise.
+    #[test]
+    fn actions_json_round_trip(list in action_list_strategy()) {
+        let json = list.to_json();
+        let parsed = ActionList::from_json(&json).unwrap();
+        prop_assert_eq!(parsed, list);
+    }
+
+    /// Pipelines and scenes partition the action list.
+    #[test]
+    fn pipelines_and_scenes_partition(list in action_list_strategy()) {
+        let total = list.0.len();
+        prop_assert_eq!(list.pipelines().count() + list.scenes().count(), total);
+    }
+
+    /// EveryN fires exactly floor(total / n) times over a run.
+    #[test]
+    fn every_n_cadence_counts(n in 1u64..20, total in 0u64..100) {
+        let grid = UniformGrid::cube_cells(2);
+        let np = grid.num_points();
+        let ds = DataSet::uniform(grid)
+            .with_field(Field::scalar("energy", Association::Points, vec![0.0; np]));
+        let t = Trigger::EveryN { n };
+        let fired = (1..=total).filter(|&s| t.fires(s, &ds)).count() as u64;
+        prop_assert_eq!(fired, total / n);
+    }
+
+    /// Conjunction is commutative and never fires more than either arm.
+    #[test]
+    fn both_is_an_intersection(n in 1u64..10, above in -1.0f64..2.0, step in 1u64..50) {
+        let grid = UniformGrid::cube_cells(2);
+        let np = grid.num_points();
+        let ds = DataSet::uniform(grid)
+            .with_field(Field::scalar("energy", Association::Points, vec![1.0; np]));
+        let a = Trigger::EveryN { n };
+        let b = Trigger::FieldMax { field: "energy".into(), above };
+        let ab = Trigger::Both { a: Box::new(a.clone()), b: Box::new(b.clone()) };
+        let ba = Trigger::Both { a: Box::new(b.clone()), b: Box::new(a.clone()) };
+        prop_assert_eq!(ab.fires(step, &ds), ba.fires(step, &ds));
+        if ab.fires(step, &ds) {
+            prop_assert!(a.fires(step, &ds) && b.fires(step, &ds));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # powersim — the simulated power-capped processor
+//!
+//! The paper measures its 288 configurations on a dual-socket Intel Xeon
+//! E5-2695 v4 (Broadwell) node whose processors are power-capped through
+//! Intel RAPL via LLNL's `msr-safe` driver, sampling energy and
+//! performance counters every 100 ms. None of that hardware is available
+//! here, so this crate implements the machine:
+//!
+//! * [`msr`] — a model-specific-register file with `msr-safe`-style
+//!   allow-listing, including `MSR_PKG_ENERGY_STATUS` with its real
+//!   32-bit wrapping semantics and energy units.
+//! * [`cpu`] — the package model: V/f curve, DVFS ladder, turbo, and the
+//!   analytic power model `P = P_uncore + P_leak(V) + Σcores c·V²f·α`.
+//! * [`rapl`] — the running-average power limiter that picks the highest
+//!   frequency whose predicted window power fits under the cap (this is
+//!   the mechanism that makes compute-bound workloads slow down under a
+//!   cap while memory-bound ones don't).
+//! * [`timing`] — a roofline-style execution-time model: core time
+//!   scales with 1/f, memory time does not.
+//! * [`workload`] — the input format: phases with measured instruction /
+//!   flop / cache-traffic counts (produced by instrumenting the *real*
+//!   algorithm executions in `vizalgo`).
+//! * [`counters`] — APERF/MPERF, fixed and programmable counters, with
+//!   the paper's derived metrics (§V-B).
+//! * [`exec`] — the executor: advances virtual time through a workload
+//!   under a cap, updating MSRs/counters, and the 100 ms sampler.
+//!
+//! Everything is deterministic; the only "measurement" the rest of the
+//! workspace performs is reading these simulated counters exactly the way
+//! the paper reads the real ones.
+
+pub mod counters;
+pub mod cpu;
+pub mod exec;
+pub mod msr;
+pub mod node;
+pub mod rapl;
+pub mod timing;
+pub mod workload;
+
+pub use cpu::CpuSpec;
+pub use exec::{ExecResult, Package, Sample};
+pub use msr::{MsrError, MsrFile};
+pub use node::{Node, NodeResult};
+pub use rapl::PowerLimiter;
+pub use workload::{KernelPhase, Workload};

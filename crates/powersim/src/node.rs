@@ -1,0 +1,141 @@
+//! The dual-socket node: two packages sharing a workload, as on the
+//! paper's RZTopaz nodes ("each node contains … two Intel Xeon E5-2695
+//! v4 dual-socket processors"; the study applies the same cap to each
+//! processor and reports per-processor power).
+
+use crate::cpu::CpuSpec;
+use crate::exec::{ExecResult, Package};
+use crate::workload::{KernelPhase, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate result of a node run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeResult {
+    /// The slower package defines completion (the workload is split and
+    /// both halves must finish).
+    pub seconds: f64,
+    /// Total node energy across both packages.
+    pub energy_joules: f64,
+    /// Combined average node power while running.
+    pub avg_power_watts: f64,
+    /// Per-package results.
+    pub packages: [ExecResult; 2],
+}
+
+/// A two-package node with a uniform per-package cap, the paper's
+/// configuration ("a uniform power cap to all nodes").
+pub struct Node {
+    pub sockets: [Package; 2],
+}
+
+impl Node {
+    pub fn new(spec: CpuSpec) -> Self {
+        Node {
+            sockets: [Package::new(spec.clone()), Package::new(spec)],
+        }
+    }
+
+    /// The paper's node: two simulated Broadwell packages.
+    pub fn rztopaz() -> Self {
+        Node::new(CpuSpec::broadwell_e5_2695v4())
+    }
+
+    /// Split a workload evenly across the sockets (each phase's counts
+    /// halve; shared-memory parallel sections split this way on the real
+    /// machine too).
+    pub fn split(workload: &Workload) -> [Workload; 2] {
+        let half = |w: &Workload| -> Workload {
+            let mut out = Workload::new(format!("{}:half", w.name));
+            for p in &w.phases {
+                out.push(KernelPhase {
+                    name: p.name.clone(),
+                    instructions: (p.instructions / 2).max(1),
+                    cpi_core: p.cpi_core,
+                    activity: p.activity,
+                    llc_refs: p.llc_refs / 2,
+                    llc_miss_rate: p.llc_miss_rate,
+                    dram_bytes: p.dram_bytes / 2,
+                });
+            }
+            out
+        };
+        [half(workload), half(workload)]
+    }
+
+    /// Run a workload split across both sockets under a uniform
+    /// per-package cap.
+    pub fn run_capped(&mut self, workload: &Workload, cap_per_package: f64) -> NodeResult {
+        let halves = Self::split(workload);
+        let a = self.sockets[0].run_capped(&halves[0], cap_per_package);
+        let b = self.sockets[1].run_capped(&halves[1], cap_per_package);
+        let seconds = a.seconds.max(b.seconds);
+        let energy = a.energy_joules + b.energy_joules;
+        NodeResult {
+            seconds,
+            energy_joules: energy,
+            avg_power_watts: if seconds > 0.0 { energy / seconds } else { 0.0 },
+            packages: [a, b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        Workload::new("w")
+            .with_phase(KernelPhase::compute("hot", 800_000_000_000))
+            .with_phase(KernelPhase::memory("cold", 50_000_000_000, 900_000_000_000))
+    }
+
+    #[test]
+    fn split_halves_the_counts() {
+        let w = workload();
+        let [a, b] = Node::split(&w);
+        assert_eq!(a.total_instructions(), b.total_instructions());
+        assert_eq!(a.total_instructions(), w.total_instructions() / 2);
+        assert_eq!(a.phases.len(), w.phases.len());
+    }
+
+    #[test]
+    fn node_time_is_half_of_single_package() {
+        let w = workload();
+        let single = Package::broadwell().run_capped(&w, 120.0).seconds;
+        let node = Node::rztopaz().run_capped(&w, 120.0).seconds;
+        let speedup = single / node;
+        assert!((1.8..=2.2).contains(&speedup), "speedup = {speedup}");
+    }
+
+    #[test]
+    fn node_power_is_roughly_double_package_power() {
+        let w = workload();
+        let pkg = Package::broadwell().run_capped(&w, 120.0);
+        let node = Node::rztopaz().run_capped(&w, 120.0);
+        let ratio = node.avg_power_watts / pkg.avg_power_watts;
+        assert!((1.7..=2.2).contains(&ratio), "ratio = {ratio}");
+        // Paper: both processors' 120 W is ~88 % of node power; without a
+        // modeled motherboard/DRAM-DIMM budget ours is the full node.
+        assert!(node.avg_power_watts <= 2.0 * 120.0);
+    }
+
+    #[test]
+    fn uniform_cap_applies_to_both_sockets() {
+        let w = workload();
+        let node = Node::rztopaz().run_capped(&w, 50.0);
+        for pkg in &node.packages {
+            assert!(pkg.avg_power_watts <= 51.5, "P = {}", pkg.avg_power_watts);
+            assert!((pkg.cap_watts - 50.0).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn symmetric_split_gives_symmetric_results() {
+        let w = workload();
+        let node = Node::rztopaz().run_capped(&w, 80.0);
+        assert!((node.packages[0].seconds - node.packages[1].seconds).abs() < 1e-12);
+        assert!(
+            (node.packages[0].energy_joules - node.packages[1].energy_joules).abs() < 1e-9
+        );
+    }
+}

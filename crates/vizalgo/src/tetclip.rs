@@ -1,0 +1,304 @@
+//! Tetrahedral clipping: the shared engine behind spherical clip and
+//! isovolume.
+//!
+//! Cells that straddle an implicit surface are decomposed into
+//! tetrahedra; each tetrahedron is clipped against the scalar value,
+//! keeping the side where `value >= iso`. The clipped pieces are emitted
+//! as new tetrahedra with interpolated vertices, exactly as VTK-m's clip
+//! worklets subdivide straddling cells (§III-B3/B4 of the paper).
+
+use std::collections::HashMap;
+use vizmesh::{Vec3, WorkCounters};
+
+/// Decomposition of a hexahedron (VTK corner order) into 6 tetrahedra
+/// sharing the 0–6 main diagonal. The union tiles the hex exactly.
+pub const HEX_TO_TETS: [[usize; 4]; 6] = [
+    [0, 1, 2, 6],
+    [0, 2, 3, 6],
+    [0, 3, 7, 6],
+    [0, 7, 4, 6],
+    [0, 4, 5, 6],
+    [0, 5, 1, 6],
+];
+
+/// A growing tetrahedral mesh with per-point scalar values and vertex
+/// welding on interpolated edges.
+#[derive(Debug, Default)]
+pub struct TetMesh {
+    pub points: Vec<Vec3>,
+    /// Clip scalar at each point (signed distance or field value).
+    pub values: Vec<f64>,
+    /// A carried data scalar (e.g. the energy field), interpolated along
+    /// with the clip scalar so output meshes keep their colors.
+    pub payloads: Vec<f64>,
+    pub tets: Vec<[u32; 4]>,
+    /// Weld map for interpolated edge points, keyed by the ordered pair of
+    /// parent point ids and the interpolation target (quantized).
+    weld: HashMap<(u32, u32, u64), u32>,
+}
+
+impl TetMesh {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an original (non-interpolated) point.
+    pub fn add_point(&mut self, p: Vec3, value: f64) -> u32 {
+        self.add_point_with(p, value, value)
+    }
+
+    /// Add an original point carrying a separate data payload.
+    pub fn add_point_with(&mut self, p: Vec3, value: f64, payload: f64) -> u32 {
+        self.points.push(p);
+        self.values.push(value);
+        self.payloads.push(payload);
+        (self.points.len() - 1) as u32
+    }
+
+    /// Signed volume of a tet.
+    pub fn tet_volume(&self, t: [u32; 4]) -> f64 {
+        let (a, b, c, d) = (
+            self.points[t[0] as usize],
+            self.points[t[1] as usize],
+            self.points[t[2] as usize],
+            self.points[t[3] as usize],
+        );
+        (b - a).cross(c - a).dot(d - a) / 6.0
+    }
+
+    /// Total unsigned volume.
+    pub fn total_volume(&self) -> f64 {
+        self.tets.iter().map(|&t| self.tet_volume(t).abs()).sum()
+    }
+
+    /// Interpolated point on edge `(a, b)` where the scalar hits `iso`,
+    /// welded so the same edge/iso pair reuses one vertex.
+    fn edge_point(&mut self, a: u32, b: u32, iso: f64) -> u32 {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let key = (lo, hi, iso.to_bits());
+        if let Some(&id) = self.weld.get(&key) {
+            return id;
+        }
+        let (va, vb) = (self.values[a as usize], self.values[b as usize]);
+        let t = ((iso - va) / (vb - va)).clamp(0.0, 1.0);
+        let p = self.points[a as usize].lerp(self.points[b as usize], t);
+        let pay = self.payloads[a as usize]
+            + (self.payloads[b as usize] - self.payloads[a as usize]) * t;
+        let id = self.add_point_with(p, iso, pay);
+        self.weld.insert(key, id);
+        id
+    }
+}
+
+/// Clip every tet of `mesh`, keeping the region where `value >= iso`
+/// (pass negated values and isovalue to keep the other side). Returns the
+/// clipped tet list (indices into the same, grown, mesh) and the work
+/// performed.
+pub fn clip_keep_above(mesh: &mut TetMesh, tets: &[[u32; 4]], iso: f64) -> (Vec<[u32; 4]>, WorkCounters) {
+    let mut out: Vec<[u32; 4]> = Vec::with_capacity(tets.len());
+    let mut work = WorkCounters::new();
+    for &tet in tets {
+        // Partition corners into kept (value >= iso) and dropped.
+        let mut kept = [0u32; 4];
+        let mut dropped = [0u32; 4];
+        let (mut nk, mut nd) = (0usize, 0usize);
+        for &v in &tet {
+            if mesh.values[v as usize] >= iso {
+                kept[nk] = v;
+                nk += 1;
+            } else {
+                dropped[nd] = v;
+                nd += 1;
+            }
+        }
+        work.tally(1, 24, 4, 32 + 96, 0);
+        match nk {
+            0 => {}
+            4 => {
+                out.push(tet);
+                work.tally(1, 4, 0, 0, 16);
+            }
+            1 => {
+                // One kept corner a: tet (a, ab', ac', ad').
+                let a = kept[0];
+                let p = [
+                    a,
+                    mesh.edge_point(a, dropped[0], iso),
+                    mesh.edge_point(a, dropped[1], iso),
+                    mesh.edge_point(a, dropped[2], iso),
+                ];
+                out.push(p);
+                work.tally(1, 120, 36, 96, 64);
+            }
+            3 => {
+                // One dropped corner d: prism between triangle (a, b, c)
+                // and (ad', bd', cd'), split into 3 tets.
+                let d = dropped[0];
+                let (a, b, c) = (kept[0], kept[1], kept[2]);
+                let ad = mesh.edge_point(a, d, iso);
+                let bd = mesh.edge_point(b, d, iso);
+                let cd = mesh.edge_point(c, d, iso);
+                out.push([a, b, c, ad]);
+                out.push([b, c, ad, bd]);
+                out.push([c, ad, bd, cd]);
+                work.tally(3, 90, 28, 96, 64);
+            }
+            2 => {
+                // Kept a, b; dropped c, d: prism between (a, ac', ad') and
+                // (b, bc', bd').
+                let (a, b) = (kept[0], kept[1]);
+                let (c, d) = (dropped[0], dropped[1]);
+                let ac = mesh.edge_point(a, c, iso);
+                let ad = mesh.edge_point(a, d, iso);
+                let bc = mesh.edge_point(b, c, iso);
+                let bd = mesh.edge_point(b, d, iso);
+                out.push([a, ac, ad, b]);
+                out.push([ac, ad, b, bc]);
+                out.push([ad, b, bc, bd]);
+                work.tally(3, 110, 34, 128, 64);
+            }
+            _ => unreachable!(),
+        }
+    }
+    (out, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a single-tet mesh with the given corner values.
+    fn one_tet(values: [f64; 4]) -> (TetMesh, [u32; 4]) {
+        let mut m = TetMesh::new();
+        let t = [
+            m.add_point(Vec3::ZERO, values[0]),
+            m.add_point(Vec3::X, values[1]),
+            m.add_point(Vec3::Y, values[2]),
+            m.add_point(Vec3::Z, values[3]),
+        ];
+        (m, t)
+    }
+
+    fn volume_of(mesh: &TetMesh, tets: &[[u32; 4]]) -> f64 {
+        tets.iter().map(|&t| mesh.tet_volume(t).abs()).sum()
+    }
+
+    #[test]
+    fn hex_decomposition_tiles_volume() {
+        // Unit cube corners in VTK order.
+        let corners = crate::contour::CORNERS;
+        let mut m = TetMesh::new();
+        let ids: Vec<u32> = corners
+            .iter()
+            .map(|&c| m.add_point(Vec3::from(c), 0.0))
+            .collect();
+        let mut vol = 0.0;
+        for tet in HEX_TO_TETS {
+            let t = [ids[tet[0]], ids[tet[1]], ids[tet[2]], ids[tet[3]]];
+            let v = m.tet_volume(t).abs();
+            assert!(v > 0.0, "degenerate tet in decomposition");
+            vol += v;
+        }
+        assert!((vol - 1.0).abs() < 1e-12, "volume = {vol}");
+    }
+
+    #[test]
+    fn keep_all_and_drop_all() {
+        let (mut m, t) = one_tet([1.0, 1.0, 1.0, 1.0]);
+        let (kept, _) = clip_keep_above(&mut m, &[t], 0.0);
+        assert_eq!(kept, vec![t]);
+        let (dropped, _) = clip_keep_above(&mut m, &[t], 2.0);
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn one_corner_kept_produces_corner_tet() {
+        let (mut m, t) = one_tet([1.0, -1.0, -1.0, -1.0]);
+        let (kept, _) = clip_keep_above(&mut m, &[t], 0.0);
+        assert_eq!(kept.len(), 1);
+        // The kept tet's volume is 1/8 of the original (midpoint cuts).
+        let orig = 1.0 / 6.0;
+        let v = volume_of(&m, &kept);
+        assert!((v - orig / 8.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn three_corners_kept_is_complement_of_one() {
+        let (mut m, t) = one_tet([-1.0, 1.0, 1.0, 1.0]);
+        let (kept, _) = clip_keep_above(&mut m, &[t], 0.0);
+        assert_eq!(kept.len(), 3);
+        let orig = 1.0 / 6.0;
+        let v = volume_of(&m, &kept);
+        assert!((v - orig * 7.0 / 8.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn clip_pieces_partition_volume() {
+        // For any corner values, above-pieces + below-pieces = whole tet.
+        let cases = [
+            [0.3, -0.7, 0.9, -0.1],
+            [1.0, 2.0, -3.0, 4.0],
+            [-1.0, -2.0, 0.5, 0.7],
+            [0.1, 0.2, 0.3, -0.4],
+        ];
+        for values in cases {
+            let (mut m, t) = one_tet(values);
+            let (above, _) = clip_keep_above(&mut m, &[t], 0.0);
+            let neg: Vec<f64> = m.values.iter().map(|v| -v).collect();
+            let mut m2 = TetMesh::new();
+            // Rebuild with negated values for the below side.
+            let t2 = [
+                m2.add_point(Vec3::ZERO, neg[0]),
+                m2.add_point(Vec3::X, neg[1]),
+                m2.add_point(Vec3::Y, neg[2]),
+                m2.add_point(Vec3::Z, neg[3]),
+            ];
+            let (below, _) = clip_keep_above(&mut m2, &[t2], 0.0);
+            let total = volume_of(&m, &above) + volume_of(&m2, &below);
+            assert!(
+                (total - 1.0 / 6.0).abs() < 1e-12,
+                "values {values:?}: {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_points_are_welded_across_tets() {
+        // Two tets sharing edge (0, 1) with a crossing on it: the
+        // interpolated point must be created once.
+        let mut m = TetMesh::new();
+        let p0 = m.add_point(Vec3::ZERO, -1.0);
+        let p1 = m.add_point(Vec3::X, 1.0);
+        let p2 = m.add_point(Vec3::Y, 1.0);
+        let p3 = m.add_point(Vec3::Z, 1.0);
+        let p4 = m.add_point(Vec3::new(1.0, 1.0, 1.0), 1.0);
+        let tets = [[p0, p1, p2, p3], [p0, p1, p2, p4]];
+        let before = m.points.len();
+        let (kept, _) = clip_keep_above(&mut m, &tets, 0.0);
+        assert_eq!(kept.len(), 6);
+        // Edges crossing: (0,1), (0,2), (0,3) for tet 1 and (0,1), (0,2),
+        // (0,4) for tet 2 → 4 unique new points, not 6.
+        assert_eq!(m.points.len(), before + 4);
+    }
+
+    #[test]
+    fn interpolated_points_sit_at_isovalue() {
+        let (mut m, t) = one_tet([2.0, -2.0, -2.0, -2.0]);
+        let (_, _) = clip_keep_above(&mut m, &[t], 1.0);
+        // New points (indices 4+) carry the isovalue.
+        for i in 4..m.points.len() {
+            assert_eq!(m.values[i], 1.0);
+        }
+        // Interpolation position: iso 1.0 between 2.0 and -2.0 is t = 0.25.
+        let p = m.points[4];
+        assert!((p - Vec3::new(0.25, 0.0, 0.0)).length() < 1e-12);
+    }
+
+    #[test]
+    fn work_counts_cells_processed() {
+        let (mut m, t) = one_tet([1.0, 1.0, -1.0, -1.0]);
+        let (_, w) = clip_keep_above(&mut m, &[t], 0.0);
+        assert!(w.items >= 1);
+        assert!(w.instructions > 0);
+    }
+}

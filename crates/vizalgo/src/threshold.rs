@@ -1,0 +1,244 @@
+//! Threshold: keep cells whose scalar lies in a range (§III-B2).
+
+use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
+use rayon::prelude::*;
+use vizmesh::{Association, CellSet, CellShape, DataSet, Field, Vec3, WorkCounters};
+
+/// Which points of a cell must satisfy the range for the cell to be kept
+/// when thresholding a point-centered field (VTK-m's threshold policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdPolicy {
+    AllPoints,
+    AnyPoint,
+}
+
+/// The threshold filter: iterates over every cell and compares its scalar
+/// (cell-centered directly, or point-centered under a policy) against
+/// `[lo, hi]`; kept cells are copied to an unstructured output.
+#[derive(Debug, Clone)]
+pub struct Threshold {
+    pub field: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub policy: ThresholdPolicy,
+}
+
+impl Threshold {
+    pub fn new(field: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "threshold range is inverted: [{lo}, {hi}]");
+        Threshold {
+            field: field.into(),
+            lo,
+            hi,
+            policy: ThresholdPolicy::AllPoints,
+        }
+    }
+
+    /// Keep the upper `frac` fraction of the field's range — the
+    /// configuration used for the paper-style energy threshold.
+    pub fn upper_fraction(field: impl Into<String>, input: &DataSet, frac: f64) -> Self {
+        let field = field.into();
+        let (lo, hi) = input
+            .field(&field)
+            .and_then(|f| f.scalar_range())
+            .unwrap_or((0.0, 1.0));
+        let cut = hi - (hi - lo) * frac.clamp(0.0, 1.0);
+        Threshold::new(field, cut, hi)
+    }
+
+    #[inline]
+    fn in_range(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+impl Filter for Threshold {
+    fn name(&self) -> &'static str {
+        "Threshold"
+    }
+
+    fn execute(&self, input: &DataSet) -> FilterOutput {
+        let grid = input
+            .as_uniform()
+            .expect("threshold expects a structured dataset");
+
+        // Phase 1: classify every cell (streaming compare).
+        let cell_vals = input.cell_scalars(&self.field);
+        let point_vals = input.point_scalars(&self.field);
+        assert!(
+            cell_vals.is_some() || point_vals.is_some(),
+            "missing scalar field '{}'",
+            self.field
+        );
+        let num_cells = grid.num_cells();
+        let keep: Vec<bool> = (0..num_cells)
+            .into_par_iter()
+            .map(|c| {
+                if let Some(vals) = cell_vals {
+                    self.in_range(vals[c])
+                } else {
+                    let vals = point_vals.unwrap();
+                    let ids = grid.cell_point_ids(c);
+                    match self.policy {
+                        ThresholdPolicy::AllPoints => {
+                            ids.iter().all(|&p| self.in_range(vals[p]))
+                        }
+                        ThresholdPolicy::AnyPoint => {
+                            ids.iter().any(|&p| self.in_range(vals[p]))
+                        }
+                    }
+                }
+            })
+            .collect();
+        let mut classify = WorkCounters::new();
+        let bytes_per_cell = if cell_vals.is_some() { 8 } else { 64 + 32 };
+        classify.tally(num_cells as u64, 12, 2, bytes_per_cell, 1);
+        classify.working_set_bytes = input
+            .field(&self.field)
+            .map(|f| f.data.num_bytes())
+            .unwrap_or(0);
+
+        // Phase 2: gather the kept cells into a compact unstructured mesh.
+        let mut gather = WorkCounters::new();
+        let mut point_map: Vec<u32> = vec![u32::MAX; grid.num_points()];
+        let mut points: Vec<Vec3> = Vec::new();
+        let kept_count = keep.iter().filter(|&&k| k).count();
+        let mut cells = CellSet::with_capacity(kept_count, kept_count * 8);
+        let mut out_cell_vals: Vec<f64> = Vec::with_capacity(kept_count);
+        for c in 0..num_cells {
+            if !keep[c] {
+                continue;
+            }
+            let ids = grid.cell_point_ids(c);
+            let mut conn = [0u32; 8];
+            for (slot, &pid) in ids.iter().enumerate() {
+                if point_map[pid] == u32::MAX {
+                    point_map[pid] = points.len() as u32;
+                    points.push(grid.point_coord_id(pid));
+                    gather.tally(1, 10, 3, 24, 28);
+                }
+                conn[slot] = point_map[pid];
+            }
+            cells.push(CellShape::Hexahedron, &conn);
+            if let Some(vals) = cell_vals {
+                out_cell_vals.push(vals[c]);
+            }
+            gather.tally(1, 30, 0, 32, 40);
+        }
+
+        let mut ds = DataSet::explicit(points, cells);
+        if cell_vals.is_some() {
+            ds.add_field(Field::scalar(
+                self.field.clone(),
+                Association::Cells,
+                out_cell_vals,
+            ));
+        }
+        FilterOutput::data(
+            ds,
+            vec![
+                KernelReport::new("threshold-classify", KernelClass::CellClassify, classify),
+                KernelReport::new("threshold-gather", KernelClass::GatherScatter, gather),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::UniformGrid;
+
+    /// A grid with cell scalar = x index of the cell.
+    fn x_ramp(n: usize) -> DataSet {
+        let grid = UniformGrid::cube_cells(n);
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|c| grid.cell_ijk(c)[0] as f64)
+            .collect();
+        DataSet::uniform(grid).with_field(Field::scalar("v", Association::Cells, vals))
+    }
+
+    #[test]
+    fn keeps_exactly_matching_cells() {
+        let ds = x_ramp(4);
+        let out = Threshold::new("v", 1.0, 2.0).execute(&ds);
+        let result = out.dataset.unwrap();
+        // x ∈ {1, 2} → half of 64 cells.
+        assert_eq!(result.num_cells(), 32);
+        for &v in result.cell_scalars("v").unwrap() {
+            assert!((1.0..=2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_range_keeps_nothing() {
+        let ds = x_ramp(4);
+        let out = Threshold::new("v", 100.0, 200.0).execute(&ds);
+        assert_eq!(out.dataset.unwrap().num_cells(), 0);
+        // Classification still visited every cell.
+        assert_eq!(out.kernels[0].work.items, 64);
+    }
+
+    #[test]
+    fn full_range_keeps_everything() {
+        let ds = x_ramp(3);
+        let out = Threshold::new("v", 0.0, 3.0).execute(&ds);
+        let result = out.dataset.unwrap();
+        assert_eq!(result.num_cells(), 27);
+        // Shared points are welded: a 3³-cell cube has 4³ points.
+        assert_eq!(result.num_points(), 64);
+    }
+
+    #[test]
+    fn point_field_all_points_policy() {
+        let grid = UniformGrid::cube_cells(2);
+        let vals: Vec<f64> = (0..grid.num_points())
+            .map(|p| grid.point_coord_id(p).x)
+            .collect();
+        let ds =
+            DataSet::uniform(grid).with_field(Field::scalar("v", Association::Points, vals));
+        // AllPoints with range [0, 0.5]: only cells whose 8 corners all
+        // have x ≤ 0.5, i.e. the 4 cells in the left half.
+        let out = Threshold::new("v", 0.0, 0.5).execute(&ds);
+        assert_eq!(out.dataset.unwrap().num_cells(), 4);
+        // AnyPoint keeps every cell (all touch x ≤ 0.5).
+        let mut t = Threshold::new("v", 0.0, 0.5);
+        t.policy = ThresholdPolicy::AnyPoint;
+        let out = t.execute(&ds);
+        assert_eq!(out.dataset.unwrap().num_cells(), 8);
+    }
+
+    #[test]
+    fn output_cells_are_hexahedra_with_valid_connectivity() {
+        let ds = x_ramp(3);
+        let out = Threshold::new("v", 0.0, 1.0).execute(&ds);
+        let result = out.dataset.unwrap();
+        let (points, cells) = result.as_explicit().unwrap();
+        for (shape, conn) in cells.iter() {
+            assert_eq!(shape, CellShape::Hexahedron);
+            assert!(conn.iter().all(|&p| (p as usize) < points.len()));
+        }
+    }
+
+    #[test]
+    fn upper_fraction_selects_hot_cells() {
+        let ds = x_ramp(4); // range [0, 3]
+        let t = Threshold::upper_fraction("v", &ds, 0.5);
+        assert!((t.lo - 1.5).abs() < 1e-12);
+        assert_eq!(t.hi, 3.0);
+    }
+
+    #[test]
+    fn work_scales_with_input_cells() {
+        let small = Threshold::new("v", 0.0, 0.0).execute(&x_ramp(2));
+        let large = Threshold::new("v", 0.0, 0.0).execute(&x_ramp(4));
+        assert_eq!(small.kernels[0].work.items, 8);
+        assert_eq!(large.kernels[0].work.items, 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        let _ = Threshold::new("v", 2.0, 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Volume rendering (§III-B8): ray marching with front-to-back
+//! compositing.
+//!
+//! Rays step through the volume at regular intervals, sample the scalar
+//! field trilinearly, map each sample through a transfer function, and
+//! blend front to back with early termination — the classic image-order
+//! volume renderer. Like ray tracing, the filter produces an image
+//! database from cameras orbiting the data set.
+
+use crate::colormap::ColorMap;
+use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
+use rayon::prelude::*;
+use vizmesh::{Camera, DataSet, Image, WorkCounters};
+
+/// The volume-rendering filter.
+#[derive(Debug, Clone)]
+pub struct VolumeRenderer {
+    pub field: String,
+    pub width: usize,
+    pub height: usize,
+    pub num_cameras: usize,
+    /// Step length as a fraction of the cell diagonal (0.5 = half a cell).
+    pub step_scale: f64,
+    /// Per-sample opacity scale of the transfer function.
+    pub opacity_scale: f64,
+}
+
+impl VolumeRenderer {
+    /// The paper's configuration: 50 cameras.
+    pub fn paper_default(field: impl Into<String>) -> Self {
+        VolumeRenderer {
+            field: field.into(),
+            width: 128,
+            height: 128,
+            num_cameras: 50,
+            step_scale: 0.8,
+            opacity_scale: 0.35,
+        }
+    }
+
+    pub fn new(field: impl Into<String>, width: usize, height: usize, num_cameras: usize) -> Self {
+        assert!(width > 0 && height > 0 && num_cameras > 0);
+        VolumeRenderer {
+            field: field.into(),
+            width,
+            height,
+            num_cameras,
+            step_scale: 0.8,
+            opacity_scale: 0.35,
+        }
+    }
+}
+
+impl Filter for VolumeRenderer {
+    fn name(&self) -> &'static str {
+        "Volume Rendering"
+    }
+
+    fn execute(&self, input: &DataSet) -> FilterOutput {
+        let grid = input
+            .as_uniform()
+            .expect("volume rendering expects a structured dataset");
+        let values = input
+            .point_scalars(&self.field)
+            .unwrap_or_else(|| panic!("missing point scalar field '{}'", self.field));
+        let (lo, hi) = input
+            .field(&self.field)
+            .and_then(|f| f.scalar_range())
+            .unwrap_or((0.0, 1.0));
+        let tf = ColorMap::volume_default();
+        let bounds = grid.bounds();
+        let step = grid.spacing().length() * self.step_scale;
+        let cameras = Camera::orbit(&bounds, self.num_cameras);
+
+        let mut march_work = WorkCounters::new();
+        let mut images = Vec::with_capacity(self.num_cameras);
+        for cam in &cameras {
+            let mut img = Image::new(self.width, self.height);
+            let width = self.width;
+            let rows: Vec<(usize, Vec<[f32; 4]>, u64)> = (0..self.height)
+                .into_par_iter()
+                .map(|y| {
+                    let mut samples = 0u64;
+                    let row: Vec<[f32; 4]> = (0..width)
+                        .map(|x| {
+                            let ray = cam.pixel_ray(x, y, width, self.height);
+                            let inv = ray.inv_direction();
+                            let Some((t0, t1)) =
+                                bounds.intersect_ray(ray.origin, inv, 0.0, f64::INFINITY)
+                            else {
+                                return [0.0; 4];
+                            };
+                            let mut color = [0.0f32; 4];
+                            let mut t = t0.max(0.0) + step * 0.5;
+                            while t < t1 && color[3] < 0.99 {
+                                if let Some(v) = grid.sample_scalar(values, ray.at(t)) {
+                                    samples += 1;
+                                    let mut s = tf.sample_range(v, lo, hi);
+                                    s[3] =
+                                        (s[3] * self.opacity_scale as f32).clamp(0.0, 1.0);
+                                    // Front-to-back "over" compositing.
+                                    let w = s[3] * (1.0 - color[3]);
+                                    color[0] += s[0] * w;
+                                    color[1] += s[1] * w;
+                                    color[2] += s[2] * w;
+                                    color[3] += w;
+                                }
+                                t += step;
+                            }
+                            color
+                        })
+                        .collect();
+                    (y, row, samples)
+                })
+                .collect();
+            let mut samples = 0u64;
+            for (y, row, s) in rows {
+                for (x, c) in row.into_iter().enumerate() {
+                    if c[3] > 0.0 {
+                        img.set_if_closer(x, y, 0.0, c);
+                    }
+                }
+                samples += s;
+            }
+            let rays = (self.width * self.height) as u64;
+            march_work.tally(rays, 90, 40, 48, 16);
+            // Per sample: trilinear gather (8 reads) + transfer function +
+            // blend — the FP-dense loop that gives volume rendering the
+            // highest IPC in the study.
+            march_work.tally(samples, 150, 96, 64, 0);
+            images.push(img);
+        }
+        march_work.working_set_bytes = (values.len() * 8) as u64;
+
+        FilterOutput::rendered(
+            images,
+            vec![KernelReport::new(
+                "volren-march",
+                KernelClass::RayMarch,
+                march_work,
+            )],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::{Association, Field, UniformGrid, Vec3};
+
+    fn dataset(n: usize, hot_center: bool) -> DataSet {
+        let grid = UniformGrid::cube_cells(n);
+        let c = grid.bounds().center();
+        let vals: Vec<f64> = (0..grid.num_points())
+            .map(|p| {
+                if hot_center {
+                    (1.0 - 2.0 * grid.point_coord_id(p).distance(c)).max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals))
+    }
+
+    #[test]
+    fn hot_center_renders_nonempty_images() {
+        let ds = dataset(8, true);
+        let out = VolumeRenderer::new("f", 24, 24, 3).execute(&ds);
+        assert_eq!(out.images.len(), 3);
+        for img in &out.images {
+            assert!(img.coverage() > 0.0, "nothing rendered");
+            // The blob sits in the image center.
+            assert!(img.get(12, 12)[3] > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_zero_field_is_transparent() {
+        // Transfer function maps the whole (degenerate) range to the map
+        // middle, but a zero-range field normalizes to 0.5 with nonzero
+        // opacity — instead check a field that maps to zero opacity:
+        let grid = UniformGrid::cube_cells(4);
+        let np = grid.num_points();
+        let mut vals = vec![0.0; np];
+        vals[0] = 1.0; // establish the range so 0 maps to opacity 0
+        let ds =
+            DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals));
+        let out = VolumeRenderer::new("f", 16, 16, 1).execute(&ds);
+        // Almost everything samples value 0 → zero opacity → coverage ≈ 0
+        // except the single hot corner.
+        assert!(out.images[0].coverage() < 0.2);
+    }
+
+    #[test]
+    fn opacity_accumulates_monotonically() {
+        let ds = dataset(8, true);
+        let out = VolumeRenderer::new("f", 16, 16, 1).execute(&ds);
+        for y in 0..16 {
+            for x in 0..16 {
+                let a = out.images[0].get(x, y)[3];
+                assert!((0.0..=1.0).contains(&a), "alpha {a} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_count_scales_with_resolution() {
+        let ds = dataset(8, true);
+        let small = VolumeRenderer::new("f", 8, 8, 1).execute(&ds);
+        let large = VolumeRenderer::new("f", 16, 16, 1).execute(&ds);
+        assert!(
+            large.kernels[0].work.items > 2 * small.kernels[0].work.items,
+            "sample work must grow with pixels"
+        );
+    }
+
+    #[test]
+    fn working_set_is_the_volume() {
+        let ds = dataset(8, true);
+        let out = VolumeRenderer::new("f", 8, 8, 1).execute(&ds);
+        assert_eq!(
+            out.kernels[0].work.working_set_bytes,
+            (9u64 * 9 * 9) * 8
+        );
+    }
+
+    #[test]
+    fn camera_outside_bounds_still_hits_volume() {
+        let ds = dataset(6, true);
+        let cams = Camera::orbit(&ds.bounds(), 4);
+        for cam in cams {
+            assert!(cam.position.distance(Vec3::splat(0.5)) > 0.9);
+        }
+        let out = VolumeRenderer::new("f", 12, 12, 4).execute(&ds);
+        for img in &out.images {
+            assert!(img.coverage() > 0.0);
+        }
+    }
+}

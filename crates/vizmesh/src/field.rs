@@ -1,0 +1,172 @@
+//! Named data arrays attached to mesh points or cells.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Whether a field's values live on mesh points or on cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Association {
+    Points,
+    Cells,
+}
+
+/// Storage for a field: scalar (`f64`) or vector ([`Vec3`]) arrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldData {
+    Scalar(Vec<f64>),
+    Vector(Vec<Vec3>),
+}
+
+impl FieldData {
+    pub fn len(&self) -> usize {
+        match self {
+            FieldData::Scalar(v) => v.len(),
+            FieldData::Vector(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of payload, used by the instrumentation layer.
+    pub fn num_bytes(&self) -> u64 {
+        match self {
+            FieldData::Scalar(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+            FieldData::Vector(v) => (v.len() * std::mem::size_of::<Vec3>()) as u64,
+        }
+    }
+}
+
+/// A named, associated data array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub association: Association,
+    pub data: FieldData,
+}
+
+impl Field {
+    pub fn scalar(name: impl Into<String>, association: Association, values: Vec<f64>) -> Self {
+        Field {
+            name: name.into(),
+            association,
+            data: FieldData::Scalar(values),
+        }
+    }
+
+    pub fn vector(name: impl Into<String>, association: Association, values: Vec<Vec3>) -> Self {
+        Field {
+            name: name.into(),
+            association,
+            data: FieldData::Vector(values),
+        }
+    }
+
+    /// Scalar values, or `None` if this is a vector field.
+    pub fn as_scalar(&self) -> Option<&[f64]> {
+        match &self.data {
+            FieldData::Scalar(v) => Some(v),
+            FieldData::Vector(_) => None,
+        }
+    }
+
+    /// Vector values, or `None` if this is a scalar field.
+    pub fn as_vector(&self) -> Option<&[Vec3]> {
+        match &self.data {
+            FieldData::Vector(v) => Some(v),
+            FieldData::Scalar(_) => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `(min, max)` of a scalar field; `None` for vector or empty fields.
+    pub fn scalar_range(&self) -> Option<(f64, f64)> {
+        let v = self.as_scalar()?;
+        if v.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in v {
+            if x < lo {
+                lo = x;
+            }
+            if x > hi {
+                hi = x;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Magnitude range of a vector field; `None` for scalar or empty fields.
+    pub fn magnitude_range(&self) -> Option<(f64, f64)> {
+        let v = self.as_vector()?;
+        if v.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for p in v {
+            let m = p.length();
+            if m < lo {
+                lo = m;
+            }
+            if m > hi {
+                hi = m;
+            }
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_accessors() {
+        let f = Field::scalar("energy", Association::Points, vec![1.0, 3.0, -2.0]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.as_scalar().unwrap()[1], 3.0);
+        assert!(f.as_vector().is_none());
+        assert_eq!(f.scalar_range(), Some((-2.0, 3.0)));
+    }
+
+    #[test]
+    fn vector_accessors() {
+        let f = Field::vector(
+            "velocity",
+            Association::Points,
+            vec![Vec3::X, Vec3::new(0.0, 3.0, 4.0)],
+        );
+        assert!(f.as_scalar().is_none());
+        assert_eq!(f.as_vector().unwrap().len(), 2);
+        let (lo, hi) = f.magnitude_range().unwrap();
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ranges_are_none() {
+        let f = Field::scalar("x", Association::Cells, vec![]);
+        assert!(f.scalar_range().is_none());
+        let g = Field::vector("v", Association::Cells, vec![]);
+        assert!(g.magnitude_range().is_none());
+    }
+
+    #[test]
+    fn num_bytes() {
+        let f = Field::scalar("x", Association::Points, vec![0.0; 10]);
+        assert_eq!(f.data.num_bytes(), 80);
+        let g = Field::vector("v", Association::Points, vec![Vec3::ZERO; 10]);
+        assert_eq!(g.data.num_bytes(), 240);
+    }
+}

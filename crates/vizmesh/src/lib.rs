@@ -1,0 +1,46 @@
+//! # vizmesh — mesh and image data model
+//!
+//! A compact, VTK-m-flavoured scientific data model used by every other
+//! crate in the workspace:
+//!
+//! * [`Vec3`] — double-precision 3-vector with the usual algebra.
+//! * [`UniformGrid`] — axis-aligned structured grid of hexahedral cells
+//!   (origin + spacing + point dimensions), with point/cell indexing and
+//!   trilinear sampling.
+//! * [`CellSet`] / [`CellShape`] — explicit (unstructured) connectivity
+//!   produced by the filters that extract geometry.
+//! * [`Field`] — named arrays associated with points or cells.
+//! * [`DataSet`] — a coordinate system, a cell set, and any number of
+//!   fields; either structured or unstructured.
+//! * [`Image`] / [`Camera`] — render targets and a pinhole camera with
+//!   orbit generation for image databases.
+//! * [`WorkCounters`] — the instrumentation record each kernel fills in as
+//!   it executes; consumed by the `vizpower` characterization bridge.
+//! * [`vtkio`] — legacy `.vtk` export so every dataset opens in
+//!   ParaView/VisIt.
+//!
+//! The model deliberately mirrors the subset of VTK-m the paper exercises:
+//! uniform hexahedral grids of `double` scalars (CloverLeaf output) and the
+//! unstructured triangle/polyline/hex outputs of the eight filters.
+
+pub mod bounds;
+pub mod camera;
+pub mod cells;
+pub mod counters;
+pub mod dataset;
+pub mod field;
+pub mod grid;
+pub mod image;
+pub mod vec3;
+pub mod vtkio;
+
+pub use bounds::Aabb;
+pub use camera::{Camera, Ray};
+pub use cells::{CellSet, CellShape};
+pub use counters::WorkCounters;
+pub use dataset::DataSet;
+pub use field::{Association, Field, FieldData};
+pub use grid::UniformGrid;
+pub use image::Image;
+pub use vec3::Vec3;
+pub use vtkio::{save_vtk, write_vtk};

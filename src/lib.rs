@@ -1,0 +1,20 @@
+//! Umbrella crate for the `vizpower` workspace.
+//!
+//! This package hosts the workspace-level examples (`examples/`) and
+//! integration tests (`tests/`). The re-exports below give examples and
+//! downstream users a single import surface over the individual crates:
+//!
+//! * [`vizmesh`] — the structured-mesh data model (grids, fields, images).
+//! * [`cloverleaf`] — the hydrodynamics proxy that produces the data.
+//! * [`vizalgo`] — the eight visualization algorithms under study.
+//! * [`powersim`] — the simulated RAPL-capped Broadwell processor.
+//! * [`insitu`] — the Ascent-like in situ coupling framework.
+//! * [`vizpower`] — the power/performance study itself (phases, metrics,
+//!   classification, the power advisor, and the table/figure harness).
+
+pub use cloverleaf;
+pub use insitu;
+pub use powersim;
+pub use vizalgo;
+pub use vizmesh;
+pub use vizpower;

@@ -1,0 +1,116 @@
+//! Integration tests for the beyond-the-paper extensions: the ninth
+//! algorithm, the cross-architecture study, the energy view, the model
+//! ablations, the phased power schedule, and the dual-socket node.
+
+use vizpower_suite::powersim::{CpuSpec, KernelPhase, Node, Package, Workload};
+use vizpower_suite::vizalgo::{Algorithm, Filter, Gradient};
+use vizpower_suite::vizpower::study::{
+    dataset_for, native_run, CapSweep, StudyConfig, PAPER_CAPS,
+};
+use vizpower_suite::vizpower::{ablation, advisor, arch, classify, energy, PowerClass};
+use vizpower_suite::vizpower::characterize::characterize;
+
+fn study_config() -> StudyConfig {
+    StudyConfig {
+        caps: PAPER_CAPS.to_vec(),
+        isovalues: 4,
+        render_px: 24,
+        cameras: 3,
+        particles: 150,
+        advect_steps: 150,
+    }
+}
+
+#[test]
+fn gradient_classifies_as_power_opportunity() {
+    let data = dataset_for(16);
+    let out = Gradient::new("energy").execute(&data);
+    let spec = CpuSpec::broadwell_e5_2695v4();
+    let workload = characterize("gradient", &out.kernels, &spec);
+    let rows = PAPER_CAPS
+        .iter()
+        .map(|&cap| Package::new(spec.clone()).run_capped(&workload, cap))
+        .collect();
+    let sweep = CapSweep {
+        algorithm: Algorithm::Slice,
+        size: 16,
+        input_cells: data.num_cells(),
+        rows,
+    };
+    assert_eq!(classify(&sweep.ratios()), PowerClass::PowerOpportunity);
+    // Its stencil really computed something: output field exists.
+    let result = out.dataset.unwrap();
+    assert!(result.point_scalars("energy_gradmag").is_some());
+}
+
+#[test]
+fn arch_study_keeps_the_class_split() {
+    let config = study_config();
+    let ds = dataset_for(12);
+    let adv = native_run(&config, Algorithm::ParticleAdvection, 12, &ds);
+    let thr = native_run(&config, Algorithm::Threshold, 12, &ds);
+    for row in arch::compare_architectures(&adv) {
+        assert_eq!(row.class, PowerClass::PowerSensitive, "{}", row.arch);
+    }
+    let broadwell_thr = &arch::compare_architectures(&thr)[0];
+    assert_eq!(broadwell_thr.class, PowerClass::PowerOpportunity);
+}
+
+#[test]
+fn ablations_change_the_expected_quantities() {
+    let config = study_config();
+    let ds = dataset_for(12);
+    let run = native_run(&config, Algorithm::Contour, 12, &ds);
+    // No memory cushion → T couples to F at the floor.
+    let r = ablation::run_ablation(&run, &PAPER_CAPS, ablation::Ablation::NoMemoryCushion);
+    let last = r.ablated.last().unwrap();
+    assert!((last.tratio - last.fratio).abs() < 0.05);
+    // No turbo → less frequency headroom to lose.
+    let r = ablation::run_ablation(&run, &PAPER_CAPS, ablation::Ablation::NoTurbo);
+    assert!(r.ablated.last().unwrap().fratio <= r.reference.last().unwrap().fratio);
+}
+
+#[test]
+fn energy_view_is_consistent_with_ratios() {
+    let config = study_config();
+    let ds = dataset_for(12);
+    let run = native_run(&config, Algorithm::ParticleAdvection, 12, &ds);
+    let sweep = vizpower_suite::vizpower::study::sweep(
+        &run,
+        &PAPER_CAPS,
+        &CpuSpec::broadwell_e5_2695v4(),
+    );
+    let rows = energy::energy_rows(&sweep);
+    let ratios = sweep.ratios();
+    for (e, r) in rows.iter().zip(&ratios) {
+        // EDP ratio = eratio × tratio by definition.
+        assert!(
+            (e.edp_ratio - e.eratio * r.tratio).abs() < 1e-9,
+            "EDP identity broken at {} W",
+            e.cap_watts
+        );
+    }
+}
+
+#[test]
+fn phased_schedule_respects_average_budget() {
+    let sim = Workload::new("sim").with_phase(KernelPhase::compute("s", 400_000_000_000));
+    let viz = Workload::new("viz").with_phase(KernelPhase::memory(
+        "v",
+        30_000_000_000,
+        700_000_000_000,
+    ));
+    let spec = CpuSpec::broadwell_e5_2695v4();
+    let plan = advisor::schedule_phased(&sim, &viz, 75.0, &spec);
+    assert!(plan.avg_power_watts <= 75.0 + 1e-6);
+    assert!(plan.total_seconds <= plan.static_seconds * (1.0 + 1e-9));
+}
+
+#[test]
+fn dual_socket_node_halves_time_and_doubles_power() {
+    let w = Workload::new("w").with_phase(KernelPhase::compute("c", 600_000_000_000));
+    let single = Package::broadwell().run_capped(&w, 120.0);
+    let node = Node::rztopaz().run_capped(&w, 120.0);
+    assert!(node.seconds < single.seconds * 0.6);
+    assert!(node.avg_power_watts > single.avg_power_watts * 1.6);
+}
