@@ -3,13 +3,14 @@
 //! data).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powersim::Watts;
 use std::hint::black_box;
 use vizalgo::Algorithm;
 use vizpower::study::{build_filter, dataset_for, StudyConfig};
 
 fn bench_algorithms(c: &mut Criterion) {
     let config = StudyConfig {
-        caps: vec![120.0],
+        caps: vec![Watts(120.0)],
         isovalues: 10,
         render_px: 32,
         cameras: 4,

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cloverleaf::{Problem, SimConfig, Simulation};
-use powersim::{KernelPhase, Package, Workload};
+use powersim::{KernelPhase, Package, Watts, Workload};
 use vizalgo::contour::{marching_cubes, triangle_table};
 use vizalgo::raytrace::{external_face_triangles, Bvh};
 use vizalgo::tetclip::{clip_keep_above, TetMesh, HEX_TO_TETS};
@@ -80,11 +80,8 @@ fn bench_substrates(c: &mut Criterion) {
             Vec3::new(-q.y, q.x, 0.05)
         })
         .collect();
-    let flow = DataSet::uniform(grid).with_field(Field::vector(
-        "velocity",
-        Association::Points,
-        vel,
-    ));
+    let flow =
+        DataSet::uniform(grid).with_field(Field::vector("velocity", Association::Points, vel));
     c.bench_function("rk4_advection_100x100", |b| {
         let adv = vizalgo::ParticleAdvection::new("velocity", 100, 100, 1e-3, 7);
         b.iter(|| black_box(vizalgo::Filter::execute(&adv, &flow)))
@@ -97,7 +94,7 @@ fn bench_substrates(c: &mut Criterion) {
     c.bench_function("powersim_run_capped_70w", |b| {
         b.iter(|| {
             let mut pkg = Package::broadwell();
-            black_box(pkg.run_capped(&workload, 70.0))
+            black_box(pkg.run_capped(&workload, Watts(70.0)))
         })
     });
 }

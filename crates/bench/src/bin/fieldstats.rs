@@ -1,11 +1,22 @@
 //! Diagnostic: energy-field distribution and isovolume cell-class counts.
 use vizpower::study::dataset_for;
+use vizpower_bench::CliError;
 
-fn main() {
-    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
+fn main() -> Result<(), CliError> {
+    let size: usize = match std::env::args().nth(1) {
+        None => 128,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("invalid size '{s}': pass a grid edge length such as 64"))?,
+    };
     let ds = dataset_for(size);
-    let vals = ds.point_scalars("energy").unwrap();
-    let (lo, hi) = ds.field("energy").unwrap().scalar_range().unwrap();
+    let vals = ds
+        .point_scalars("energy")
+        .ok_or("dataset has no point scalar field 'energy'; dataset_for always attaches one — rebuild with a size >= 2")?;
+    let (lo, hi) = ds
+        .field("energy")
+        .and_then(|f| f.scalar_range())
+        .ok_or("field 'energy' has no scalar range; the dataset is empty — use a size >= 2")?;
     println!("range [{lo:.3}, {hi:.3}]");
     let mut hist = [0usize; 10];
     for &v in vals {
@@ -13,17 +24,31 @@ fn main() {
         hist[b.min(9)] += 1;
     }
     println!("hist {hist:?}");
-    let grid = ds.as_uniform().unwrap();
+    let grid = ds.as_uniform().ok_or(
+        "dataset_for produced a non-uniform dataset; fieldstats only reads structured grids",
+    )?;
     for frac in [0.5, 0.7, 0.9] {
         let mid = (lo + hi) * 0.5;
         let half = (hi - lo) * frac * 0.5;
         let (blo, bhi) = (mid - half, mid + half);
-        let mut n_in = 0; let mut n_strad = 0;
+        let mut n_in = 0;
+        let mut n_strad = 0;
         for c in 0..grid.num_cells() {
             let ids = grid.cell_point_ids(c);
-            let inside = ids.iter().filter(|&&p| vals[p] >= blo && vals[p] <= bhi).count();
-            if inside == 8 { n_in += 1 } else if inside > 0 { n_strad += 1 }
+            let inside = ids
+                .iter()
+                .filter(|&&p| vals[p] >= blo && vals[p] <= bhi)
+                .count();
+            if inside == 8 {
+                n_in += 1
+            } else if inside > 0 {
+                n_strad += 1
+            }
         }
-        println!("band {frac}: [{blo:.3},{bhi:.3}] in={n_in} straddle={n_strad} of {}", grid.num_cells());
+        println!(
+            "band {frac}: [{blo:.3},{bhi:.3}] in={n_in} straddle={n_strad} of {}",
+            grid.num_cells()
+        );
     }
+    Ok(())
 }

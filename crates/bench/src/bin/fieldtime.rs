@@ -1,29 +1,70 @@
+//! Diagnostic: time the hydro proxy to a target sim time and summarize
+//! the resulting energy field.
 use cloverleaf::{Problem, SimConfig, Simulation};
+use vizpower_bench::CliError;
 
-fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
-    let t_end: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.35);
+fn main() -> Result<(), CliError> {
+    let n: usize = match std::env::args().nth(1) {
+        None => 64,
+        Some(s) => s.parse().map_err(|_| {
+            format!("invalid grid size '{s}': pass a cell count per edge such as 64")
+        })?,
+    };
+    let t_end: f64 = match std::env::args().nth(2) {
+        None => 0.35,
+        Some(s) => s.parse().map_err(|_| {
+            format!("invalid end time '{s}': pass a simulation time in seconds such as 0.35")
+        })?,
+    };
     let mut sim = Simulation::new(Problem::TwoState, n, SimConfig::default());
     let start = std::time::Instant::now();
-    while sim.time() < t_end { sim.step(); }
-    println!("n={n} steps={} t={:.3} wall={:?}", sim.step_count(), sim.time(), start.elapsed());
+    while sim.time() < t_end {
+        sim.step();
+    }
+    println!(
+        "n={n} steps={} t={:.3} wall={:?}",
+        sim.step_count(),
+        sim.time(),
+        start.elapsed()
+    );
     let ds = sim.dataset();
-    let vals = ds.point_scalars("energy").unwrap();
-    let (lo, hi) = ds.field("energy").unwrap().scalar_range().unwrap();
+    let vals = ds
+        .point_scalars("energy")
+        .ok_or("simulation dataset has no point scalar field 'energy'; the hydro proxy always publishes one")?;
+    let (lo, hi) = ds
+        .field("energy")
+        .and_then(|f| f.scalar_range())
+        .ok_or("field 'energy' has no scalar range; the dataset is empty — use a grid size >= 2")?;
     let mut hist = [0usize; 10];
     for &v in vals {
         let b = (((v - lo) / (hi - lo)) * 9.99) as usize;
         hist[b.min(9)] += 1;
     }
     println!("range [{lo:.3},{hi:.3}] hist {hist:?}");
-    let grid = ds.as_uniform().unwrap();
-    let mid = (lo + hi) * 0.5; let half = (hi - lo) * 0.25;
+    let grid = ds.as_uniform().ok_or(
+        "simulation produced a non-uniform dataset; fieldtime only reads structured grids",
+    )?;
+    let mid = (lo + hi) * 0.5;
+    let half = (hi - lo) * 0.25;
     let (blo, bhi) = (mid - half, mid + half);
-    let mut n_in = 0; let mut n_st = 0;
+    let mut n_in = 0;
+    let mut n_st = 0;
     for c in 0..grid.num_cells() {
         let ids = grid.cell_point_ids(c);
-        let inside = ids.iter().filter(|&&p| vals[p] >= blo && vals[p] <= bhi).count();
-        if inside == 8 { n_in += 1 } else if inside > 0 { n_st += 1 }
+        let inside = ids
+            .iter()
+            .filter(|&&p| vals[p] >= blo && vals[p] <= bhi)
+            .count();
+        if inside == 8 {
+            n_in += 1
+        } else if inside > 0 {
+            n_st += 1
+        }
     }
-    println!("band 0.5: in={n_in} straddle={n_st} of {} ({:.1}%)", grid.num_cells(), 100.0*(n_in+n_st) as f64/grid.num_cells() as f64);
+    println!(
+        "band 0.5: in={n_in} straddle={n_st} of {} ({:.1}%)",
+        grid.num_cells(),
+        100.0 * (n_in + n_st) as f64 / grid.num_cells() as f64
+    );
+    Ok(())
 }

@@ -13,7 +13,7 @@
 
 use insitu::{ActionList, InSituRuntime, RuntimeConfig, Trigger};
 use std::path::PathBuf;
-use std::process::ExitCode;
+use vizpower_bench::CliError;
 
 struct Args {
     actions_path: PathBuf,
@@ -56,28 +56,16 @@ fn parse_args() -> Option<Args> {
     }
 }
 
-fn main() -> ExitCode {
-    let Some(args) = parse_args() else {
-        eprintln!(
-            "usage: insitu_run <actions.json> [--cells N] [--steps N] [--every N] [--out DIR] [--vtk]"
-        );
-        return ExitCode::FAILURE;
-    };
-    let json = match std::fs::read_to_string(&args.actions_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args.actions_path.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    let actions = match ActionList::from_json(&json) {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("invalid actions file: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    std::fs::create_dir_all(&args.out).expect("create output dir");
+fn main() -> Result<(), CliError> {
+    let args = parse_args().ok_or(
+        "usage: insitu_run <actions.json> [--cells N] [--steps N] [--every N] [--out DIR] [--vtk]",
+    )?;
+    let json = std::fs::read_to_string(&args.actions_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.actions_path.display()))?;
+    let actions = ActionList::from_json(&json)
+        .map_err(|e| format!("invalid actions file {}: {e}", args.actions_path.display()))?;
+    std::fs::create_dir_all(&args.out)
+        .map_err(|e| format!("cannot create output dir {}: {e}", args.out.display()))?;
 
     let config = RuntimeConfig {
         grid_cells: args.cells,
@@ -109,8 +97,11 @@ fn main() -> ExitCode {
     }
     if args.vtk {
         let ds = runtime.sim.dataset();
-        let path = args.out.join(format!("state_{:04}.vtk", runtime.sim.step_count()));
-        vizmesh::save_vtk(&path, &ds, "cloverleaf state").expect("write vtk");
+        let path = args
+            .out
+            .join(format!("state_{:04}.vtk", runtime.sim.step_count()));
+        vizmesh::save_vtk(&path, &ds, "cloverleaf state")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("  wrote {}", path.display());
     }
     println!(
@@ -118,5 +109,5 @@ fn main() -> ExitCode {
         run.cycles.len(),
         args.out.display()
     );
-    ExitCode::SUCCESS
+    Ok(())
 }

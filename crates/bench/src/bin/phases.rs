@@ -1,24 +1,44 @@
 //! Diagnostic: print the characterized phase breakdown of an algorithm.
-use powersim::{CpuSpec, Package};
+use powersim::{CpuSpec, Package, Watts};
 use vizalgo::Algorithm;
 use vizpower::characterize::characterize;
 use vizpower::study::{dataset_for, native_run, StudyConfig};
+use vizpower_bench::CliError;
 
-fn main() {
-    let alg = std::env::args().nth(1).unwrap_or_else(|| "isovolume".into());
-    let size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(128);
-    let algorithm = Algorithm::parse(&alg).expect("unknown algorithm");
+fn main() -> Result<(), CliError> {
+    let alg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "isovolume".into());
+    let size: usize = match std::env::args().nth(2) {
+        None => 128,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("invalid size '{s}': pass a grid edge length such as 64"))?,
+    };
+    let algorithm = Algorithm::parse(&alg).ok_or_else(|| {
+        format!(
+            "unknown algorithm '{alg}'; one of: {}",
+            Algorithm::ALL.map(|a| a.name()).join(", ")
+        )
+    })?;
     let config = StudyConfig::paper();
     let ds = dataset_for(size);
     let run = native_run(&config, algorithm, size, &ds);
     let spec = CpuSpec::broadwell_e5_2695v4();
     let w = characterize(algorithm.name(), &run.reports, &spec);
-    for cap in [120.0, 70.0, 40.0] {
+    for cap in [Watts(120.0), Watts(70.0), Watts(40.0)] {
         let mut pkg = Package::new(spec.clone());
         let r = pkg.run_capped(&w, cap);
-        println!("cap {cap}: T={:.3}s P={:.1}W F={:.2} IPC={:.2} miss={:.2}", r.seconds, r.avg_power_watts, r.avg_effective_freq_ghz, r.avg_ipc, r.avg_llc_miss_rate);
+        println!(
+            "cap {cap}: T={:.3}s P={:.1}W F={:.2} IPC={:.2} miss={:.2}",
+            r.seconds, r.avg_power_watts, r.avg_effective_freq_ghz, r.avg_ipc, r.avg_llc_miss_rate
+        );
         for (i, p) in w.phases.iter().enumerate() {
-            println!("   {:<22} act={:.2} instr={:>14} t={:.3}s miss={:.2}", p.name, p.activity, p.instructions, r.phase_seconds[i], p.llc_miss_rate);
+            println!(
+                "   {:<22} act={:.2} instr={:>14} t={:.3}s miss={:.2}",
+                p.name, p.activity, p.instructions, r.phase_seconds[i], p.llc_miss_rate
+            );
         }
     }
+    Ok(())
 }

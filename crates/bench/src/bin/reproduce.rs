@@ -15,22 +15,20 @@
 //! it, sizes match the paper (32³–256³ cells; allow several minutes).
 
 use std::env;
-use std::process::ExitCode;
 use vizalgo::Algorithm;
 use vizpower::experiments::{self, FigMetric};
 use vizpower::report;
 use vizpower::study::StudyContext;
 use vizpower::{ablation, arch, energy};
-use vizpower_bench::Fidelity;
+use vizpower_bench::{CliError, Fidelity};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation> [--quick]"
-    );
-    ExitCode::FAILURE
+fn usage(context: &str) -> CliError {
+    CliError::new(format!(
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation> [--quick]"
+    ))
 }
 
-fn main() -> ExitCode {
+fn main() -> Result<(), CliError> {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let targets: Vec<&str> = args
@@ -39,9 +37,13 @@ fn main() -> ExitCode {
         .map(|s| s.as_str())
         .collect();
     let Some(&target) = targets.first() else {
-        return usage();
+        return Err(usage("missing target"));
     };
-    let fidelity = if quick { Fidelity::Quick } else { Fidelity::Paper };
+    let fidelity = if quick {
+        Fidelity::Quick
+    } else {
+        Fidelity::Paper
+    };
     let mut ctx = StudyContext::new(fidelity.study_config());
 
     let run = |ctx: &mut StudyContext, what: &str| -> bool {
@@ -86,10 +88,7 @@ fn main() -> ExitCode {
                 let s = experiments::fig3(ctx, t2);
                 print!(
                     "{}",
-                    report::render_series(
-                        "Fig 3: elements (M)/sec, cell-centered algorithms",
-                        &s
-                    )
+                    report::render_series("Fig 3: elements (M)/sec, cell-centered algorithms", &s)
                 );
             }
             "fig4" => {
@@ -103,20 +102,14 @@ fn main() -> ExitCode {
                 let s = experiments::fig_size_ipc(ctx, Algorithm::VolumeRendering, &sizes);
                 print!(
                     "{}",
-                    report::render_series(
-                        "Fig 5: volume rendering IPC vs cap across sizes",
-                        &s
-                    )
+                    report::render_series("Fig 5: volume rendering IPC vs cap across sizes", &s)
                 );
             }
             "fig6" => {
                 let s = experiments::fig_size_ipc(ctx, Algorithm::ParticleAdvection, &sizes);
                 print!(
                     "{}",
-                    report::render_series(
-                        "Fig 6: particle advection IPC vs cap across sizes",
-                        &s
-                    )
+                    report::render_series("Fig 6: particle advection IPC vs cap across sizes", &s)
                 );
             }
             "summary" => {
@@ -201,8 +194,8 @@ fn main() -> ExitCode {
         other => run(&mut ctx, other),
     };
     if ok {
-        ExitCode::SUCCESS
+        Ok(())
     } else {
-        usage()
+        Err(usage(&format!("unknown target '{target}'")))
     }
 }

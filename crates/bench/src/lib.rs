@@ -57,6 +57,43 @@ impl Fidelity {
     }
 }
 
+/// Error type for the workspace's CLI mains. `Debug` renders like
+/// `Display`, so `fn main() -> Result<(), CliError>` exits nonzero with
+/// just the message instead of the quoted `Debug` dump.
+pub struct CliError(String);
+
+impl CliError {
+    pub fn new(msg: impl Into<String>) -> CliError {
+        CliError(msg.into())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::fmt::Debug for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError(msg.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,8 +96,8 @@ impl Simulation {
         self.dt = next_dt.min(self.config.max_dt);
 
         // The hot working set of a step: every field array.
-        work.working_set_bytes = (self.state.density.len() * 8 * 4
-            + self.state.velocity.len() * 24) as u64;
+        work.working_set_bytes =
+            (self.state.density.len() * 8 * 4 + self.state.velocity.len() * 24) as u64;
 
         StepReport {
             step: self.step,
@@ -145,10 +145,7 @@ mod tests {
         let m0 = sim.state.total_mass();
         sim.run_steps(50);
         let m1 = sim.state.total_mass();
-        assert!(
-            ((m1 - m0) / m0).abs() < 1e-10,
-            "mass drift {m0} -> {m1}"
-        );
+        assert!(((m1 - m0) / m0).abs() < 1e-10, "mass drift {m0} -> {m1}");
     }
 
     #[test]

@@ -105,16 +105,20 @@ pub fn viscosity(state: &mut State, div: &[f64]) -> WorkCounters {
     let dx = s.min_component();
     let density = &state.density;
     let soundspeed = &state.soundspeed;
-    state.viscosity.par_iter_mut().enumerate().for_each(|(c, q)| {
-        let d = div[c];
-        *q = if d < 0.0 {
-            let rho = density[c];
-            let dd = dx * d;
-            C2 * rho * dd * dd + C1 * rho * soundspeed[c] * dx * d.abs()
-        } else {
-            0.0
-        };
-    });
+    state
+        .viscosity
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(c, q)| {
+            let d = div[c];
+            *q = if d < 0.0 {
+                let rho = density[c];
+                let dd = dx * d;
+                C2 * rho * dd * dd + C1 * rho * soundspeed[c] * dx * d.abs()
+            } else {
+                0.0
+            };
+        });
     let mut w = WorkCounters::new();
     w.tally(state.viscosity.len() as u64, 18, 8, 24, 8);
     w
@@ -199,30 +203,34 @@ pub fn acceleration(state: &mut State, dt: f64) -> WorkCounters {
         }
     };
 
-    state.velocity.par_iter_mut().enumerate().for_each(|(id, u)| {
-        let [i, j, k] = g.point_ijk(id);
-        let rho = node_density(id).max(1e-12);
-        // Each axis needs cells on both sides of the node; boundary nodes
-        // get the reflective condition instead.
-        if i >= 1 && i < nx - 1 {
-            let grad = (side_avg(0, i, j, k) - side_avg(0, i - 1, j, k)) / s.x;
-            u.x -= dt * grad / rho;
-        } else {
-            u.x = 0.0; // reflective: zero normal velocity on x faces
-        }
-        if j >= 1 && j < ny - 1 {
-            let grad = (side_avg(1, j, i, k) - side_avg(1, j - 1, i, k)) / s.y;
-            u.y -= dt * grad / rho;
-        } else {
-            u.y = 0.0;
-        }
-        if k >= 1 && k < nz - 1 {
-            let grad = (side_avg(2, k, i, j) - side_avg(2, k - 1, i, j)) / s.z;
-            u.z -= dt * grad / rho;
-        } else {
-            u.z = 0.0;
-        }
-    });
+    state
+        .velocity
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(id, u)| {
+            let [i, j, k] = g.point_ijk(id);
+            let rho = node_density(id).max(1e-12);
+            // Each axis needs cells on both sides of the node; boundary nodes
+            // get the reflective condition instead.
+            if i >= 1 && i < nx - 1 {
+                let grad = (side_avg(0, i, j, k) - side_avg(0, i - 1, j, k)) / s.x;
+                u.x -= dt * grad / rho;
+            } else {
+                u.x = 0.0; // reflective: zero normal velocity on x faces
+            }
+            if j >= 1 && j < ny - 1 {
+                let grad = (side_avg(1, j, i, k) - side_avg(1, j - 1, i, k)) / s.y;
+                u.y -= dt * grad / rho;
+            } else {
+                u.y = 0.0;
+            }
+            if k >= 1 && k < nz - 1 {
+                let grad = (side_avg(2, k, i, j) - side_avg(2, k - 1, i, j)) / s.z;
+                u.z -= dt * grad / rho;
+            } else {
+                u.z = 0.0;
+            }
+        });
 
     let mut w = WorkCounters::new();
     w.tally(state.velocity.len() as u64, 140, 45, 8 * 24, 24);
@@ -349,9 +357,9 @@ pub fn advect(state: &mut State, scratch: &mut Scratch, dt: f64) -> WorkCounters
                 *fe = m * energy[donor];
             });
     }
-    let nfaces =
-        (scratch.flux_mass[0].len() + scratch.flux_mass[1].len() + scratch.flux_mass[2].len())
-            as u64;
+    let nfaces = (scratch.flux_mass[0].len()
+        + scratch.flux_mass[1].len()
+        + scratch.flux_mass[2].len()) as u64;
     w.tally(nfaces, 46, 14, 8 * 8, 16);
 
     // Apply fluxes: new mass = old mass + Σ incoming − Σ outgoing.
@@ -400,12 +408,12 @@ pub fn calc_dt(state: &State, prev_dt: f64, cfl: f64) -> (f64, WorkCounters) {
     let dx = s.min_component();
     let max_u = state
         .velocity
-        .par_iter()
+        .par_iter() // lint: deterministic because f64::max is order-insensitive
         .map(|u| u.length())
         .reduce(|| 0.0, f64::max);
     let max_cs = state
         .soundspeed
-        .par_iter()
+        .par_iter() // lint: deterministic because f64::max is order-insensitive
         .copied()
         .reduce(|| 0.0, f64::max);
     let dt = cfl * dx / (max_cs + max_u + 1e-12);

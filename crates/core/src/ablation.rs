@@ -15,7 +15,7 @@
 
 use crate::metrics::Ratios;
 use crate::study::{AlgorithmRun, CapSweep};
-use powersim::CpuSpec;
+use powersim::{CpuSpec, Watts};
 use serde::{Deserialize, Serialize};
 
 /// One mechanism that can be switched off.
@@ -48,7 +48,7 @@ impl Ablation {
     pub fn spec(self) -> CpuSpec {
         let mut spec = CpuSpec::broadwell_e5_2695v4();
         match self {
-            Ablation::NoTrafficPower => spec.mem_power_watts = 0.0,
+            Ablation::NoTrafficPower => spec.mem_power_watts = Watts::ZERO,
             Ablation::NoMemoryCushion => {} // applied to the workload below
             Ablation::NoTurbo => spec.turbo_ghz = spec.base_ghz,
         }
@@ -76,14 +76,15 @@ impl AblationResult {
 }
 
 /// Run one ablation against a measured native run.
-pub fn run_ablation(run: &AlgorithmRun, caps: &[f64], ablation: Ablation) -> AblationResult {
+pub fn run_ablation(run: &AlgorithmRun, caps: &[Watts], ablation: Ablation) -> AblationResult {
     let reference_spec = CpuSpec::broadwell_e5_2695v4();
     let reference = crate::study::sweep(run, caps, &reference_spec).ratios();
 
     let spec = ablation.spec();
     let ablated: Vec<Ratios> = if ablation == Ablation::NoMemoryCushion {
         // Rebuild the workload with memory traffic zeroed.
-        let mut workload = crate::characterize::characterize(run.algorithm.name(), &run.reports, &spec);
+        let mut workload =
+            crate::characterize::characterize(run.algorithm.name(), &run.reports, &spec);
         for phase in &mut workload.phases {
             phase.dram_bytes = 0;
             phase.llc_miss_rate = 0.0;
@@ -176,7 +177,7 @@ mod tests {
     fn every_ablation_runs() {
         let run = contour_run();
         for ab in Ablation::ALL {
-            let r = run_ablation(&run, &[120.0, 40.0], ab);
+            let r = run_ablation(&run, &[Watts(120.0), Watts(40.0)], ab);
             assert_eq!(r.reference.len(), 2);
             assert_eq!(r.ablated.len(), 2);
             assert!(!ab.name().is_empty());

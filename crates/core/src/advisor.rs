@@ -13,16 +13,16 @@
 //! the advisor typically steals nearly all headroom above 40 W for the
 //! power-hungry simulation.
 
-use powersim::{CpuSpec, Package, Workload};
+use powersim::{CpuSpec, Joules, Package, Watts, Workload};
 use serde::{Deserialize, Serialize};
 
 /// The advisor's output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AllocationPlan {
-    pub budget_watts: f64,
+    pub budget_watts: Watts,
     /// Chosen caps.
-    pub sim_cap_watts: f64,
-    pub viz_cap_watts: f64,
+    pub sim_cap_watts: Watts,
+    pub viz_cap_watts: Watts,
     /// Completion time (both workloads run concurrently; the pair
     /// finishes when the slower one does).
     pub predicted_seconds: f64,
@@ -38,7 +38,7 @@ impl AllocationPlan {
 }
 
 /// Predicted execution time of `workload` under `cap`.
-pub fn predict_seconds(workload: &Workload, cap: f64, spec: &CpuSpec) -> f64 {
+pub fn predict_seconds(workload: &Workload, cap: Watts, spec: &CpuSpec) -> f64 {
     let mut pkg = Package::new(spec.clone());
     pkg.run_capped(workload, cap).seconds
 }
@@ -49,28 +49,27 @@ pub fn predict_seconds(workload: &Workload, cap: f64, spec: &CpuSpec) -> f64 {
 pub fn allocate(
     sim: &Workload,
     viz: &Workload,
-    budget_watts: f64,
+    budget_watts: Watts,
     spec: &CpuSpec,
 ) -> AllocationPlan {
     let lo = spec.min_cap_watts;
     let hi = spec.tdp_watts;
     let budget = budget_watts.clamp(2.0 * lo, 2.0 * hi);
-    let step = 5.0;
+    let step = Watts(5.0);
 
     let naive_cap = (budget / 2.0).clamp(lo, hi);
-    let naive_seconds = predict_seconds(sim, naive_cap, spec)
-        .max(predict_seconds(viz, naive_cap, spec));
+    let naive_seconds =
+        predict_seconds(sim, naive_cap, spec).max(predict_seconds(viz, naive_cap, spec));
 
     // Keep the naive split unless a candidate is strictly better; with
     // flat workloads every split ties and re-shuffling power would be
     // arbitrary churn.
     let mut best = (naive_cap, naive_cap, naive_seconds);
     let mut sim_cap = lo;
-    while sim_cap <= hi + 1e-9 {
+    while sim_cap <= hi + Watts(1e-9) {
         let viz_cap = (budget - sim_cap).clamp(lo, hi);
-        if sim_cap + viz_cap <= budget + 1e-9 {
-            let t = predict_seconds(sim, sim_cap, spec)
-                .max(predict_seconds(viz, viz_cap, spec));
+        if sim_cap + viz_cap <= budget + Watts(1e-9) {
+            let t = predict_seconds(sim, sim_cap, spec).max(predict_seconds(viz, viz_cap, spec));
             if t < best.2 * (1.0 - 1e-6) {
                 best = (sim_cap, viz_cap, t);
             }
@@ -94,11 +93,11 @@ pub fn allocate(
 /// GEOPM/PaViz-style dynamic reallocation the paper's §VII points to.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PhasedPlan {
-    pub avg_budget_watts: f64,
-    pub sim_cap_watts: f64,
-    pub viz_cap_watts: f64,
+    pub avg_budget_watts: Watts,
+    pub sim_cap_watts: Watts,
+    pub viz_cap_watts: Watts,
     pub total_seconds: f64,
-    pub avg_power_watts: f64,
+    pub avg_power_watts: Watts,
     /// Total time under a single static cap equal to the budget.
     pub static_seconds: f64,
 }
@@ -111,7 +110,7 @@ impl PhasedPlan {
 }
 
 /// Execute a workload under `cap` and return `(seconds, joules)`.
-fn run_once(workload: &Workload, cap: f64, spec: &CpuSpec) -> (f64, f64) {
+fn run_once(workload: &Workload, cap: Watts, spec: &CpuSpec) -> (f64, Joules) {
     let mut pkg = Package::new(spec.clone());
     let r = pkg.run_capped(workload, cap);
     (r.seconds, r.energy_joules)
@@ -125,13 +124,13 @@ fn run_once(workload: &Workload, cap: f64, spec: &CpuSpec) -> (f64, f64) {
 pub fn schedule_phased(
     sim: &Workload,
     viz: &Workload,
-    avg_budget_watts: f64,
+    avg_budget_watts: Watts,
     spec: &CpuSpec,
 ) -> PhasedPlan {
     let lo = spec.min_cap_watts;
     let hi = spec.tdp_watts;
     let budget = avg_budget_watts.clamp(lo, hi);
-    let step = 5.0;
+    let step = Watts(5.0);
 
     // Static baseline: one cap equal to the budget for both phases.
     let (ts_static, _) = run_once(sim, budget, spec);
@@ -139,17 +138,17 @@ pub fn schedule_phased(
     let static_seconds = ts_static + tv_static;
 
     // Memoized per-cap runs.
-    let caps: Vec<f64> = {
+    let caps: Vec<Watts> = {
         let mut v = Vec::new();
         let mut c = lo;
-        while c <= hi + 1e-9 {
+        while c <= hi + Watts(1e-9) {
             v.push(c);
             c += step;
         }
         v
     };
-    let sim_runs: Vec<(f64, f64)> = caps.iter().map(|&c| run_once(sim, c, spec)).collect();
-    let viz_runs: Vec<(f64, f64)> = caps.iter().map(|&c| run_once(viz, c, spec)).collect();
+    let sim_runs: Vec<(f64, Joules)> = caps.iter().map(|&c| run_once(sim, c, spec)).collect();
+    let viz_runs: Vec<(f64, Joules)> = caps.iter().map(|&c| run_once(viz, c, spec)).collect();
 
     let mut best = (budget, budget, static_seconds, budget);
     for (i, &cs) in caps.iter().enumerate() {
@@ -157,8 +156,8 @@ pub fn schedule_phased(
             let (ts, es) = sim_runs[i];
             let (tv, ev) = viz_runs[j];
             let total_t = ts + tv;
-            let avg_p = (es + ev) / total_t;
-            if avg_p <= budget + 1e-9 && total_t < best.2 * (1.0 - 1e-6) {
+            let avg_p = (es + ev).over_seconds(total_t);
+            if avg_p <= budget + Watts(1e-9) && total_t < best.2 * (1.0 - 1e-6) {
                 best = (cs, cv, total_t, avg_p);
             }
         }
@@ -183,7 +182,11 @@ mod tests {
     }
 
     fn cold_viz() -> Workload {
-        Workload::new("viz").with_phase(KernelPhase::memory("contour", 60_000_000_000, 1_500_000_000_000))
+        Workload::new("viz").with_phase(KernelPhase::memory(
+            "contour",
+            60_000_000_000,
+            1_500_000_000_000,
+        ))
     }
 
     fn spec() -> CpuSpec {
@@ -192,7 +195,7 @@ mod tests {
 
     #[test]
     fn advisor_gives_power_to_the_hungry_simulation() {
-        let plan = allocate(&hot_sim(), &cold_viz(), 160.0, &spec());
+        let plan = allocate(&hot_sim(), &cold_viz(), Watts(160.0), &spec());
         assert!(
             plan.sim_cap_watts > plan.viz_cap_watts,
             "sim {} !> viz {}",
@@ -207,7 +210,7 @@ mod tests {
         // 140 W across two sockets: uniform gives each 70 W, throttling
         // the compute-bound simulation while the memory-bound viz wastes
         // headroom. The advisor should recover most of the loss.
-        let plan = allocate(&hot_sim(), &cold_viz(), 140.0, &spec());
+        let plan = allocate(&hot_sim(), &cold_viz(), Watts(140.0), &spec());
         assert!(
             plan.improvement() > 1.05,
             "improvement = {}",
@@ -219,14 +222,14 @@ mod tests {
 
     #[test]
     fn symmetric_workloads_split_evenly_ish() {
-        let plan = allocate(&hot_sim(), &hot_sim(), 160.0, &spec());
+        let plan = allocate(&hot_sim(), &hot_sim(), Watts(160.0), &spec());
         assert!((plan.sim_cap_watts - plan.viz_cap_watts).abs() <= 10.0);
     }
 
     #[test]
     fn budget_is_clamped_to_hardware_range() {
-        let plan = allocate(&hot_sim(), &cold_viz(), 10.0, &spec());
-        assert!((plan.budget_watts - 80.0).abs() < 1e-9);
+        let plan = allocate(&hot_sim(), &cold_viz(), Watts(10.0), &spec());
+        assert!((plan.budget_watts - Watts(80.0)).abs() < 1e-9);
         assert!(plan.sim_cap_watts >= 40.0 && plan.viz_cap_watts >= 40.0);
     }
 
@@ -235,7 +238,7 @@ mod tests {
         // A 70 W average budget: statically, the hot simulation phase is
         // throttled the whole time. Phased, the cold viz phase banks
         // headroom the sim phase spends.
-        let plan = schedule_phased(&hot_sim(), &cold_viz(), 70.0, &spec());
+        let plan = schedule_phased(&hot_sim(), &cold_viz(), Watts(70.0), &spec());
         assert!(plan.avg_power_watts <= 70.0 + 1e-6);
         assert!(
             plan.improvement() > 1.02,
@@ -248,7 +251,7 @@ mod tests {
 
     #[test]
     fn phased_schedule_never_worse_than_static() {
-        for budget in [50.0, 80.0, 110.0] {
+        for budget in [Watts(50.0), Watts(80.0), Watts(110.0)] {
             let plan = schedule_phased(&hot_sim(), &hot_sim(), budget, &spec());
             assert!(plan.total_seconds <= plan.static_seconds * (1.0 + 1e-9));
         }
@@ -256,7 +259,7 @@ mod tests {
 
     #[test]
     fn generous_budget_removes_the_tradeoff() {
-        let plan = allocate(&hot_sim(), &cold_viz(), 240.0, &spec());
+        let plan = allocate(&hot_sim(), &cold_viz(), Watts(240.0), &spec());
         // With 120 W available per socket nothing throttles; naive and
         // optimized coincide.
         assert!((plan.improvement() - 1.0).abs() < 0.02);

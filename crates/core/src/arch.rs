@@ -14,7 +14,7 @@
 use crate::classify::PowerClass;
 use crate::metrics::{first_slowdown_cap, Ratios};
 use crate::study::{sweep, AlgorithmRun};
-use powersim::CpuSpec;
+use powersim::{CpuSpec, Watts};
 use serde::{Deserialize, Serialize};
 
 /// The architectures compared.
@@ -28,7 +28,7 @@ pub fn architectures() -> Vec<CpuSpec> {
 
 /// Nine evenly spaced caps across an architecture's supported range,
 /// mirroring the paper's 120→40 W sweep proportionally.
-pub fn caps_for(spec: &CpuSpec) -> Vec<f64> {
+pub fn caps_for(spec: &CpuSpec) -> Vec<Watts> {
     let n = 9;
     (0..n)
         .map(|i| {

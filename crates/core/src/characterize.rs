@@ -278,7 +278,10 @@ mod tests {
         let r = report(KernelClass::CellClassify, 1_000_000, 640_000, 0);
         let p = phase_for(&r, &spec);
         let sig = signature(KernelClass::CellClassify);
-        assert_eq!(p.instructions, (1_000_000 + DISPATCH_OVERHEAD_INSTR) * WORK_SCALE);
+        assert_eq!(
+            p.instructions,
+            (1_000_000 + DISPATCH_OVERHEAD_INSTR) * WORK_SCALE
+        );
         // Blended CPI sits between the kernel's and the overhead's.
         assert!(p.cpi_core > sig.cpi_core && p.cpi_core < DISPATCH_OVERHEAD_CPI);
         // 640 kB read + 80 kB written, amplified, /64 per line.

@@ -1,6 +1,7 @@
 //! The paper's two algorithm classes (§I, §VI-B).
 
 use crate::metrics::{first_slowdown_cap, Ratios};
+use powersim::units::Watts;
 use serde::{Deserialize, Serialize};
 
 /// The paper's classification of visualization algorithms under a cap.
@@ -26,7 +27,7 @@ impl std::fmt::Display for PowerClass {
 /// Cap boundary: the paper's sensitive algorithms first slow ≥ 10 % at
 /// 70–80 W ("roughly 67 % of TDP"), the opportunity algorithms at 60 W or
 /// below. A first slowdown at or above this cap ⇒ power sensitive.
-pub const SENSITIVE_CAP_WATTS: f64 = 70.0;
+pub const SENSITIVE_CAP_WATTS: Watts = Watts(70.0);
 
 /// Classify an algorithm from its cap-sweep ratios.
 pub fn classify(rows: &[Ratios]) -> PowerClass {
@@ -44,7 +45,7 @@ mod tests {
         pairs
             .iter()
             .map(|&(cap, tratio)| Ratios {
-                cap_watts: cap,
+                cap_watts: Watts(cap),
                 pratio: 120.0 / cap,
                 tratio,
                 fratio: 1.0,

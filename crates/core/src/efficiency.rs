@@ -4,12 +4,13 @@
 //! (data-set cells over execution time) rather than classical speedup,
 //! because serial baselines are impractical at scale.
 
+use powersim::units::Watts;
 use serde::{Deserialize, Serialize};
 
 /// Elements/second for one (cap, time) measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Rate {
-    pub cap_watts: f64,
+    pub cap_watts: Watts,
     /// Millions of elements (input cells) processed per second.
     pub melements_per_sec: f64,
 }
@@ -21,7 +22,7 @@ pub fn rate(input_cells: usize, seconds: f64) -> f64 {
 }
 
 /// Rates across a cap sweep.
-pub fn rates(input_cells: usize, rows: &[(f64, f64)]) -> Vec<Rate> {
+pub fn rates(input_cells: usize, rows: &[(Watts, f64)]) -> Vec<Rate> {
     rows.iter()
         .map(|&(cap_watts, seconds)| Rate {
             cap_watts,
@@ -50,7 +51,11 @@ mod tests {
 
     #[test]
     fn sweep_rates_preserve_order() {
-        let rows = vec![(120.0, 10.0), (80.0, 10.0), (40.0, 14.0)];
+        let rows = vec![
+            (Watts(120.0), 10.0),
+            (Watts(80.0), 10.0),
+            (Watts(40.0), 14.0),
+        ];
         let rs = rates(1_000_000, &rows);
         assert_eq!(rs.len(), 3);
         assert_eq!(rs[0].cap_watts, 120.0);

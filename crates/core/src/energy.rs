@@ -13,11 +13,13 @@
 use crate::study::CapSweep;
 use serde::{Deserialize, Serialize};
 
+pub use powersim::units::{Joules, Watts};
+
 /// Energy metrics of one cap relative to the default-power run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EnergyRow {
-    pub cap_watts: f64,
-    pub energy_joules: f64,
+    pub cap_watts: Watts,
+    pub energy_joules: Joules,
     /// `E_R / E_D`: below 1 means the cap saves energy.
     pub eratio: f64,
     /// Energy-delay product `E·T`, normalized to the default run.
@@ -28,7 +30,7 @@ pub struct EnergyRow {
 pub fn energy_rows(sweep: &CapSweep) -> Vec<EnergyRow> {
     let base = sweep.baseline();
     assert!(base.energy_joules > 0.0 && base.seconds > 0.0);
-    let base_edp = base.energy_joules * base.seconds;
+    let base_edp = base.energy_joules.value() * base.seconds;
     sweep
         .rows
         .iter()
@@ -36,13 +38,13 @@ pub fn energy_rows(sweep: &CapSweep) -> Vec<EnergyRow> {
             cap_watts: r.cap_watts,
             energy_joules: r.energy_joules,
             eratio: r.energy_joules / base.energy_joules,
-            edp_ratio: r.energy_joules * r.seconds / base_edp,
+            edp_ratio: r.energy_joules.value() * r.seconds / base_edp,
         })
         .collect()
 }
 
 /// The cap minimizing energy-to-solution, with its saving vs default.
-pub fn best_energy_cap(sweep: &CapSweep) -> (f64, f64) {
+pub fn best_energy_cap(sweep: &CapSweep) -> (Watts, f64) {
     let rows = energy_rows(sweep);
     let best = rows
         .iter()
@@ -110,7 +112,11 @@ mod tests {
         let thr_rows = energy_rows(&thr);
         let last = adv_rows.last().unwrap();
         // Advection's EDP degrades badly at 40 W (paper: 2.6x slower).
-        assert!(last.edp_ratio > 1.3, "advection EDP ratio {}", last.edp_ratio);
+        assert!(
+            last.edp_ratio > 1.3,
+            "advection EDP ratio {}",
+            last.edp_ratio
+        );
         // Threshold keeps its EDP near or below par at the same cap.
         let thr_last = thr_rows.last().unwrap();
         assert!(

@@ -46,10 +46,7 @@ pub fn table1(ctx: &mut StudyContext, size: usize) -> CapSweep {
 /// **Table II / Table III** — Phases 2 and 3: every algorithm at one
 /// data-set size (128³ for Table II, 256³ for Table III).
 pub fn slowdown_table(ctx: &mut StudyContext, size: usize) -> Vec<CapSweep> {
-    Algorithm::ALL
-        .iter()
-        .map(|&a| ctx.sweep(a, size))
-        .collect()
+    Algorithm::ALL.iter().map(|&a| ctx.sweep(a, size)).collect()
 }
 
 /// **Fig. 2a/2b/2c** — the chosen metric vs power cap for all algorithms
@@ -64,7 +61,7 @@ pub fn fig2(ctx: &mut StudyContext, size: usize, metric: FigMetric) -> Vec<FigSe
                 points: sweep
                     .rows
                     .iter()
-                    .map(|r| (r.cap_watts, metric.extract(r)))
+                    .map(|r| (r.cap_watts.value(), metric.extract(r)))
                     .collect(),
             }
         })
@@ -85,7 +82,7 @@ pub fn fig3(ctx: &mut StudyContext, size: usize) -> Vec<FigSeries> {
                     .iter()
                     .map(|r| {
                         (
-                            r.cap_watts,
+                            r.cap_watts.value(),
                             efficiency::rate(sweep.input_cells, r.seconds),
                         )
                     })
@@ -97,7 +94,11 @@ pub fn fig3(ctx: &mut StudyContext, size: usize) -> Vec<FigSeries> {
 
 /// **Figs. 4/5/6** — IPC vs cap across data-set sizes for one algorithm
 /// (slice: rises with size; volume rendering: falls; advection: flat).
-pub fn fig_size_ipc(ctx: &mut StudyContext, algorithm: Algorithm, sizes: &[usize]) -> Vec<FigSeries> {
+pub fn fig_size_ipc(
+    ctx: &mut StudyContext,
+    algorithm: Algorithm,
+    sizes: &[usize],
+) -> Vec<FigSeries> {
     sizes
         .iter()
         .map(|&n| {
@@ -107,7 +108,7 @@ pub fn fig_size_ipc(ctx: &mut StudyContext, algorithm: Algorithm, sizes: &[usize
                 points: sweep
                     .rows
                     .iter()
-                    .map(|r| (r.cap_watts, r.avg_ipc))
+                    .map(|r| (r.cap_watts.value(), r.avg_ipc))
                     .collect(),
             }
         })
@@ -118,10 +119,11 @@ pub fn fig_size_ipc(ctx: &mut StudyContext, algorithm: Algorithm, sizes: &[usize
 mod tests {
     use super::*;
     use crate::study::StudyConfig;
+    use powersim::Watts;
 
     fn ctx() -> StudyContext {
         StudyContext::new(StudyConfig {
-            caps: vec![120.0, 70.0, 40.0],
+            caps: vec![Watts(120.0), Watts(70.0), Watts(40.0)],
             isovalues: 3,
             render_px: 10,
             cameras: 2,

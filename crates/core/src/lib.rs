@@ -35,8 +35,8 @@ pub mod advisor;
 pub mod arch;
 pub mod characterize;
 pub mod classify;
-pub mod energy;
 pub mod efficiency;
+pub mod energy;
 pub mod experiments;
 pub mod metrics;
 pub mod report;

@@ -1,5 +1,6 @@
 //! The derived ratios of §V-A and the first-slowdown rule of §VI.
 
+use powersim::units::Watts;
 use serde::{Deserialize, Serialize};
 
 /// The paper's significance threshold: a 10 % slowdown.
@@ -13,7 +14,7 @@ pub const SLOWDOWN_THRESHOLD: f64 = 1.10;
 /// are ≥ 1 when capping hurts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Ratios {
-    pub cap_watts: f64,
+    pub cap_watts: Watts,
     pub pratio: f64,
     pub tratio: f64,
     pub fratio: f64,
@@ -25,10 +26,10 @@ pub struct Ratios {
 impl Ratios {
     /// Compute the ratios of a capped run against the default run.
     pub fn new(
-        default_cap_watts: f64,
+        default_cap_watts: Watts,
         default_seconds: f64,
         default_freq_ghz: f64,
-        cap_watts: f64,
+        cap_watts: Watts,
         seconds: f64,
         freq_ghz: f64,
     ) -> Self {
@@ -62,11 +63,11 @@ impl Ratios {
 /// The highest (first, when sweeping downward) cap at which the slowdown
 /// reaches 10 % — the quantity the paper's red highlights encode.
 /// Returns `None` when no cap slows the algorithm significantly.
-pub fn first_slowdown_cap(rows: &[Ratios]) -> Option<f64> {
+pub fn first_slowdown_cap(rows: &[Ratios]) -> Option<Watts> {
     rows.iter()
         .filter(|r| r.significant_slowdown())
         .map(|r| r.cap_watts)
-        .fold(None, |acc: Option<f64>, cap| {
+        .fold(None, |acc: Option<Watts>, cap| {
             Some(match acc {
                 Some(best) => best.max(cap),
                 None => cap,
@@ -80,7 +81,7 @@ mod tests {
 
     fn row(cap: f64, tratio: f64) -> Ratios {
         Ratios {
-            cap_watts: cap,
+            cap_watts: Watts(cap),
             pratio: 120.0 / cap,
             tratio,
             fratio: 1.0,
@@ -93,7 +94,7 @@ mod tests {
     fn ratios_match_paper_definitions() {
         // Paper's worked example: halving the cap gives Pratio 2; an
         // algorithm that takes twice as long has Tratio 2.
-        let r = Ratios::new(120.0, 10.0, 2.6, 60.0, 20.0, 1.3);
+        let r = Ratios::new(Watts(120.0), 10.0, 2.6, Watts(60.0), 20.0, 1.3);
         assert!((r.pratio - 2.0).abs() < 1e-12);
         assert!((r.tratio - 2.0).abs() < 1e-12);
         assert!((r.fratio - 2.0).abs() < 1e-12);
@@ -103,7 +104,7 @@ mod tests {
     #[test]
     fn data_intensive_when_slowdown_below_power_cut() {
         // Cap cut 3×, time grew only 1.17× (Table I's 40 W contour row).
-        let r = Ratios::new(120.0, 33.477, 2.55, 40.0, 39.198, 2.07);
+        let r = Ratios::new(Watts(120.0), 33.477, 2.55, Watts(40.0), 39.198, 2.07);
         assert!(r.data_intensive());
         assert!(r.significant_slowdown());
         assert!((r.fratio - 1.2319).abs() < 1e-3);
@@ -118,7 +119,7 @@ mod tests {
             row(60.0, 1.05), // non-monotone dip, like the paper's data
             row(40.0, 1.5),
         ];
-        assert_eq!(first_slowdown_cap(&rows), Some(80.0));
+        assert_eq!(first_slowdown_cap(&rows), Some(Watts(80.0)));
     }
 
     #[test]
@@ -129,13 +130,13 @@ mod tests {
 
     #[test]
     fn zero_frequency_gives_infinite_fratio() {
-        let r = Ratios::new(120.0, 1.0, 2.6, 40.0, 1.0, 0.0);
+        let r = Ratios::new(Watts(120.0), 1.0, 2.6, Watts(40.0), 1.0, 0.0);
         assert!(r.fratio.is_infinite());
     }
 
     #[test]
     #[should_panic]
     fn zero_time_panics() {
-        let _ = Ratios::new(120.0, 0.0, 2.6, 40.0, 1.0, 1.0);
+        let _ = Ratios::new(Watts(120.0), 0.0, 2.6, Watts(40.0), 1.0, 1.0);
     }
 }

@@ -7,17 +7,13 @@ use crate::classify::classify;
 use crate::experiments::FigSeries;
 use crate::metrics::first_slowdown_cap;
 use crate::study::CapSweep;
+use powersim::Watts;
 use std::fmt::Write;
 
 /// Render Table I: P, Pratio, T, Tratio, F, Fratio for one sweep.
 pub fn render_table1(sweep: &CapSweep) -> String {
     let mut out = String::new();
-    writeln!(
-        out,
-        "{} ({}³ cells)",
-        sweep.algorithm, sweep.size
-    )
-    .unwrap();
+    writeln!(out, "{} ({}³ cells)", sweep.algorithm, sweep.size).unwrap();
     writeln!(
         out,
         "{:>6} {:>7} {:>10} {:>7} {:>9} {:>7}",
@@ -48,14 +44,14 @@ pub fn render_slowdown_table(sweeps: &[CapSweep]) -> String {
     if sweeps.is_empty() {
         return out;
     }
-    let caps: Vec<f64> = sweeps[0].rows.iter().map(|r| r.cap_watts).collect();
+    let caps: Vec<Watts> = sweeps[0].rows.iter().map(|r| r.cap_watts).collect();
     write!(out, "{:<20} {:>7}", "P", "").unwrap();
     for c in &caps {
         write!(out, " {:>7.0}W", c).unwrap();
     }
     writeln!(out).unwrap();
     write!(out, "{:<20} {:>7}", "Pratio", "").unwrap();
-    for c in &caps {
+    for &c in &caps {
         write!(out, " {:>7.1}X", caps[0] / c).unwrap();
     }
     writeln!(out).unwrap();
@@ -130,7 +126,7 @@ mod tests {
 
     fn sweep() -> CapSweep {
         let mut ctx = StudyContext::new(StudyConfig {
-            caps: vec![120.0, 40.0],
+            caps: vec![Watts(120.0), Watts(40.0)],
             isovalues: 2,
             render_px: 8,
             cameras: 1,

@@ -10,7 +10,7 @@
 use crate::characterize::characterize;
 use crate::metrics::Ratios;
 use cloverleaf::{Problem, SimConfig, Simulation};
-use powersim::{CpuSpec, ExecResult, Package, Workload};
+use powersim::{CpuSpec, ExecResult, Package, Watts, Workload};
 use serde::{Deserialize, Serialize};
 use vizalgo::{
     Algorithm, Contour, Filter, Isovolume, KernelReport, ParticleAdvection, RayTracer,
@@ -19,7 +19,17 @@ use vizalgo::{
 use vizmesh::DataSet;
 
 /// The paper's nine processor power caps (W).
-pub const PAPER_CAPS: [f64; 9] = [120.0, 110.0, 100.0, 90.0, 80.0, 70.0, 60.0, 50.0, 40.0];
+pub const PAPER_CAPS: [Watts; 9] = [
+    Watts(120.0),
+    Watts(110.0),
+    Watts(100.0),
+    Watts(90.0),
+    Watts(80.0),
+    Watts(70.0),
+    Watts(60.0),
+    Watts(50.0),
+    Watts(40.0),
+];
 
 /// The paper's four data-set sizes (cells per axis).
 pub const PAPER_SIZES: [usize; 4] = [32, 64, 128, 256];
@@ -28,7 +38,7 @@ pub const PAPER_SIZES: [usize; 4] = [32, 64, 128, 256];
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StudyConfig {
     /// Power caps to sweep.
-    pub caps: Vec<f64>,
+    pub caps: Vec<Watts>,
     /// Isovalues per contour cycle (paper: 10).
     pub isovalues: usize,
     /// Rendered image resolution (square).
@@ -66,7 +76,6 @@ impl StudyConfig {
             advect_steps: 150,
         }
     }
-
 }
 
 /// Physical end time of the hydro run feeding the study. By this time the
@@ -250,13 +259,13 @@ impl CapSweep {
     }
 
     /// Row at a specific cap.
-    pub fn at_cap(&self, cap: f64) -> Option<&ExecResult> {
+    pub fn at_cap(&self, cap: Watts) -> Option<&ExecResult> {
         self.rows.iter().find(|r| (r.cap_watts - cap).abs() < 0.5)
     }
 }
 
 /// Characterize a native run and execute it under every cap.
-pub fn sweep(run: &AlgorithmRun, caps: &[f64], spec: &CpuSpec) -> CapSweep {
+pub fn sweep(run: &AlgorithmRun, caps: &[Watts], spec: &CpuSpec) -> CapSweep {
     let workload: Workload = characterize(run.algorithm.name(), &run.reports, spec);
     assert!(
         !workload.is_empty(),
@@ -368,7 +377,7 @@ mod tests {
 
     fn tiny_config() -> StudyConfig {
         StudyConfig {
-            caps: vec![120.0, 80.0, 40.0],
+            caps: vec![Watts(120.0), Watts(80.0), Watts(40.0)],
             isovalues: 3,
             render_px: 12,
             cameras: 2,

@@ -3,8 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 use vizalgo::{
-    Contour, Filter, Isovolume, ParticleAdvection, RayTracer, SphericalClip, ThreeSlice,
-    Threshold, VolumeRenderer,
+    Contour, Filter, Isovolume, ParticleAdvection, RayTracer, SphericalClip, ThreeSlice, Threshold,
+    VolumeRenderer,
 };
 use vizmesh::DataSet;
 
@@ -160,8 +160,14 @@ impl RendererSpec {
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 #[serde(tag = "action", rename_all = "snake_case")]
 pub enum Action {
-    AddPipeline { name: String, filters: Vec<FilterSpec> },
-    AddScene { name: String, renderer: RendererSpec },
+    AddPipeline {
+        name: String,
+        filters: Vec<FilterSpec>,
+    },
+    AddScene {
+        name: String,
+        renderer: RendererSpec,
+    },
 }
 
 /// The full declarative document.

@@ -125,7 +125,11 @@ impl InSituRuntime {
             }
             out.cycles.push(CycleRecord {
                 step: report.step,
-                sim_work: KernelReport::new("cloverleaf-steps", KernelClass::Simulation, sim_since_viz),
+                sim_work: KernelReport::new(
+                    "cloverleaf-steps",
+                    KernelClass::Simulation,
+                    sim_since_viz,
+                ),
                 viz_kernels,
                 images,
             });

@@ -13,10 +13,7 @@ pub enum Trigger {
     /// step while it remains above.
     FieldMax { field: String, above: f64 },
     /// Both conditions must hold.
-    Both {
-        a: Box<Trigger>,
-        b: Box<Trigger>,
-    },
+    Both { a: Box<Trigger>, b: Box<Trigger> },
 }
 
 impl Trigger {

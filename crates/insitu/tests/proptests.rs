@@ -57,7 +57,10 @@ fn renderer_spec_strategy() -> impl Strategy<Value = RendererSpec> {
 fn action_list_strategy() -> impl Strategy<Value = ActionList> {
     prop::collection::vec(
         prop_oneof![
-            (prop::collection::vec(filter_spec_strategy(), 1..3), "[a-z]{1,8}")
+            (
+                prop::collection::vec(filter_spec_strategy(), 1..3),
+                "[a-z]{1,8}"
+            )
                 .prop_map(|(filters, name)| Action::AddPipeline { name, filters }),
             (renderer_spec_strategy(), "[a-z]{1,8}")
                 .prop_map(|(renderer, name)| Action::AddScene { name, renderer }),

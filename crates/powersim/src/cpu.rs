@@ -3,6 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::units::Watts;
+
 /// Static description of one processor package.
 ///
 /// The default, [`CpuSpec::broadwell_e5_2695v4`], models the paper's
@@ -18,9 +20,9 @@ pub struct CpuSpec {
     pub min_ghz: f64,
     /// DVFS step between available frequencies.
     pub dvfs_step_ghz: f64,
-    pub tdp_watts: f64,
+    pub tdp_watts: Watts,
     /// Lowest RAPL cap the package accepts.
-    pub min_cap_watts: f64,
+    pub min_cap_watts: Watts,
     pub llc_bytes: u64,
     /// Sustained DRAM bandwidth per package.
     pub dram_bytes_per_sec: f64,
@@ -29,11 +31,11 @@ pub struct CpuSpec {
     /// Memory-level parallelism: outstanding misses per core.
     pub mlp: f64,
     /// Constant uncore power.
-    pub uncore_watts: f64,
+    pub uncore_watts: Watts,
     /// Additional package power at full DRAM-bandwidth utilization
     /// (memory controllers, LLC and ring traffic). Scales linearly with
     /// the utilization fraction.
-    pub mem_power_watts: f64,
+    pub mem_power_watts: Watts,
     /// Leakage coefficient: `P_leak = leak_per_volt * V`.
     pub leak_per_volt: f64,
     /// Dynamic coefficient: `P_dyn = cores * c_dyn * V² * f_ghz * α`.
@@ -60,14 +62,14 @@ impl CpuSpec {
             turbo_ghz: 2.6,
             min_ghz: 0.8,
             dvfs_step_ghz: 0.1,
-            tdp_watts: 120.0,
-            min_cap_watts: 40.0,
+            tdp_watts: Watts(120.0),
+            min_cap_watts: Watts(40.0),
             llc_bytes: 45 * 1024 * 1024,
             dram_bytes_per_sec: 68.0e9,
             mem_latency_sec: 89e-9,
             mlp: 10.0,
-            uncore_watts: 24.0,
-            mem_power_watts: 7.0,
+            uncore_watts: Watts(24.0),
+            mem_power_watts: Watts(7.0),
             leak_per_volt: 5.0,
             c_dyn: 1.335,
             v_min: 0.65,
@@ -88,14 +90,14 @@ impl CpuSpec {
             turbo_ghz: 2.8,
             min_ghz: 1.0,
             dvfs_step_ghz: 0.1,
-            tdp_watts: 150.0,
-            min_cap_watts: 50.0,
+            tdp_watts: Watts(150.0),
+            min_cap_watts: Watts(50.0),
             llc_bytes: 33 * 1024 * 1024,
             dram_bytes_per_sec: 100.0e9,
             mem_latency_sec: 94e-9,
             mlp: 12.0,
-            uncore_watts: 30.0,
-            mem_power_watts: 9.0,
+            uncore_watts: Watts(30.0),
+            mem_power_watts: Watts(9.0),
             leak_per_volt: 6.0,
             c_dyn: 1.30,
             v_min: 0.62,
@@ -114,14 +116,14 @@ impl CpuSpec {
             turbo_ghz: 2.4,
             min_ghz: 0.8,
             dvfs_step_ghz: 0.1,
-            tdp_watts: 45.0,
-            min_cap_watts: 20.0,
+            tdp_watts: Watts(45.0),
+            min_cap_watts: Watts(20.0),
             llc_bytes: 12 * 1024 * 1024,
             dram_bytes_per_sec: 30.0e9,
             mem_latency_sec: 85e-9,
             mlp: 8.0,
-            uncore_watts: 9.0,
-            mem_power_watts: 4.0,
+            uncore_watts: Watts(9.0),
+            mem_power_watts: Watts(4.0),
             leak_per_volt: 3.0,
             c_dyn: 1.95,
             v_min: 0.60,
@@ -136,18 +138,18 @@ impl CpuSpec {
 
     /// Package power at frequency `f_ghz` with dynamic activity `alpha`
     /// and no memory traffic.
-    pub fn power(&self, f_ghz: f64, alpha: f64) -> f64 {
+    pub fn power(&self, f_ghz: f64, alpha: f64) -> Watts {
         self.power_with_traffic(f_ghz, alpha, 0.0)
     }
 
     /// Package power including the DRAM-traffic term. `bw_utilization` is
     /// the fraction of peak DRAM bandwidth in flight (clamped to [0, 1]).
-    pub fn power_with_traffic(&self, f_ghz: f64, alpha: f64, bw_utilization: f64) -> f64 {
+    pub fn power_with_traffic(&self, f_ghz: f64, alpha: f64, bw_utilization: f64) -> Watts {
         let v = self.voltage(f_ghz);
         self.uncore_watts
             + self.mem_power_watts * bw_utilization.clamp(0.0, 1.0)
-            + self.leak_per_volt * v
-            + self.cores as f64 * self.c_dyn * v * v * f_ghz * alpha
+            + Watts(self.leak_per_volt * v)
+            + Watts(self.cores as f64 * self.c_dyn * v * v * f_ghz * alpha)
     }
 
     /// The DVFS ladder, descending from turbo to minimum.
@@ -164,7 +166,7 @@ impl CpuSpec {
     /// Highest ladder frequency whose power at `alpha` fits under
     /// `cap_watts`; falls back to the minimum frequency if none does
     /// (RAPL cannot throttle below the lowest P-state).
-    pub fn solve_frequency(&self, cap_watts: f64, alpha: f64) -> f64 {
+    pub fn solve_frequency(&self, cap_watts: Watts, alpha: f64) -> f64 {
         for f in self.frequencies() {
             if self.power(f, alpha) <= cap_watts {
                 return f;
@@ -175,7 +177,7 @@ impl CpuSpec {
 
     /// Clamp a requested cap into the supported range (the paper sweeps
     /// 120 W down to 40 W).
-    pub fn clamp_cap(&self, cap_watts: f64) -> f64 {
+    pub fn clamp_cap(&self, cap_watts: Watts) -> Watts {
         cap_watts.clamp(self.min_cap_watts, self.tdp_watts)
     }
 }
@@ -240,18 +242,18 @@ mod tests {
     #[test]
     fn solver_uncapped_runs_turbo() {
         let s = spec();
-        assert_eq!(s.solve_frequency(120.0, 0.95), 2.6);
-        assert_eq!(s.solve_frequency(120.0, 0.3), 2.6);
+        assert_eq!(s.solve_frequency(Watts(120.0), 0.95), 2.6);
+        assert_eq!(s.solve_frequency(Watts(120.0), 0.3), 2.6);
     }
 
     #[test]
     fn solver_throttles_hot_workloads_first() {
         let s = spec();
         // At 70 W, a hot workload must slow below turbo…
-        let hot = s.solve_frequency(70.0, 0.95);
+        let hot = s.solve_frequency(Watts(70.0), 0.95);
         assert!(hot < 2.6, "hot freq = {hot}");
         // …while a cold workload still runs at turbo.
-        assert_eq!(s.solve_frequency(70.0, 0.35), 2.6);
+        assert_eq!(s.solve_frequency(Watts(70.0), 0.35), 2.6);
     }
 
     #[test]
@@ -259,16 +261,16 @@ mod tests {
         let s = spec();
         // Paper Table I: contour (cold) at 40 W drops to ≈ 2.07 GHz
         // (Fratio 1.23); advection (hot) drops to ≈ 0.95 GHz (Fratio 2.69).
-        let cold = s.solve_frequency(40.0, 0.38);
+        let cold = s.solve_frequency(Watts(40.0), 0.38);
         assert!((1.8..=2.3).contains(&cold), "cold 40 W freq = {cold}");
-        let hot = s.solve_frequency(40.0, 0.95);
+        let hot = s.solve_frequency(Watts(40.0), 0.95);
         assert!((0.8..=1.2).contains(&hot), "hot 40 W freq = {hot}");
     }
 
     #[test]
     fn solver_never_returns_below_min() {
         let s = spec();
-        assert_eq!(s.solve_frequency(1.0, 1.0), s.min_ghz);
+        assert_eq!(s.solve_frequency(Watts(1.0), 1.0), s.min_ghz);
     }
 
     #[test]
@@ -303,8 +305,8 @@ mod tests {
     #[test]
     fn clamp_cap_bounds() {
         let s = spec();
-        assert_eq!(s.clamp_cap(500.0), 120.0);
-        assert_eq!(s.clamp_cap(10.0), 40.0);
-        assert_eq!(s.clamp_cap(90.0), 90.0);
+        assert_eq!(s.clamp_cap(Watts(500.0)), 120.0);
+        assert_eq!(s.clamp_cap(Watts(10.0)), 40.0);
+        assert_eq!(s.clamp_cap(Watts(90.0)), 90.0);
     }
 }

@@ -7,6 +7,7 @@ use crate::cpu::CpuSpec;
 use crate::msr::{addr, MsrFile};
 use crate::rapl::{PowerLimiter, CONTROL_WINDOW_SEC};
 use crate::timing::{effective_activity, phase_time};
+use crate::units::{Joules, Watts};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +19,7 @@ pub const SAMPLE_PERIOD_SEC: f64 = 0.100;
 pub struct Sample {
     /// End time of the interval (virtual seconds).
     pub t: f64,
-    pub power_watts: f64,
+    pub power_watts: Watts,
     pub effective_freq_ghz: f64,
     pub ipc: f64,
     pub llc_miss_rate: f64,
@@ -28,10 +29,10 @@ pub struct Sample {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecResult {
     pub workload: String,
-    pub cap_watts: f64,
+    pub cap_watts: Watts,
     pub seconds: f64,
-    pub energy_joules: f64,
-    pub avg_power_watts: f64,
+    pub energy_joules: Joules,
+    pub avg_power_watts: Watts,
     pub avg_effective_freq_ghz: f64,
     pub avg_ipc: f64,
     pub avg_llc_miss_rate: f64,
@@ -65,8 +66,9 @@ impl Package {
     }
 
     /// Program a package cap (clamped to the supported range).
-    pub fn set_cap(&mut self, watts: f64) {
+    pub fn set_cap(&mut self, watts: Watts) {
         PowerLimiter::set_cap(&mut self.msr, &self.spec, watts)
+            // lint: infallible because MSR_PKG_POWER_LIMIT is writable in the msr-safe allowlist
             .expect("power-limit MSR is writable");
     }
 
@@ -106,7 +108,7 @@ impl Package {
     pub fn run(&mut self, workload: &Workload) -> ExecResult {
         let cap = PowerLimiter::get_cap(&self.msr).unwrap_or(self.spec.tdp_watts);
         let start_t = self.now;
-        let mut energy = 0.0f64;
+        let mut energy = Joules::ZERO;
         let mut samples = Vec::new();
         let mut phase_seconds = Vec::with_capacity(workload.phases.len());
 
@@ -125,8 +127,8 @@ impl Package {
                 let remaining_t = (1.0 - progress) * total_t;
                 // Advance to the next control window, sample boundary, or
                 // phase end — whichever is first.
-                let to_window =
-                    CONTROL_WINDOW_SEC - (self.now / CONTROL_WINDOW_SEC).fract() * CONTROL_WINDOW_SEC;
+                let to_window = CONTROL_WINDOW_SEC
+                    - (self.now / CONTROL_WINDOW_SEC).fract() * CONTROL_WINDOW_SEC;
                 let to_sample = (last_sample_t + SAMPLE_PERIOD_SEC - self.now).max(0.0);
                 let dt = remaining_t
                     .min(if to_window <= 1e-12 {
@@ -154,7 +156,7 @@ impl Package {
                     miss_rate,
                 );
                 let p = self.spec.power_with_traffic(f, act, bw_util);
-                let de = p * dt;
+                let de = p.for_duration(dt);
                 energy += de;
                 self.msr.hw_accumulate_energy(de);
                 self.counters.sync_to_msr(&mut self.msr);
@@ -216,7 +218,11 @@ impl Package {
             cap_watts: cap,
             seconds,
             energy_joules: energy,
-            avg_power_watts: if seconds > 0.0 { energy / seconds } else { 0.0 },
+            avg_power_watts: if seconds > 0.0 {
+                energy.over_seconds(seconds)
+            } else {
+                Watts::ZERO
+            },
             avg_effective_freq_ghz: avg_freq,
             avg_ipc,
             avg_llc_miss_rate: derived::llc_miss_rate(total_miss, total_refs),
@@ -241,7 +247,10 @@ impl Package {
         let d_llc_miss = CounterBank::delta(snap.llc_miss, self.counters.llc_miss);
         Sample {
             t,
-            power_watts: self.msr.energy_delta_joules(e_before, e_after) / dt,
+            power_watts: self
+                .msr
+                .energy_delta_joules(e_before, e_after)
+                .over_seconds(dt),
             effective_freq_ghz: derived::effective_frequency_ghz(
                 self.spec.base_ghz,
                 d_aperf,
@@ -253,7 +262,7 @@ impl Package {
     }
 
     /// Convenience: program `cap_watts` and run.
-    pub fn run_capped(&mut self, workload: &Workload, cap_watts: f64) -> ExecResult {
+    pub fn run_capped(&mut self, workload: &Workload, cap_watts: Watts) -> ExecResult {
         self.set_cap(cap_watts);
         self.run(workload)
     }
@@ -288,7 +297,7 @@ mod tests {
     #[test]
     fn uncapped_compute_runs_at_turbo() {
         let mut pkg = Package::broadwell();
-        let r = pkg.run_capped(&compute_workload(2_000_000_000_000), 120.0);
+        let r = pkg.run_capped(&compute_workload(2_000_000_000_000), Watts(120.0));
         assert!(r.seconds > 0.0);
         assert!(
             (r.avg_effective_freq_ghz - 2.6).abs() < 0.01,
@@ -296,14 +305,18 @@ mod tests {
             r.avg_effective_freq_ghz
         );
         // Power near the hot-workload calibration point.
-        assert!((80.0..95.0).contains(&r.avg_power_watts), "P = {}", r.avg_power_watts);
+        assert!(
+            (80.0..95.0).contains(&r.avg_power_watts),
+            "P = {}",
+            r.avg_power_watts
+        );
     }
 
     #[test]
     fn capped_compute_slows_proportionally() {
         let w = compute_workload(2_000_000_000_000);
-        let t120 = Package::broadwell().run_capped(&w, 120.0).seconds;
-        let r40 = Package::broadwell().run_capped(&w, 40.0);
+        let t120 = Package::broadwell().run_capped(&w, Watts(120.0)).seconds;
+        let r40 = Package::broadwell().run_capped(&w, Watts(40.0));
         let slowdown = r40.seconds / t120;
         // Paper: compute-bound algorithms slow 1.8–3.1× at 40 W.
         assert!((1.8..3.3).contains(&slowdown), "slowdown = {slowdown}");
@@ -314,8 +327,8 @@ mod tests {
     #[test]
     fn capped_memory_barely_slows() {
         let w = memory_workload(40_000_000_000);
-        let t120 = Package::broadwell().run_capped(&w, 120.0).seconds;
-        let t40 = Package::broadwell().run_capped(&w, 40.0).seconds;
+        let t120 = Package::broadwell().run_capped(&w, Watts(120.0)).seconds;
+        let t40 = Package::broadwell().run_capped(&w, Watts(40.0)).seconds;
         let slowdown = t40 / t120;
         assert!(slowdown < 1.35, "memory slowdown = {slowdown}");
     }
@@ -323,16 +336,16 @@ mod tests {
     #[test]
     fn energy_accounting_is_consistent() {
         let mut pkg = Package::broadwell();
-        let r = pkg.run_capped(&compute_workload(500_000_000_000), 80.0);
+        let r = pkg.run_capped(&compute_workload(500_000_000_000), Watts(80.0));
         // Energy ≈ avg power × time by construction; the MSR counter
         // (with wraps) must agree with the float accumulation.
-        let msr_total: f64 = {
+        let msr_total: Joules = {
             // Re-run and track via samples: sum power × dt.
             let durations = sample_durations(&r.samples, 0.0);
             r.samples
                 .iter()
                 .zip(durations)
-                .map(|(s, d)| s.power_watts * d)
+                .map(|(s, d)| s.power_watts.for_duration(d))
                 .sum()
         };
         let rel = (msr_total - r.energy_joules).abs() / r.energy_joules;
@@ -342,7 +355,7 @@ mod tests {
     #[test]
     fn sample_cadence_is_100ms() {
         let mut pkg = Package::broadwell();
-        let r = pkg.run_capped(&compute_workload(1_000_000_000_000), 120.0);
+        let r = pkg.run_capped(&compute_workload(1_000_000_000_000), Watts(120.0));
         assert!(r.samples.len() >= 3);
         let durations = sample_durations(&r.samples, 0.0);
         for d in &durations[..durations.len() - 1] {
@@ -355,16 +368,16 @@ mod tests {
         // REF_TSC-based IPC: compute-bound IPC falls when capped (the
         // shape in Fig. 2b for volume rendering / advection).
         let w = compute_workload(1_000_000_000_000);
-        let i120 = Package::broadwell().run_capped(&w, 120.0).avg_ipc;
-        let i40 = Package::broadwell().run_capped(&w, 40.0).avg_ipc;
+        let i120 = Package::broadwell().run_capped(&w, Watts(120.0)).avg_ipc;
+        let i40 = Package::broadwell().run_capped(&w, Watts(40.0)).avg_ipc;
         assert!(i40 < 0.6 * i120, "IPC {i120} -> {i40}");
     }
 
     #[test]
     fn ipc_flat_for_memory_bound() {
         let w = memory_workload(40_000_000_000);
-        let i120 = Package::broadwell().run_capped(&w, 120.0).avg_ipc;
-        let i50 = Package::broadwell().run_capped(&w, 50.0).avg_ipc;
+        let i120 = Package::broadwell().run_capped(&w, Watts(120.0)).avg_ipc;
+        let i50 = Package::broadwell().run_capped(&w, Watts(50.0)).avg_ipc;
         assert!((i50 / i120 - 1.0).abs() < 0.1, "IPC {i120} -> {i50}");
     }
 
@@ -374,7 +387,7 @@ mod tests {
             .with_phase(KernelPhase::compute("a", 500_000_000_000))
             .with_phase(KernelPhase::memory("b", 20_000_000_000, 600_000_000_000));
         let mut pkg = Package::broadwell();
-        let r = pkg.run_capped(&w, 90.0);
+        let r = pkg.run_capped(&w, Watts(90.0));
         let sum: f64 = r.phase_seconds.iter().sum();
         assert!((sum - r.seconds).abs() < 1e-6);
         assert_eq!(r.phase_seconds.len(), 2);
@@ -383,8 +396,8 @@ mod tests {
     #[test]
     fn deterministic_execution() {
         let w = compute_workload(300_000_000_000);
-        let a = Package::broadwell().run_capped(&w, 70.0);
-        let b = Package::broadwell().run_capped(&w, 70.0);
+        let a = Package::broadwell().run_capped(&w, Watts(70.0));
+        let b = Package::broadwell().run_capped(&w, Watts(70.0));
         assert_eq!(a.seconds, b.seconds);
         assert_eq!(a.energy_joules, b.energy_joules);
         assert_eq!(a.samples.len(), b.samples.len());
@@ -398,7 +411,7 @@ mod tests {
             .with_phase(KernelPhase::compute("hot", 2_000_000_000_000))
             .with_phase(KernelPhase::memory("cold", 20_000_000_000, 600_000_000_000));
         let mut pkg = Package::broadwell();
-        let r = pkg.run_capped(&w, 70.0);
+        let r = pkg.run_capped(&w, Watts(70.0));
         // Find per-sample frequencies: early samples (compute) slower
         // than late samples (memory).
         let first = r.samples.first().unwrap().effective_freq_ghz;

@@ -36,6 +36,7 @@ pub mod msr;
 pub mod node;
 pub mod rapl;
 pub mod timing;
+pub mod units;
 pub mod workload;
 
 pub use cpu::CpuSpec;
@@ -43,4 +44,5 @@ pub use exec::{ExecResult, Package, Sample};
 pub use msr::{MsrError, MsrFile};
 pub use node::{Node, NodeResult};
 pub use rapl::PowerLimiter;
+pub use units::{Joules, Watts};
 pub use workload::{KernelPhase, Workload};

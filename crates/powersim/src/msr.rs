@@ -10,6 +10,8 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+use crate::units::Joules;
+
 /// Register addresses (Intel SDM / Broadwell-EP).
 pub mod addr {
     /// Units for power/energy/time fields.
@@ -118,7 +120,10 @@ impl MsrFile {
         // Energy-status unit: bits 12:8 of MSR_RAPL_POWER_UNIT give the
         // energy unit as 1 / 2^ESU joules. Broadwell-EP reports ESU = 14
         // → 61 µJ.
-        regs.insert(MSR_RAPL_POWER_UNIT, 14u64 << 8 | 0x3 /* power unit 1/8 W */);
+        regs.insert(
+            MSR_RAPL_POWER_UNIT,
+            14u64 << 8 | 0x3, /* power unit 1/8 W */
+        );
         for &a in perms.keys() {
             regs.entry(a).or_insert(0);
         }
@@ -164,14 +169,14 @@ impl MsrFile {
         *self.regs.get(&addr).unwrap_or(&0)
     }
 
-    /// Energy unit in joules, decoded from `MSR_RAPL_POWER_UNIT`.
-    pub fn energy_unit_joules(&self) -> f64 {
+    /// Energy unit, decoded from `MSR_RAPL_POWER_UNIT`.
+    pub fn energy_unit_joules(&self) -> Joules {
         let esu = self.hw_get(addr::MSR_RAPL_POWER_UNIT) >> 8 & 0x1F;
-        1.0 / (1u64 << esu) as f64
+        Joules(1.0 / (1u64 << esu) as f64)
     }
 
     /// Add `joules` to the wrapping 32-bit energy-status counter.
-    pub fn hw_accumulate_energy(&mut self, joules: f64) {
+    pub fn hw_accumulate_energy(&mut self, joules: Joules) {
         let unit = self.energy_unit_joules();
         let ticks = (joules / unit).round() as u64;
         let old = self.hw_get(addr::MSR_PKG_ENERGY_STATUS);
@@ -179,9 +184,9 @@ impl MsrFile {
         self.hw_set(addr::MSR_PKG_ENERGY_STATUS, new);
     }
 
-    /// Difference between two energy-status readings in joules, handling
-    /// a single wrap — the standard userspace idiom.
-    pub fn energy_delta_joules(&self, before: u64, after: u64) -> f64 {
+    /// Difference between two energy-status readings, handling a single
+    /// wrap — the standard userspace idiom.
+    pub fn energy_delta_joules(&self, before: u64, after: u64) -> Joules {
         let delta = if after >= before {
             after - before
         } else {
@@ -200,7 +205,7 @@ mod tests {
     fn energy_unit_is_61_microjoules() {
         let m = MsrFile::new();
         let u = m.energy_unit_joules();
-        assert!((u - 1.0 / 16384.0).abs() < 1e-12, "unit = {u}");
+        assert!((u - Joules(1.0 / 16384.0)).abs() < 1e-12, "unit = {u}");
     }
 
     #[test]
@@ -260,9 +265,13 @@ mod tests {
     #[test]
     fn perfevtsel_accepts_event_encodings() {
         let mut m = MsrFile::new();
-        m.write(addr::IA32_PERFEVTSEL0, event::LLC_REFERENCE).unwrap();
+        m.write(addr::IA32_PERFEVTSEL0, event::LLC_REFERENCE)
+            .unwrap();
         m.write(addr::IA32_PERFEVTSEL1, event::LLC_MISS).unwrap();
-        assert_eq!(m.read(addr::IA32_PERFEVTSEL0).unwrap(), event::LLC_REFERENCE);
+        assert_eq!(
+            m.read(addr::IA32_PERFEVTSEL0).unwrap(),
+            event::LLC_REFERENCE
+        );
         assert_eq!(m.read(addr::IA32_PERFEVTSEL1).unwrap(), event::LLC_MISS);
     }
 }

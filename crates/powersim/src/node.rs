@@ -5,6 +5,7 @@
 
 use crate::cpu::CpuSpec;
 use crate::exec::{ExecResult, Package};
+use crate::units::{Joules, Watts};
 use crate::workload::{KernelPhase, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -15,9 +16,9 @@ pub struct NodeResult {
     /// both halves must finish).
     pub seconds: f64,
     /// Total node energy across both packages.
-    pub energy_joules: f64,
+    pub energy_joules: Joules,
     /// Combined average node power while running.
-    pub avg_power_watts: f64,
+    pub avg_power_watts: Watts,
     /// Per-package results.
     pub packages: [ExecResult; 2],
 }
@@ -64,7 +65,7 @@ impl Node {
 
     /// Run a workload split across both sockets under a uniform
     /// per-package cap.
-    pub fn run_capped(&mut self, workload: &Workload, cap_per_package: f64) -> NodeResult {
+    pub fn run_capped(&mut self, workload: &Workload, cap_per_package: Watts) -> NodeResult {
         let halves = Self::split(workload);
         let a = self.sockets[0].run_capped(&halves[0], cap_per_package);
         let b = self.sockets[1].run_capped(&halves[1], cap_per_package);
@@ -73,7 +74,11 @@ impl Node {
         NodeResult {
             seconds,
             energy_joules: energy,
-            avg_power_watts: if seconds > 0.0 { energy / seconds } else { 0.0 },
+            avg_power_watts: if seconds > 0.0 {
+                energy.over_seconds(seconds)
+            } else {
+                Watts::ZERO
+            },
             packages: [a, b],
         }
     }
@@ -101,8 +106,8 @@ mod tests {
     #[test]
     fn node_time_is_half_of_single_package() {
         let w = workload();
-        let single = Package::broadwell().run_capped(&w, 120.0).seconds;
-        let node = Node::rztopaz().run_capped(&w, 120.0).seconds;
+        let single = Package::broadwell().run_capped(&w, Watts(120.0)).seconds;
+        let node = Node::rztopaz().run_capped(&w, Watts(120.0)).seconds;
         let speedup = single / node;
         assert!((1.8..=2.2).contains(&speedup), "speedup = {speedup}");
     }
@@ -110,8 +115,8 @@ mod tests {
     #[test]
     fn node_power_is_roughly_double_package_power() {
         let w = workload();
-        let pkg = Package::broadwell().run_capped(&w, 120.0);
-        let node = Node::rztopaz().run_capped(&w, 120.0);
+        let pkg = Package::broadwell().run_capped(&w, Watts(120.0));
+        let node = Node::rztopaz().run_capped(&w, Watts(120.0));
         let ratio = node.avg_power_watts / pkg.avg_power_watts;
         assert!((1.7..=2.2).contains(&ratio), "ratio = {ratio}");
         // Paper: both processors' 120 W is ~88 % of node power; without a
@@ -122,20 +127,18 @@ mod tests {
     #[test]
     fn uniform_cap_applies_to_both_sockets() {
         let w = workload();
-        let node = Node::rztopaz().run_capped(&w, 50.0);
+        let node = Node::rztopaz().run_capped(&w, Watts(50.0));
         for pkg in &node.packages {
             assert!(pkg.avg_power_watts <= 51.5, "P = {}", pkg.avg_power_watts);
-            assert!((pkg.cap_watts - 50.0).abs() < 0.5);
+            assert!((pkg.cap_watts - Watts(50.0)).abs() < 0.5);
         }
     }
 
     #[test]
     fn symmetric_split_gives_symmetric_results() {
         let w = workload();
-        let node = Node::rztopaz().run_capped(&w, 80.0);
+        let node = Node::rztopaz().run_capped(&w, Watts(80.0));
         assert!((node.packages[0].seconds - node.packages[1].seconds).abs() < 1e-12);
-        assert!(
-            (node.packages[0].energy_joules - node.packages[1].energy_joules).abs() < 1e-9
-        );
+        assert!((node.packages[0].energy_joules - node.packages[1].energy_joules).abs() < 1e-9);
     }
 }

@@ -11,9 +11,10 @@
 
 use crate::cpu::CpuSpec;
 use crate::msr::{addr, MsrError, MsrFile};
+use crate::units::Watts;
 
 /// Power-limit field unit: 1/8 W (bits 3:0 = 3 in `MSR_RAPL_POWER_UNIT`).
-const POWER_UNIT_WATTS: f64 = 0.125;
+const POWER_UNIT: Watts = Watts(0.125);
 
 /// RAPL control window used by the firmware model.
 pub const CONTROL_WINDOW_SEC: f64 = 0.010;
@@ -25,9 +26,9 @@ pub struct PowerLimiter;
 impl PowerLimiter {
     /// Program a package power cap in watts (clamped to the supported
     /// range) through the MSR interface, with the enable bit set.
-    pub fn set_cap(msr: &mut MsrFile, spec: &CpuSpec, watts: f64) -> Result<(), MsrError> {
+    pub fn set_cap(msr: &mut MsrFile, spec: &CpuSpec, watts: Watts) -> Result<(), MsrError> {
         let clamped = spec.clamp_cap(watts);
-        let field = (clamped / POWER_UNIT_WATTS).round() as u64 & 0x7FFF;
+        let field = (clamped / POWER_UNIT).round() as u64 & 0x7FFF;
         // Bit 15: enable. Bits 23:17: time window (encoded, fixed here).
         let value = field | 1 << 15 | 0x6 << 17;
         msr.write(addr::MSR_PKG_POWER_LIMIT, value)
@@ -40,12 +41,12 @@ impl PowerLimiter {
     }
 
     /// The currently programmed cap, if enabled.
-    pub fn get_cap(msr: &MsrFile) -> Option<f64> {
+    pub fn get_cap(msr: &MsrFile) -> Option<Watts> {
         let v = msr.hw_get(addr::MSR_PKG_POWER_LIMIT);
         if v & 1 << 15 == 0 {
             return None;
         }
-        Some((v & 0x7FFF) as f64 * POWER_UNIT_WATTS)
+        Some((v & 0x7FFF) as f64 * POWER_UNIT)
     }
 
     /// Firmware decision for one control window: the frequency to run at
@@ -68,20 +69,20 @@ mod tests {
     #[test]
     fn cap_round_trips_through_msr() {
         let (mut msr, spec) = setup();
-        for watts in [40.0, 70.0, 120.0] {
+        for watts in [Watts(40.0), Watts(70.0), Watts(120.0)] {
             PowerLimiter::set_cap(&mut msr, &spec, watts).unwrap();
             let got = PowerLimiter::get_cap(&msr).unwrap();
-            assert!((got - watts).abs() < POWER_UNIT_WATTS, "{watts} -> {got}");
+            assert!((got - watts).abs() < POWER_UNIT, "{watts} -> {got}");
         }
     }
 
     #[test]
     fn cap_is_clamped_to_supported_range() {
         let (mut msr, spec) = setup();
-        PowerLimiter::set_cap(&mut msr, &spec, 10.0).unwrap();
-        assert!((PowerLimiter::get_cap(&msr).unwrap() - 40.0).abs() < 0.2);
-        PowerLimiter::set_cap(&mut msr, &spec, 500.0).unwrap();
-        assert!((PowerLimiter::get_cap(&msr).unwrap() - 120.0).abs() < 0.2);
+        PowerLimiter::set_cap(&mut msr, &spec, Watts(10.0)).unwrap();
+        assert!((PowerLimiter::get_cap(&msr).unwrap() - Watts(40.0)).abs() < 0.2);
+        PowerLimiter::set_cap(&mut msr, &spec, Watts(500.0)).unwrap();
+        assert!((PowerLimiter::get_cap(&msr).unwrap() - Watts(120.0)).abs() < 0.2);
     }
 
     #[test]
@@ -101,7 +102,7 @@ mod tests {
     #[test]
     fn capped_control_throttles_by_activity() {
         let (mut msr, spec) = setup();
-        PowerLimiter::set_cap(&mut msr, &spec, 60.0).unwrap();
+        PowerLimiter::set_cap(&mut msr, &spec, Watts(60.0)).unwrap();
         let hot = PowerLimiter::control_frequency(&msr, &spec, 0.95);
         let cold = PowerLimiter::control_frequency(&msr, &spec, 0.3);
         assert!(hot < cold, "hot {hot} !< cold {cold}");
@@ -113,6 +114,7 @@ mod tests {
         let (mut msr, spec) = setup();
         let mut last = 0.0;
         for cap in [40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0] {
+            let cap = Watts(cap);
             PowerLimiter::set_cap(&mut msr, &spec, cap).unwrap();
             let f = PowerLimiter::control_frequency(&msr, &spec, 0.9);
             assert!(f >= last, "cap {cap}: {f} < {last}");

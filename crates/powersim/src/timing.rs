@@ -28,8 +28,8 @@ pub fn core_time(spec: &CpuSpec, phase: &KernelPhase, f_ghz: f64) -> f64 {
 /// Memory-limited time of a phase (frequency independent).
 pub fn memory_time(spec: &CpuSpec, phase: &KernelPhase) -> f64 {
     let bw_time = phase.dram_bytes as f64 / spec.dram_bytes_per_sec;
-    let lat_time = phase.llc_misses() as f64 * spec.mem_latency_sec
-        / (spec.cores as f64 * spec.mlp);
+    let lat_time =
+        phase.llc_misses() as f64 * spec.mem_latency_sec / (spec.cores as f64 * spec.mlp);
     bw_time.max(lat_time)
 }
 
@@ -149,9 +149,7 @@ mod tests {
         assert!(memory_boundedness(&s, &memory_phase(), 2.6) > 0.9);
         // Lowering frequency makes everything look less memory-bound.
         let p = memory_phase();
-        assert!(
-            memory_boundedness(&s, &p, 0.8) <= memory_boundedness(&s, &p, 2.6) + 1e-12
-        );
+        assert!(memory_boundedness(&s, &p, 0.8) <= memory_boundedness(&s, &p, 2.6) + 1e-12);
     }
 
     #[test]

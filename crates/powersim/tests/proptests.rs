@@ -1,11 +1,12 @@
 //! Property-based tests for the simulated processor.
 
-use proptest::prelude::*;
 use powersim::cpu::CpuSpec;
 use powersim::msr::{addr, MsrFile};
 use powersim::rapl::PowerLimiter;
 use powersim::timing::{memory_time, phase_time};
+use powersim::units::{Joules, Watts};
 use powersim::{KernelPhase, Package, Workload};
+use proptest::prelude::*;
 
 fn phase_strategy() -> impl Strategy<Value = KernelPhase> {
     (
@@ -48,12 +49,13 @@ proptest! {
     #[test]
     fn solver_respects_cap(cap in 40.0f64..120.0, act in 0.05f64..1.0) {
         let spec = CpuSpec::broadwell_e5_2695v4();
+        let cap = Watts(cap);
         let f = spec.solve_frequency(cap, act);
         prop_assert!(f >= spec.min_ghz - 1e-9 && f <= spec.turbo_ghz + 1e-9);
         if spec.power(spec.min_ghz, act) <= cap {
-            prop_assert!(spec.power(f, act) <= cap + 1e-9);
+            prop_assert!(spec.power(f, act) <= cap + Watts(1e-9));
         }
-        let f_higher = spec.solve_frequency(cap + 10.0, act);
+        let f_higher = spec.solve_frequency(cap + Watts(10.0), act);
         prop_assert!(f_higher >= f - 1e-9);
     }
 
@@ -73,8 +75,8 @@ proptest! {
     #[test]
     fn execution_monotone_in_cap(phase in phase_strategy()) {
         let workload = Workload::new("w").with_phase(phase);
-        let hi = Package::broadwell().run_capped(&workload, 120.0);
-        let lo = Package::broadwell().run_capped(&workload, 40.0);
+        let hi = Package::broadwell().run_capped(&workload, Watts(120.0));
+        let lo = Package::broadwell().run_capped(&workload, Watts(40.0));
         prop_assert!(lo.seconds >= hi.seconds * 0.999_999);
         // RAPL cannot throttle below the lowest P-state; at minimum
         // frequency with saturated DRAM bandwidth the package can exceed
@@ -89,9 +91,9 @@ proptest! {
     fn energy_accounting_consistent(phase in phase_strategy(), cap in 45.0f64..120.0) {
         let workload = Workload::new("w").with_phase(phase);
         let mut pkg = Package::broadwell();
-        let r = pkg.run_capped(&workload, cap);
-        let pt = r.avg_power_watts * r.seconds;
-        prop_assert!((pt - r.energy_joules).abs() < 1e-6 * r.energy_joules.max(1.0));
+        let r = pkg.run_capped(&workload, Watts(cap));
+        let pt = r.avg_power_watts.for_duration(r.seconds);
+        prop_assert!((pt - r.energy_joules).abs() < 1e-6 * r.energy_joules.value().max(1.0));
     }
 
     /// The power-limit MSR round-trips any cap in range through the
@@ -100,9 +102,9 @@ proptest! {
     fn power_limit_msr_round_trip(cap in 40.0f64..120.0) {
         let spec = CpuSpec::broadwell_e5_2695v4();
         let mut msr = MsrFile::new();
-        PowerLimiter::set_cap(&mut msr, &spec, cap).unwrap();
+        PowerLimiter::set_cap(&mut msr, &spec, Watts(cap)).unwrap();
         let got = PowerLimiter::get_cap(&msr).unwrap();
-        prop_assert!((got - cap).abs() <= 0.125, "{cap} -> {got}");
+        prop_assert!((got - Watts(cap)).abs() <= 0.125, "{cap} -> {got}");
     }
 
     /// Energy-status deltas recover the accumulated energy through at
@@ -112,10 +114,10 @@ proptest! {
         let mut msr = MsrFile::new();
         msr.hw_set(addr::MSR_PKG_ENERGY_STATUS, start);
         let before = msr.read(addr::MSR_PKG_ENERGY_STATUS).unwrap();
-        msr.hw_accumulate_energy(joules);
+        msr.hw_accumulate_energy(Joules(joules));
         let after = msr.read(addr::MSR_PKG_ENERGY_STATUS).unwrap();
         let delta = msr.energy_delta_joules(before, after);
         let unit = msr.energy_unit_joules();
-        prop_assert!((delta - joules).abs() <= unit, "{joules} vs {delta}");
+        prop_assert!((delta - Joules(joules)).abs() <= unit, "{joules} vs {delta}");
     }
 }

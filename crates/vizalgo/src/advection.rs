@@ -75,9 +75,11 @@ impl Filter for ParticleAdvection {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("particle advection expects a structured dataset");
         let vel = input
             .point_vectors(&self.field)
+            // lint: infallible because the pipeline registers the field before running
             .unwrap_or_else(|| panic!("missing point vector field '{}'", self.field));
 
         let b = grid.bounds();
@@ -138,7 +140,10 @@ impl Filter for ParticleAdvection {
             let base = points.len() as u32;
             let conn: Vec<u32> = (0..path.len()).map(|i| base + i as u32).collect();
             for &p in path {
-                let v = grid.sample_vector(vel, p).map(|u| u.length()).unwrap_or(0.0);
+                let v = grid
+                    .sample_vector(vel, p)
+                    .map(|u| u.length())
+                    .unwrap_or(0.0);
                 points.push(p);
                 speed.push(v);
             }
@@ -263,10 +268,7 @@ mod tests {
         // and 8³ grids take the same number of RK4 steps (Fig. 6).
         let small = advector(8, 30).execute(&rotating_flow(4));
         let large = advector(8, 30).execute(&rotating_flow(8));
-        assert_eq!(
-            small.kernels[0].work.items,
-            large.kernels[0].work.items
-        );
+        assert_eq!(small.kernels[0].work.items, large.kernels[0].work.items);
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl Filter for SphericalClip {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("spherical clip expects a structured dataset");
         let carry = input.point_scalars(&self.carry_field);
         let num_cells = grid.num_cells();
@@ -97,8 +98,7 @@ impl Filter for SphericalClip {
         let mut map_point = |mesh: &mut TetMesh, pid: usize, w: &mut WorkCounters| -> u32 {
             if point_map[pid] == u32::MAX {
                 let payload = carry.map(|v| v[pid]).unwrap_or(dist[pid]);
-                point_map[pid] =
-                    mesh.add_point_with(grid.point_coord_id(pid), dist[pid], payload);
+                point_map[pid] = mesh.add_point_with(grid.point_coord_id(pid), dist[pid], payload);
                 w.tally(1, 12, 3, 32, 40);
             }
             point_map[pid]

@@ -47,6 +47,7 @@ impl ColorMap {
     /// Sample the map at normalized scalar `t` (clamped to `[0, 1]`).
     pub fn sample(&self, t: f64) -> [f32; 4] {
         let t = t.clamp(0.0, 1.0);
+        // lint: infallible because every constructor produces at least one stop
         let first = self.stops.first().unwrap();
         if t <= first.0 {
             return first.1;
@@ -58,7 +59,11 @@ impl ColorMap {
                 return c1;
             }
             if t < p1 {
-                let f = if p1 > p0 { ((t - p0) / (p1 - p0)) as f32 } else { 1.0 };
+                let f = if p1 > p0 {
+                    ((t - p0) / (p1 - p0)) as f32
+                } else {
+                    1.0
+                };
                 return [
                     c0[0] + (c1[0] - c0[0]) * f,
                     c0[1] + (c1[1] - c0[1]) * f,
@@ -67,6 +72,7 @@ impl ColorMap {
                 ];
             }
         }
+        // lint: infallible because every constructor produces at least one stop
         self.stops.last().unwrap().1
     }
 

@@ -68,6 +68,7 @@ pub fn triangle_table() -> &'static [CaseTriangles; 256] {
         for config in 0..256u16 {
             table.push(build_case(config as u8));
         }
+        // lint: infallible because the loop above pushes exactly 256 cases
         table.try_into().expect("exactly 256 cases")
     })
 }
@@ -90,6 +91,7 @@ fn build_case(config: u8) -> CaseTriangles {
     for face in FACES {
         // Face edges: between consecutive corners of the cycle.
         let fe: Vec<u8> = (0..4)
+            // lint: infallible because consecutive corners of a face cycle share an edge
             .map(|i| edge_between(face[i], face[(i + 1) % 4]).expect("face edge"))
             .collect();
         let crossing: Vec<usize> = (0..4)
@@ -115,6 +117,7 @@ fn build_case(config: u8) -> CaseTriangles {
                     }
                 }
             }
+            // lint: infallible because sign changes around a 4-cycle come in pairs
             n => unreachable!("a quad face cannot have {n} sign changes"),
         }
     }
@@ -351,9 +354,11 @@ impl Filter for Contour {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("contour expects a structured dataset");
         let values = input
             .point_scalars(&self.field)
+            // lint: infallible because the pipeline registers the field before running
             .unwrap_or_else(|| panic!("missing point scalar field '{}'", self.field));
 
         let mut points = Vec::new();
@@ -511,8 +516,12 @@ mod tests {
             }
             let on_boundary = |p: Vec3| {
                 let eps = 1e-9;
-                p.x < eps || p.y < eps || p.z < eps
-                    || p.x > 1.0 - eps || p.y > 1.0 - eps || p.z > 1.0 - eps
+                p.x < eps
+                    || p.y < eps
+                    || p.z < eps
+                    || p.x > 1.0 - eps
+                    || p.y > 1.0 - eps
+                    || p.z > 1.0 - eps
             };
             for ((a, b), count) in &edge_count {
                 assert!(*count <= 2, "edge shared by {count} > 2 triangles");
@@ -601,8 +610,7 @@ mod tests {
         let grid = UniformGrid::cube_cells(8);
         let values = sphere_field(&grid);
         let n = grid.num_points();
-        let ds = DataSet::uniform(grid)
-            .with_field(Field::scalar("d", Association::Points, values));
+        let ds = DataSet::uniform(grid).with_field(Field::scalar("d", Association::Points, values));
         let _ = n;
         let filter = Contour::new("d", vec![0.3, 0.4]);
         let out = filter.execute(&ds);
@@ -618,8 +626,7 @@ mod tests {
     fn spanning_picks_interior_isovalues() {
         let grid = UniformGrid::cube_cells(4);
         let values = sphere_field(&grid);
-        let ds = DataSet::uniform(grid)
-            .with_field(Field::scalar("d", Association::Points, values));
+        let ds = DataSet::uniform(grid).with_field(Field::scalar("d", Association::Points, values));
         let c = Contour::spanning("d", &ds, 10);
         assert_eq!(c.isovalues.len(), 10);
         let (lo, hi) = ds.field("d").unwrap().scalar_range().unwrap();

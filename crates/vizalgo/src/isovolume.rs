@@ -50,9 +50,11 @@ impl Filter for Isovolume {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("isovolume expects a structured dataset");
         let values = input
             .point_scalars(&self.field)
+            // lint: infallible because the pipeline registers the field before running
             .unwrap_or_else(|| panic!("missing point scalar field '{}'", self.field));
         let num_cells = grid.num_cells();
         let num_points = grid.num_points();
@@ -290,8 +292,7 @@ mod tests {
         let vals: Vec<f64> = (0..grid.num_points())
             .map(|p| grid.point_coord_id(p).distance(c))
             .collect();
-        let ds =
-            DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals));
+        let ds = DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals));
         let (r0, r1) = (0.2, 0.4);
         let out = Isovolume::new("f", r0, r1).execute(&ds);
         let vol = output_volume(&out.dataset.unwrap());

@@ -50,6 +50,7 @@ pub fn contour_tet(corners: [Vec3; 4], values: [f64; 4], iso: f64, out: &mut Vec
             out.push([p_ac, p_ad, p_bd]);
             out.push([p_ac, p_bd, p_bc]);
         }
+        // lint: infallible because a tetrahedron has zero to four inside vertices
         _ => unreachable!(),
     }
 }

@@ -68,15 +68,14 @@ impl Triangle {
 /// the point scalar attached. For a uniform grid the external faces are
 /// the six domain boundary faces; the extraction still walks every cell
 /// via face parity, which is what makes this step data-intensive.
-pub fn external_face_triangles(
-    input: &DataSet,
-    field: &str,
-) -> (Vec<Triangle>, WorkCounters) {
+pub fn external_face_triangles(input: &DataSet, field: &str) -> (Vec<Triangle>, WorkCounters) {
     let grid = input
         .as_uniform()
+        // lint: infallible because the study harness only feeds uniform grids
         .expect("external-face extraction expects a structured dataset");
     let values = input
         .point_scalars(field)
+        // lint: infallible because the pipeline registers the field before running
         .unwrap_or_else(|| panic!("missing point scalar field '{field}'"));
     let [cx, cy, cz] = grid.cell_dims();
     let mut tris = Vec::new();
@@ -105,6 +104,7 @@ pub fn external_face_triangles(
                 [0, 1, 0] => j == cy - 1,
                 [1, 0, 0] => i == cx - 1,
                 [-1, 0, 0] => i == 0,
+                // lint: infallible because CELL_FACES holds only the six axis directions
                 _ => unreachable!(),
             };
             if !boundary {
@@ -328,8 +328,7 @@ impl Filter for RayTracer {
                                         + tri.scalar[2] * v;
                                     let mut c = cmap.sample_range(s, lo, hi);
                                     // Headlight Lambert shading.
-                                    let ndl =
-                                        tri.normal().dot(-ray.direction).abs();
+                                    let ndl = tri.normal().dot(-ray.direction).abs();
                                     let shade = (0.35 + 0.65 * ndl) as f32;
                                     c[0] *= shade;
                                     c[1] *= shade;

@@ -72,6 +72,7 @@ impl Filter for ThreeSlice {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("slice expects a structured dataset");
         let data = input.point_scalars(&self.field);
         let num_points = grid.num_points();
@@ -101,9 +102,7 @@ impl Filter for ThreeSlice {
             // Interpolate the data field onto the slice vertices.
             let base = points.len() as u32;
             for p in &mc.points {
-                let v = data
-                    .and_then(|d| grid.sample_scalar(d, *p))
-                    .unwrap_or(0.0);
+                let v = data.and_then(|d| grid.sample_scalar(d, *p)).unwrap_or(0.0);
                 values.push(v);
                 interp.tally(1, 46, 22, 96, 8);
             }
@@ -160,9 +159,8 @@ mod tests {
         // Each output vertex must lie on one of the three center planes.
         let (points, _) = result.as_explicit().unwrap();
         for p in points {
-            let on_plane = (p.z - 0.5).abs() < 1e-9
-                || (p.x - 0.5).abs() < 1e-9
-                || (p.y - 0.5).abs() < 1e-9;
+            let on_plane =
+                (p.z - 0.5).abs() < 1e-9 || (p.x - 0.5).abs() < 1e-9 || (p.y - 0.5).abs() < 1e-9;
             assert!(on_plane, "vertex {p:?} is on no slice plane");
         }
     }
@@ -203,10 +201,7 @@ mod tests {
     #[test]
     fn slice_outside_domain_is_empty() {
         let ds = dataset(4);
-        let slice = ThreeSlice::with_planes(
-            vec![Plane::new(Vec3::splat(10.0), Vec3::X)],
-            "f",
-        );
+        let slice = ThreeSlice::with_planes(vec![Plane::new(Vec3::splat(10.0), Vec3::X)], "f");
         let out = slice.execute(&ds);
         assert_eq!(out.dataset.unwrap().num_cells(), 0);
     }

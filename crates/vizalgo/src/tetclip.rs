@@ -82,8 +82,8 @@ impl TetMesh {
         let (va, vb) = (self.values[a as usize], self.values[b as usize]);
         let t = ((iso - va) / (vb - va)).clamp(0.0, 1.0);
         let p = self.points[a as usize].lerp(self.points[b as usize], t);
-        let pay = self.payloads[a as usize]
-            + (self.payloads[b as usize] - self.payloads[a as usize]) * t;
+        let pay =
+            self.payloads[a as usize] + (self.payloads[b as usize] - self.payloads[a as usize]) * t;
         let id = self.add_point_with(p, iso, pay);
         self.weld.insert(key, id);
         id
@@ -94,7 +94,11 @@ impl TetMesh {
 /// (pass negated values and isovalue to keep the other side). Returns the
 /// clipped tet list (indices into the same, grown, mesh) and the work
 /// performed.
-pub fn clip_keep_above(mesh: &mut TetMesh, tets: &[[u32; 4]], iso: f64) -> (Vec<[u32; 4]>, WorkCounters) {
+pub fn clip_keep_above(
+    mesh: &mut TetMesh,
+    tets: &[[u32; 4]],
+    iso: f64,
+) -> (Vec<[u32; 4]>, WorkCounters) {
     let mut out: Vec<[u32; 4]> = Vec::with_capacity(tets.len());
     let mut work = WorkCounters::new();
     for &tet in tets {
@@ -157,6 +161,7 @@ pub fn clip_keep_above(mesh: &mut TetMesh, tets: &[[u32; 4]], iso: f64) -> (Vec<
                 out.push([ad, b, bc, bd]);
                 work.tally(3, 110, 34, 128, 64);
             }
+            // lint: infallible because a tetrahedron keeps zero to four vertices
             _ => unreachable!(),
         }
     }

@@ -60,6 +60,7 @@ impl Filter for Threshold {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("threshold expects a structured dataset");
 
         // Phase 1: classify every cell (streaming compare).
@@ -77,15 +78,12 @@ impl Filter for Threshold {
                 if let Some(vals) = cell_vals {
                     self.in_range(vals[c])
                 } else {
+                    // lint: infallible because the assert above guarantees point values
                     let vals = point_vals.unwrap();
                     let ids = grid.cell_point_ids(c);
                     match self.policy {
-                        ThresholdPolicy::AllPoints => {
-                            ids.iter().all(|&p| self.in_range(vals[p]))
-                        }
-                        ThresholdPolicy::AnyPoint => {
-                            ids.iter().any(|&p| self.in_range(vals[p]))
-                        }
+                        ThresholdPolicy::AllPoints => ids.iter().all(|&p| self.in_range(vals[p])),
+                        ThresholdPolicy::AnyPoint => ids.iter().any(|&p| self.in_range(vals[p])),
                     }
                 }
             })
@@ -195,8 +193,7 @@ mod tests {
         let vals: Vec<f64> = (0..grid.num_points())
             .map(|p| grid.point_coord_id(p).x)
             .collect();
-        let ds =
-            DataSet::uniform(grid).with_field(Field::scalar("v", Association::Points, vals));
+        let ds = DataSet::uniform(grid).with_field(Field::scalar("v", Association::Points, vals));
         // AllPoints with range [0, 0.5]: only cells whose 8 corners all
         // have x ≤ 0.5, i.e. the 4 cells in the left half.
         let out = Threshold::new("v", 0.0, 0.5).execute(&ds);

@@ -59,9 +59,11 @@ impl Filter for VolumeRenderer {
     fn execute(&self, input: &DataSet) -> FilterOutput {
         let grid = input
             .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
             .expect("volume rendering expects a structured dataset");
         let values = input
             .point_scalars(&self.field)
+            // lint: infallible because the pipeline registers the field before running
             .unwrap_or_else(|| panic!("missing point scalar field '{}'", self.field));
         let (lo, hi) = input
             .field(&self.field)
@@ -96,8 +98,7 @@ impl Filter for VolumeRenderer {
                                 if let Some(v) = grid.sample_scalar(values, ray.at(t)) {
                                     samples += 1;
                                     let mut s = tf.sample_range(v, lo, hi);
-                                    s[3] =
-                                        (s[3] * self.opacity_scale as f32).clamp(0.0, 1.0);
+                                    s[3] = (s[3] * self.opacity_scale as f32).clamp(0.0, 1.0);
                                     // Front-to-back "over" compositing.
                                     let w = s[3] * (1.0 - color[3]);
                                     color[0] += s[0] * w;
@@ -184,8 +185,7 @@ mod tests {
         let np = grid.num_points();
         let mut vals = vec![0.0; np];
         vals[0] = 1.0; // establish the range so 0 maps to opacity 0
-        let ds =
-            DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals));
+        let ds = DataSet::uniform(grid).with_field(Field::scalar("f", Association::Points, vals));
         let out = VolumeRenderer::new("f", 16, 16, 1).execute(&ds);
         // Almost everything samples value 0 → zero opacity → coverage ≈ 0
         // except the single hot corner.
@@ -219,10 +219,7 @@ mod tests {
     fn working_set_is_the_volume() {
         let ds = dataset(8, true);
         let out = VolumeRenderer::new("f", 8, 8, 1).execute(&ds);
-        assert_eq!(
-            out.kernels[0].work.working_set_bytes,
-            (9u64 * 9 * 9) * 8
-        );
+        assert_eq!(out.kernels[0].work.working_set_bytes, (9u64 * 9 * 9) * 8);
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl Camera {
         let half_w = half_h * aspect;
         let u = ((x as f64 + 0.5) / width as f64) * 2.0 - 1.0;
         let v = ((y as f64 + 0.5) / height as f64) * 2.0 - 1.0;
-        Ray::new(self.position, forward + right * (u * half_w) + up * (v * half_h))
+        Ray::new(
+            self.position,
+            forward + right * (u * half_w) + up * (v * half_h),
+        )
     }
 
     /// `count` cameras orbiting the center of `bounds` in the equatorial

@@ -332,8 +332,8 @@ mod tests {
     fn payload_bytes_counts_fields() {
         let g = UniformGrid::cube_cells(2);
         let n = g.num_points();
-        let ds = DataSet::uniform(g)
-            .with_field(Field::scalar("e", Association::Points, vec![0.0; n]));
+        let ds =
+            DataSet::uniform(g).with_field(Field::scalar("e", Association::Points, vec![0.0; n]));
         assert_eq!(ds.payload_bytes(), (n * 8) as u64);
     }
 }

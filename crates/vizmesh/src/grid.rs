@@ -34,7 +34,11 @@ impl UniformGrid {
             spacing.x > 0.0 && spacing.y > 0.0 && spacing.z > 0.0,
             "spacing must be positive, got {spacing:?}"
         );
-        UniformGrid { point_dims, origin, spacing }
+        UniformGrid {
+            point_dims,
+            origin,
+            spacing,
+        }
     }
 
     /// Create a grid with `n³` **cells** spanning the unit cube, the shape
@@ -42,11 +46,7 @@ impl UniformGrid {
     pub fn cube_cells(n: usize) -> Self {
         assert!(n >= 1, "need at least one cell per axis");
         let d = n + 1;
-        UniformGrid::new(
-            [d, d, d],
-            Vec3::ZERO,
-            Vec3::splat(1.0 / n as f64),
-        )
+        UniformGrid::new([d, d, d], Vec3::ZERO, Vec3::splat(1.0 / n as f64))
     }
 
     /// Create a grid from **cell** dimensions over a given box.
@@ -345,7 +345,9 @@ mod tests {
         // A trilinear interpolant must reproduce any linear function exactly.
         let g = UniformGrid::cube_cells(4);
         let f = |p: Vec3| 2.0 * p.x - 3.0 * p.y + 0.5 * p.z + 1.0;
-        let values: Vec<f64> = (0..g.num_points()).map(|id| f(g.point_coord_id(id))).collect();
+        let values: Vec<f64> = (0..g.num_points())
+            .map(|id| f(g.point_coord_id(id)))
+            .collect();
         for &p in &[
             Vec3::splat(0.3),
             Vec3::new(0.12, 0.77, 0.5),
@@ -362,7 +364,9 @@ mod tests {
     fn sample_vector_reproduces_linear_field() {
         let g = UniformGrid::cube_cells(3);
         let f = |p: Vec3| Vec3::new(p.x, 2.0 * p.y, -p.z + 0.5);
-        let values: Vec<Vec3> = (0..g.num_points()).map(|id| f(g.point_coord_id(id))).collect();
+        let values: Vec<Vec3> = (0..g.num_points())
+            .map(|id| f(g.point_coord_id(id)))
+            .collect();
         let p = Vec3::new(0.4, 0.6, 0.2);
         let s = g.sample_vector(&values, p).unwrap();
         assert!((s - f(p)).length() < 1e-12);

@@ -128,8 +128,11 @@ mod tests {
     fn structured_header_and_dims() {
         let grid = UniformGrid::cube_cells(2);
         let n = grid.num_points();
-        let ds = DataSet::uniform(grid)
-            .with_field(Field::scalar("energy", Association::Points, vec![1.5; n]));
+        let ds = DataSet::uniform(grid).with_field(Field::scalar(
+            "energy",
+            Association::Points,
+            vec![1.5; n],
+        ));
         let text = render(&ds);
         assert!(text.starts_with("# vtk DataFile Version 3.0"));
         assert!(text.contains("DATASET STRUCTURED_POINTS"));
@@ -196,6 +199,11 @@ mod tests {
         let text = render(&ds);
         assert!(text.contains("CELLS 1 4"));
         assert!(text.contains("\n3 0 1 2\n"));
-        assert!(text.split("CELL_TYPES 1").nth(1).unwrap().trim().starts_with('4'));
+        assert!(text
+            .split("CELL_TYPES 1")
+            .nth(1)
+            .unwrap()
+            .trim()
+            .starts_with('4'));
     }
 }

@@ -1,0 +1,136 @@
+//! `xtask` — workspace automation for the vizpower reproduction.
+//!
+//! The library half hosts the static analyzer behind `cargo xtask lint`:
+//! three repo-specific policies that clippy cannot express, built on a
+//! lexical scanner so the crate stays dependency-free (it must compile
+//! before anything else does). See DESIGN.md "Static analysis &
+//! correctness policy" for the rationale of each lint.
+
+pub mod allow;
+pub mod diag;
+pub mod lints;
+pub mod policy;
+pub mod scan;
+
+use std::io;
+use std::path::Path;
+
+use allow::{Allowlist, PANICS_ALLOW, REDUCTIONS_ALLOW};
+use diag::{Diagnostic, ALLOWLIST};
+use policy::{is_lib_code_of, HOT_PATH_CRATES, KERNEL_CRATES, UNIT_EXEMPT_FILES};
+use scan::SourceFile;
+
+/// Analyzer options.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Also run the strict panic-policy checks (indexing heuristics).
+    pub strict: bool,
+}
+
+/// Result of a full workspace lint.
+#[derive(Debug)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lint every library source file under `root` (the workspace root).
+pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Report> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "not a workspace root (no Cargo.toml)",
+        ));
+    }
+    let panics_allow = Allowlist::load(root, PANICS_ALLOW);
+    let reductions_allow = Allowlist::load(root, REDUCTIONS_ALLOW);
+    let mut panics_used = vec![false; panics_allow.entries.len()];
+    let mut reductions_used = vec![false; reductions_allow.entries.len()];
+
+    let rels = scan::workspace_sources(root)?;
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0;
+    for rel in &rels {
+        let file = SourceFile::load(root, rel)?;
+        files_scanned += 1;
+        lint_file(
+            &file,
+            &panics_allow,
+            &mut panics_used,
+            &reductions_allow,
+            &mut reductions_used,
+            opts,
+            &mut diagnostics,
+        );
+    }
+    report_stale(&panics_allow, &panics_used, &mut diagnostics);
+    report_stale(&reductions_allow, &reductions_used, &mut diagnostics);
+    diag::sort(&mut diagnostics);
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+/// Run every applicable pass over one cleaned file. Exposed (with
+/// [`lint_source`]) so the golden tests can drive fixtures directly.
+#[allow(clippy::too_many_arguments)]
+pub fn lint_file(
+    file: &SourceFile,
+    panics_allow: &Allowlist,
+    panics_used: &mut [bool],
+    reductions_allow: &Allowlist,
+    reductions_used: &mut [bool],
+    opts: &Options,
+    out: &mut Vec<Diagnostic>,
+) {
+    if is_lib_code_of(&file.rel_path, HOT_PATH_CRATES) {
+        lints::panic_policy(file, panics_allow, panics_used, opts.strict, out);
+    }
+    if !UNIT_EXEMPT_FILES.contains(&file.rel_path.as_str()) {
+        lints::unit_safety(file, out);
+    }
+    if is_lib_code_of(&file.rel_path, KERNEL_CRATES) {
+        lints::reduction_determinism(file, reductions_allow, reductions_used, out);
+    }
+}
+
+/// Lint a single source text under a virtual workspace-relative path,
+/// with empty allowlists. This is the fixture-test entry point.
+pub fn lint_source(rel_path: &str, text: &str, opts: &Options) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(rel_path, text);
+    let panics = Allowlist::default();
+    let reductions = Allowlist::default();
+    let mut out = Vec::new();
+    lint_file(
+        &file,
+        &panics,
+        &mut [],
+        &reductions,
+        &mut [],
+        opts,
+        &mut out,
+    );
+    diag::sort(&mut out);
+    out
+}
+
+fn report_stale(list: &Allowlist, used: &[bool], out: &mut Vec<Diagnostic>) {
+    for entry in list.stale(used) {
+        out.push(Diagnostic::new(
+            &list.source,
+            entry.list_line,
+            ALLOWLIST,
+            format!(
+                "stale entry `{} :: {}` matches no flagged site; remove it",
+                entry.rel_path, entry.needle
+            ),
+        ));
+    }
+}

@@ -1,0 +1,406 @@
+//! The three repo-specific lint passes: panic-policy, unit-safety, and
+//! reduction-determinism. Each pass takes a cleaned [`SourceFile`] and
+//! appends [`Diagnostic`]s; path scoping lives in [`crate::policy`].
+
+use crate::allow::{Allowlist, INFALLIBLE_MARKER, PANICS_ALLOW, REDUCTIONS_ALLOW};
+use crate::diag::{Diagnostic, PANIC_POLICY, REDUCTION_DETERMINISM, UNIT_SAFETY};
+use crate::policy::{unit_family, UnitFamily, UNIT_BOUNDARY_FILES};
+use crate::scan::SourceFile;
+
+/// Tokens that violate the panic policy in hot-path library code.
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Lexical seeds of a rayon parallel iterator chain.
+const PAR_SEEDS: &[&str] = &["par_iter", "par_chunks", "par_windows", "par_bridge"];
+
+// ---------------------------------------------------------------------------
+// Panic policy
+// ---------------------------------------------------------------------------
+
+pub fn panic_policy(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut [bool],
+    strict: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if !line.code.contains(tok) {
+                continue;
+            }
+            let justified =
+                line.comment.contains(INFALLIBLE_MARKER) || justified_above(file, line.number);
+            let registered = allow.covers(used, &file.rel_path, &line.raw);
+            if justified && registered {
+                continue;
+            }
+            let display = tok.trim_end_matches("()").trim_end_matches('(');
+            let message = if justified {
+                format!("`{display}` is justified inline but not registered in {PANICS_ALLOW}")
+            } else {
+                format!(
+                    "`{display}` in hot-path library code; return Result/Option, or justify \
+                     with `// {INFALLIBLE_MARKER} ...` and register the site in {PANICS_ALLOW}"
+                )
+            };
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                line.number,
+                PANIC_POLICY,
+                message,
+            ));
+        }
+        if strict && has_unjustified_indexing(&line.code, &line.comment) {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                line.number,
+                PANIC_POLICY,
+                format!(
+                    "indexing can panic in hot-path library code (strict mode); prefer \
+                     `get`/iterators or add a `// {INFALLIBLE_MARKER} ...` note"
+                ),
+            ));
+        }
+    }
+}
+
+/// A justification may also sit on comment-only lines immediately above
+/// the panic site (the style rustfmt-friendly call chains use).
+fn justified_above(file: &SourceFile, number: usize) -> bool {
+    let mut idx = number.saturating_sub(1); // 0-based index of the site
+    while idx > 0 {
+        idx -= 1;
+        let prev = &file.lines[idx];
+        if !prev.code.trim().is_empty() || prev.comment.is_empty() {
+            return false;
+        }
+        if prev.comment.contains(INFALLIBLE_MARKER) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Strict-mode heuristic: `expr[...]` indexing — a `[` whose previous
+/// non-space character ends an expression (identifier, `)`, or `]`).
+fn has_unjustified_indexing(code: &str, comment: &str) -> bool {
+    if comment.contains("lint:") || code.trim_start().starts_with("#[") {
+        return false;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let prev = chars[..i].iter().rev().find(|ch| !ch.is_whitespace());
+        if let Some(&p) = prev {
+            if p.is_alphanumeric() || p == '_' || p == ')' || p == ']' {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Unit safety
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Op(&'static str),
+    Other,
+}
+
+/// Binary operators that demand dimensional agreement between operands.
+const UNIT_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="];
+
+pub fn unit_safety(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let boundary = UNIT_BOUNDARY_FILES.contains(&file.rel_path.as_str());
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        mixed_family_arithmetic(file, line.number, &line.code, out);
+        if boundary {
+            raw_f64_boundary(file, line.number, &line.code, out);
+        }
+    }
+}
+
+/// Rule A: `a <op> b` where `a` and `b` carry different unit families by
+/// name. Multiplication/division across families is legitimate physics
+/// (W·s, 1/s, ...) and is not flagged.
+fn mixed_family_arithmetic(
+    file: &SourceFile,
+    number: usize,
+    code: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = tokenize(code);
+    for w in toks.windows(3) {
+        let (Tok::Ident(a), Tok::Op(op), Tok::Ident(b)) = (&w[0], &w[1], &w[2]) else {
+            continue;
+        };
+        if !UNIT_OPS.contains(op) {
+            continue;
+        }
+        let (Some(fa), Some(fb)) = (unit_family(a), unit_family(b)) else {
+            continue;
+        };
+        if fa != fb {
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                number,
+                UNIT_SAFETY,
+                format!(
+                    "mixed-unit arithmetic: `{a} {op} {b}` combines {} with {}; convert \
+                     explicitly through the `Watts`/`Joules` newtypes (vizpower::energy)",
+                    fa.name(),
+                    fb.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule B: in boundary files, a watt-/joule-named `f64` declaration
+/// (`cap_watts: f64`, `fn energy_joules(..) -> f64`) bypasses the newtypes.
+fn raw_f64_boundary(file: &SourceFile, number: usize, code: &str, out: &mut Vec<Diagnostic>) {
+    let chars: Vec<char> = code.chars().collect();
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("f64") {
+        let at = search + pos;
+        search = at + 3;
+        // Token boundaries: reject `f641` or `xf64`.
+        let before = at.checked_sub(1).map(|i| bytes[i] as char);
+        let after = chars.get(at + 3);
+        if before.is_some_and(|c| c.is_alphanumeric() || c == '_')
+            || after.is_some_and(|c| c.is_alphanumeric() || *c == '_')
+        {
+            continue;
+        }
+        let lead: String = code[..at].trim_end().to_string();
+        let family = if let Some(prefix) = lead.strip_suffix(':') {
+            unit_family(&trailing_ident(prefix))
+        } else if lead.ends_with("->") {
+            code.find("fn ")
+                .map(|f| leading_ident(&code[f + 3..]))
+                .and_then(|name| unit_family(&name))
+        } else {
+            None
+        };
+        let Some(family) = family else { continue };
+        let newtype = match family {
+            UnitFamily::Watts => "Watts",
+            UnitFamily::Joules => "Joules",
+            _ => continue, // seconds/hertz stay raw f64 by design
+        };
+        out.push(Diagnostic::new(
+            &file.rel_path,
+            number,
+            UNIT_SAFETY,
+            format!(
+                "raw `f64` carries a {} quantity across the power API boundary; use the \
+                 `{newtype}` newtype from powersim::units",
+                family.name()
+            ),
+        ));
+    }
+}
+
+fn trailing_ident(s: &str) -> String {
+    s.trim_end()
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect()
+}
+
+fn leading_ident(s: &str) -> String {
+    s.trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Lexical tokenizer for rule A. Field paths collapse to their final
+/// segment (`r.energy_joules` → `energy_joules`); any call expression
+/// (`x.value()`, `f(..)`, `m!(..)`) becomes an opaque token, which makes
+/// `.value()` and the newtype conversion methods the sanctioned escape
+/// hatches.
+fn tokenize(code: &str) -> Vec<Tok> {
+    const MULTI: &[&str] = &[
+        "<<=", ">>=", "..=", "->", "=>", "..", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+        "&&", "||", "<<", ">>",
+    ];
+    let chars: Vec<char> = code.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let (tok, next) = read_path(&chars, i);
+            toks.push(tok);
+            i = next;
+        } else if c.is_ascii_digit() {
+            i = skip_number(&chars, i);
+            toks.push(Tok::Other);
+        } else {
+            let rest: String = chars[i..].iter().take(3).collect();
+            if let Some(op) = MULTI.iter().find(|m| rest.starts_with(**m)) {
+                toks.push(if UNIT_OPS.contains(op) {
+                    Tok::Op(op)
+                } else {
+                    Tok::Other
+                });
+                i += op.len();
+            } else {
+                let single: &'static str = match c {
+                    '+' => "+",
+                    '-' => "-",
+                    '<' => "<",
+                    '>' => ">",
+                    _ => "",
+                };
+                toks.push(if single.is_empty() {
+                    Tok::Other
+                } else {
+                    Tok::Op(single)
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Read an identifier or dotted path starting at `i`; returns the token
+/// and the index just past it.
+fn read_path(chars: &[char], mut i: usize) -> (Tok, usize) {
+    let mut last = String::new();
+    loop {
+        last.clear();
+        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            last.push(chars[i]);
+            i += 1;
+        }
+        // Follow `.ident` chains; stop at `.0` tuple access or `..` ranges.
+        if i + 1 < chars.len()
+            && chars[i] == '.'
+            && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+        {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    // A call makes the value's unit opaque; `!` marks a macro.
+    let mut j = i;
+    while j < chars.len() && chars[j].is_whitespace() {
+        j += 1;
+    }
+    if j < chars.len() && (chars[j] == '(' || chars[j] == '!') {
+        return (Tok::Other, i);
+    }
+    (Tok::Ident(last), i)
+}
+
+fn skip_number(chars: &[char], mut i: usize) -> usize {
+    let mut prev_exp = false;
+    while i < chars.len() {
+        let c = chars[i];
+        let keep = c.is_ascii_alphanumeric()
+            || c == '_'
+            || c == '.'
+            || (prev_exp && (c == '+' || c == '-'));
+        if !keep {
+            break;
+        }
+        prev_exp = c == 'e' || c == 'E';
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Reduction determinism
+// ---------------------------------------------------------------------------
+
+pub fn reduction_determinism(
+    file: &SourceFile,
+    allow: &Allowlist,
+    used: &mut [bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut skip_until = 0;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || idx < skip_until {
+            continue;
+        }
+        if !PAR_SEEDS.iter().any(|s| line.code.contains(s)) {
+            continue;
+        }
+        let statement = file.statement_at(idx, 16);
+        // One statement, one diagnostic: later seed lines of this chain
+        // are part of the same statement and must not re-fire.
+        skip_until = idx + file.statement_span(idx, 16);
+        if !has_unordered_float_reduction(&statement) {
+            continue;
+        }
+        if allow.covers(used, &file.rel_path, &line.raw) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            &file.rel_path,
+            line.number,
+            REDUCTION_DETERMINISM,
+            format!(
+                "unordered parallel float reduction; results may vary across thread counts \
+                 — make the combine order deterministic or register the site in \
+                 {REDUCTIONS_ALLOW}"
+            ),
+        ));
+    }
+}
+
+/// `.reduce(`/`.fold(` are unordered combines under rayon; `.sum()` is
+/// flagged when the element type is floating (or unannotated, in which
+/// case we stay conservative). Integer sums are associative and exact.
+fn has_unordered_float_reduction(statement: &str) -> bool {
+    if statement.contains(".reduce(") || statement.contains(".fold(") {
+        return true;
+    }
+    let mut search = 0;
+    while let Some(pos) = statement[search..].find(".sum") {
+        let rest = &statement[search + pos + 4..];
+        search += pos + 4;
+        if rest.starts_with("()") {
+            return true; // unannotated: conservative
+        }
+        if let Some(ty) = rest.strip_prefix("::<") {
+            if ty.starts_with('f') {
+                return true;
+            }
+        }
+    }
+    false
+}

@@ -1,0 +1,156 @@
+//! CLI for the workspace automation tasks.
+//!
+//! ```text
+//! cargo xtask lint [--strict] [--root DIR]   # repo-specific static analysis
+//! cargo xtask ci   [--root DIR]              # full local CI: fmt, clippy, lint, build, test
+//! ```
+//!
+//! Exit codes: 0 clean, 1 policy violations, 2 usage or environment error.
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use xtask::{lint_workspace, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut strict = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strict" => strict = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return ExitCode::from(usage("--root requires a directory argument")),
+                }
+            }
+            "lint" | "ci" | "help" if cmd.is_none() => cmd = Some(args[i].clone()),
+            other => return ExitCode::from(usage(&format!("unrecognized argument `{other}`"))),
+        }
+        i += 1;
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(dir) => dir,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let code = match cmd.as_deref() {
+        Some("lint") => run_lint(&root, strict),
+        Some("ci") => run_ci(&root, strict),
+        _ => usage(""),
+    };
+    ExitCode::from(code)
+}
+
+fn usage(error: &str) -> u8 {
+    if !error.is_empty() {
+        eprintln!("xtask: {error}");
+    }
+    eprintln!("usage: cargo xtask <lint [--strict] | ci> [--root DIR]");
+    2
+}
+
+fn run_lint(root: &Path, strict: bool) -> u8 {
+    let report = match lint_workspace(root, &Options { strict }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("xtask lint: i/o error walking {}: {e}", root.display());
+            return 2;
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.is_clean() {
+        eprintln!("xtask lint: {} files clean", report.files_scanned);
+        0
+    } else {
+        eprintln!(
+            "xtask lint: {} violation(s) in {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        1
+    }
+}
+
+/// The local CI umbrella, mirroring .github/workflows/ci.yml.
+fn run_ci(root: &Path, strict: bool) -> u8 {
+    let steps: &[(&str, &[&str])] = &[
+        ("cargo fmt --check", &["fmt", "--all", "--check"]),
+        (
+            "cargo clippy",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+    ];
+    for (label, argv) in steps {
+        if let Some(code) = run_step(root, label, argv) {
+            return code;
+        }
+    }
+    let lint = run_lint(root, strict);
+    if lint != 0 {
+        return lint;
+    }
+    let tier1: &[(&str, &[&str])] = &[
+        ("cargo build --release", &["build", "--release"]),
+        ("cargo test -q", &["test", "-q"]),
+    ];
+    for (label, argv) in tier1 {
+        if let Some(code) = run_step(root, label, argv) {
+            return code;
+        }
+    }
+    eprintln!("xtask ci: all steps passed");
+    0
+}
+
+/// Run one cargo step; `Some(code)` means it failed and CI should stop.
+fn run_step(root: &Path, label: &str, argv: &[&str]) -> Option<u8> {
+    eprintln!("xtask ci: running {label}");
+    match Command::new("cargo").args(argv).current_dir(root).status() {
+        Ok(status) if status.success() => None,
+        Ok(_) => {
+            eprintln!("xtask ci: step failed: {label}");
+            Some(1)
+        }
+        Err(e) => {
+            eprintln!("xtask ci: could not spawn cargo for {label}: {e}");
+            Some(2)
+        }
+    }
+}
+
+/// Walk upward from the current directory to the workspace root (the
+/// first Cargo.toml declaring `[workspace]`).
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory; pass --root".into());
+        }
+    }
+}

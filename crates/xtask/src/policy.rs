@@ -1,0 +1,89 @@
+//! The repo-specific policy: which files each lint watches and how
+//! power/energy/time/frequency identifiers are recognized.
+
+/// Crates whose library code sits on the measurement hot path. The
+/// panic-policy and reduction-determinism lints only apply here.
+pub const HOT_PATH_CRATES: &[&str] = &["vizalgo", "cloverleaf", "powersim"];
+
+/// Kernel crates where unordered parallel float reductions would make the
+/// paper tables run-to-run irreproducible.
+pub const KERNEL_CRATES: &[&str] = &["vizalgo", "cloverleaf"];
+
+/// Files forming the power/energy API boundary between `powersim` and
+/// `vizpower` (core). Inside these, a watt- or joule-named `f64`
+/// declaration is a violation: the quantity must use the `Watts`/`Joules`
+/// newtypes from `powersim::units` (re-exported as `vizpower::energy`).
+pub const UNIT_BOUNDARY_FILES: &[&str] = &[
+    "crates/powersim/src/rapl.rs",
+    "crates/powersim/src/exec.rs",
+    "crates/powersim/src/node.rs",
+    "crates/powersim/src/cpu.rs",
+    "crates/powersim/src/msr.rs",
+    "crates/core/src/energy.rs",
+    "crates/core/src/study.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/advisor.rs",
+    "crates/core/src/efficiency.rs",
+    "crates/core/src/ablation.rs",
+    "crates/core/src/arch.rs",
+    "crates/core/src/classify.rs",
+];
+
+/// Files exempt from the unit-safety lint: the newtype definitions
+/// themselves, whose internals are raw `f64` by construction.
+pub const UNIT_EXEMPT_FILES: &[&str] = &["crates/powersim/src/units.rs"];
+
+/// Returns the crate name (directory under `crates/`) for a
+/// workspace-relative path, or `None` for the root package.
+pub fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// True when the path is library code of one of `crates` — under `src/`
+/// but not under `src/bin/` (binaries are user-facing entry points, held
+/// to the CLI error-handling policy instead).
+pub fn is_lib_code_of(rel_path: &str, crates: &[&str]) -> bool {
+    let Some(name) = crate_of(rel_path) else {
+        return false;
+    };
+    crates.contains(&name) && rel_path.contains("/src/") && !rel_path.contains("/src/bin/")
+}
+
+/// The dimensional family of a quantity, inferred from identifier naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitFamily {
+    Watts,
+    Joules,
+    Seconds,
+    Hertz,
+}
+
+impl UnitFamily {
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitFamily::Watts => "watts",
+            UnitFamily::Joules => "joules",
+            UnitFamily::Seconds => "seconds",
+            UnitFamily::Hertz => "hertz",
+        }
+    }
+}
+
+/// Infer the unit family of an identifier from its name, following the
+/// workspace naming convention (`cap_watts`, `energy_joules`, `seconds`,
+/// `freq_ghz`, ...).
+pub fn unit_family(ident: &str) -> Option<UnitFamily> {
+    let n = ident.to_ascii_lowercase();
+    if n.contains("watt") {
+        Some(UnitFamily::Watts)
+    } else if n.contains("joule") {
+        Some(UnitFamily::Joules)
+    } else if n.contains("second") || n.ends_with("_sec") || n.ends_with("_secs") || n == "secs" {
+        Some(UnitFamily::Seconds)
+    } else if n.contains("hz") || n.contains("freq") {
+        Some(UnitFamily::Hertz)
+    } else {
+        None
+    }
+}

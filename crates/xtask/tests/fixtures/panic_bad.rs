@@ -1,0 +1,24 @@
+//! Fixture: panic-policy violations in hot-path library code.
+
+pub fn centroid(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let last = xs.last().expect("non-empty");
+    if xs.len() < 2 {
+        panic!("need at least two samples");
+    }
+    0.5 * (first + last)
+}
+
+/// Justified inline but not registered in the allowlist.
+pub fn tail(xs: &[f64]) -> f64 {
+    *xs.last().unwrap() // lint: infallible because callers pass a non-empty slice
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let xs = vec![1.0, 3.0];
+        assert_eq!(xs.first().unwrap() + xs.last().unwrap(), 4.0);
+    }
+}

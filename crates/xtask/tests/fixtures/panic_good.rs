@@ -1,0 +1,21 @@
+//! Fixture: hot-path library code that satisfies the panic policy.
+
+pub fn centroid(xs: &[f64]) -> Option<f64> {
+    let first = xs.first()?;
+    let last = xs.last()?;
+    Some(0.5 * (first + last))
+}
+
+pub fn scale(xs: &mut [f64], k: f64) {
+    for x in xs.iter_mut() {
+        *x = k.max(0.0) * *x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::centroid(&[2.0, 4.0]).unwrap(), 3.0);
+    }
+}

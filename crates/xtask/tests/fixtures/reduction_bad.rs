@@ -1,0 +1,13 @@
+//! Fixture: unordered parallel float reductions.
+
+use rayon::prelude::*;
+
+pub fn total_energy(cells: &[f64]) -> f64 {
+    cells.par_iter().map(|c| c * 2.0).sum::<f64>()
+}
+
+pub fn max_speed(u: &[f64]) -> f64 {
+    u.par_iter()
+        .copied()
+        .reduce(|| 0.0, f64::max)
+}

@@ -1,0 +1,19 @@
+//! Fixture: reductions that keep the tables bitwise-reproducible.
+
+use rayon::prelude::*;
+
+pub fn count_active(flags: &[bool]) -> usize {
+    flags.par_iter().filter(|f| **f).count()
+}
+
+pub fn total_cells(sizes: &[usize]) -> usize {
+    sizes.par_iter().copied().sum::<usize>()
+}
+
+pub fn sequential_sum(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>()
+}
+
+pub fn gathered(xs: &[f64]) -> Vec<f64> {
+    xs.par_iter().map(|x| x + 1.0).collect()
+}

@@ -1,0 +1,18 @@
+//! Fixture: unit-safety violations at the power API boundary.
+
+pub struct Row {
+    pub cap_watts: f64,
+    pub seconds: f64,
+}
+
+pub fn peak_power_watts(rows: &[Row]) -> f64 {
+    rows.iter().map(|r| r.cap_watts).fold(0.0, f64::max)
+}
+
+pub fn nonsense(energy_joules: f64, seconds: f64) -> f64 {
+    energy_joules + seconds
+}
+
+pub fn worse(cap_watts: f64, freq_ghz: f64) -> bool {
+    cap_watts < freq_ghz
+}

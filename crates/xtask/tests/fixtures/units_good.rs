@@ -1,0 +1,21 @@
+//! Fixture: unit-safe boundary code using the newtypes.
+
+use powersim::units::{Joules, Watts};
+
+pub struct Row {
+    pub cap_watts: Watts,
+    pub energy_joules: Joules,
+    pub seconds: f64,
+}
+
+pub fn average_power(r: &Row) -> Watts {
+    r.energy_joules.over_seconds(r.seconds)
+}
+
+pub fn energy_ratio(a: &Row, b: &Row) -> f64 {
+    a.energy_joules / b.energy_joules
+}
+
+pub fn headroom(r: &Row, tdp_watts: Watts) -> Watts {
+    tdp_watts - r.cap_watts
+}

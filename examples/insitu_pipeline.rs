@@ -12,7 +12,7 @@
 //! case.
 
 use vizpower_suite::insitu::{ActionList, InSituRuntime, RuntimeConfig, Trigger};
-use vizpower_suite::powersim::CpuSpec;
+use vizpower_suite::powersim::{CpuSpec, Watts};
 use vizpower_suite::vizalgo::{KernelClass, KernelReport};
 use vizpower_suite::vizpower::advisor;
 use vizpower_suite::vizpower::characterize::characterize;
@@ -55,24 +55,22 @@ fn main() {
     // Characterize both sides and ask the advisor for a split of a 140 W
     // two-socket budget (70 W + 70 W would be the naive choice).
     let spec = CpuSpec::broadwell_e5_2695v4();
-    let sim_reports: Vec<KernelReport> = run
-        .cycles
-        .iter()
-        .map(|c| c.sim_work.clone())
-        .collect();
+    let sim_reports: Vec<KernelReport> = run.cycles.iter().map(|c| c.sim_work.clone()).collect();
     let viz_reports: Vec<KernelReport> = run
         .cycles
         .iter()
         .flat_map(|c| c.viz_kernels.iter().cloned())
         .collect();
     assert!(
-        sim_reports.iter().all(|r| r.class == KernelClass::Simulation),
+        sim_reports
+            .iter()
+            .all(|r| r.class == KernelClass::Simulation),
         "simulation work is tagged with the Simulation class"
     );
     let sim_workload = characterize("cloverleaf", &sim_reports, &spec);
     let viz_workload = characterize("visualization", &viz_reports, &spec);
 
-    let plan = advisor::allocate(&sim_workload, &viz_workload, 140.0, &spec);
+    let plan = advisor::allocate(&sim_workload, &viz_workload, Watts(140.0), &spec);
     println!("\npower advisor, {} W node budget:", plan.budget_watts);
     println!(
         "  simulation socket   {:>5.0} W\n  visualization socket {:>4.0} W",

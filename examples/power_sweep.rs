@@ -44,8 +44,10 @@ fn main() {
             "at 40 W the slowdown ({:.2}x) is smaller than the power cut ({:.1}x) —",
             last.tratio, last.pratio
         );
-        println!("users can trade {:.1}x less power for a {:.2}x longer run (paper §V-A).",
-            last.pratio, last.tratio);
+        println!(
+            "users can trade {:.1}x less power for a {:.2}x longer run (paper §V-A).",
+            last.pratio, last.tratio
+        );
     } else {
         println!(
             "at 40 W the slowdown ({:.2}x) matches or exceeds the power cut ({:.1}x) —",

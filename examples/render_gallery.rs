@@ -11,8 +11,9 @@
 //! volume rendering produce images directly.
 
 use std::path::PathBuf;
-use vizpower_suite::vizalgo::raytrace::{Bvh, Triangle};
+use vizpower_suite::powersim::Watts;
 use vizpower_suite::vizalgo::colormap::ColorMap;
+use vizpower_suite::vizalgo::raytrace::{Bvh, Triangle};
 use vizpower_suite::vizalgo::{Algorithm, Filter, RayTracer, VolumeRenderer};
 use vizpower_suite::vizmesh::{Camera, CellShape, DataSet, Image, Vec3};
 use vizpower_suite::vizpower::study::{build_filter, dataset_for, StudyConfig};
@@ -130,7 +131,7 @@ fn main() {
     println!("building the CloverLeaf dataset (32^3) ...");
     let data = dataset_for(32);
     let config = StudyConfig {
-        caps: vec![120.0],
+        caps: vec![Watts(120.0)],
         isovalues: 10,
         render_px: PX,
         cameras: 1,

@@ -3,11 +3,9 @@
 //! algorithm executions, simulated power-capped processor — at reduced
 //! scale so the suite stays fast.
 
-use vizpower_suite::powersim::CpuSpec;
+use vizpower_suite::powersim::{CpuSpec, Watts};
 use vizpower_suite::vizalgo::Algorithm;
-use vizpower_suite::vizpower::study::{
-    sweep, StudyConfig, StudyContext, PAPER_CAPS,
-};
+use vizpower_suite::vizpower::study::{sweep, StudyConfig, StudyContext, PAPER_CAPS};
 use vizpower_suite::vizpower::{classify, first_slowdown_cap, PowerClass};
 
 fn quick_ctx() -> StudyContext {
@@ -31,9 +29,7 @@ fn classes_match_the_paper() {
         let sweep = ctx.sweep(algorithm, SIZE);
         let class = classify(&sweep.ratios());
         let expected = match algorithm {
-            Algorithm::ParticleAdvection | Algorithm::VolumeRendering => {
-                PowerClass::PowerSensitive
-            }
+            Algorithm::ParticleAdvection | Algorithm::VolumeRendering => PowerClass::PowerSensitive,
             _ => PowerClass::PowerOpportunity,
         };
         assert_eq!(class, expected, "{algorithm} misclassified");
@@ -180,7 +176,10 @@ fn slice_ipc_rises_with_size() {
 #[test]
 fn advection_ipc_flat_with_size() {
     let mut ctx = quick_ctx();
-    let small = ctx.sweep(Algorithm::ParticleAdvection, 8).baseline().avg_ipc;
+    let small = ctx
+        .sweep(Algorithm::ParticleAdvection, 8)
+        .baseline()
+        .avg_ipc;
     let large = ctx
         .sweep(Algorithm::ParticleAdvection, 20)
         .baseline()
@@ -203,8 +202,8 @@ fn volren_ipc_falls_past_llc_capacity() {
     spec.llc_bytes = 150 * 1024;
     let small_run = ctx.run(Algorithm::VolumeRendering, 24);
     let large_run = ctx.run(Algorithm::VolumeRendering, 48);
-    let small = sweep(&small_run, &[120.0], &spec).baseline().avg_ipc;
-    let large = sweep(&large_run, &[120.0], &spec).baseline().avg_ipc;
+    let small = sweep(&small_run, &[Watts(120.0)], &spec).baseline().avg_ipc;
+    let large = sweep(&large_run, &[Watts(120.0)], &spec).baseline().avg_ipc;
     assert!(
         large < small * 0.97,
         "volren IPC should fall past capacity: {small} -> {large}"

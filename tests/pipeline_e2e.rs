@@ -1,9 +1,11 @@
 //! End-to-end integration: hydro → in situ pipelines → characterization →
 //! simulated power execution → advisor, across crate boundaries.
 
-use vizpower_suite::insitu::{Action, ActionList, FilterSpec, InSituRuntime, RendererSpec, RuntimeConfig, Trigger};
 use vizpower_suite::cloverleaf::Problem;
-use vizpower_suite::powersim::{CpuSpec, Package};
+use vizpower_suite::insitu::{
+    Action, ActionList, FilterSpec, InSituRuntime, RendererSpec, RuntimeConfig, Trigger,
+};
+use vizpower_suite::powersim::{CpuSpec, Package, Watts};
 use vizpower_suite::vizalgo::KernelClass;
 use vizpower_suite::vizpower::advisor;
 use vizpower_suite::vizpower::characterize::characterize;
@@ -77,8 +79,8 @@ fn characterized_insitu_work_runs_under_caps() {
     let workload = characterize("viz", &viz_reports, &spec);
     assert!(!workload.is_empty());
 
-    let uncapped = Package::new(spec.clone()).run_capped(&workload, 120.0);
-    let capped = Package::new(spec).run_capped(&workload, 40.0);
+    let uncapped = Package::new(spec.clone()).run_capped(&workload, Watts(120.0));
+    let capped = Package::new(spec).run_capped(&workload, Watts(40.0));
     assert!(uncapped.seconds > 0.0);
     assert!(capped.seconds >= uncapped.seconds);
     assert!(capped.avg_power_watts <= 41.0);
@@ -106,12 +108,12 @@ fn advisor_end_to_end_gives_power_to_the_bottleneck() {
         .collect();
     let sim = characterize("sim", &sim_reports, &spec);
     let viz = characterize("viz", &viz_reports, &spec);
-    let plan = advisor::allocate(&sim, &viz, 150.0, &spec);
+    let plan = advisor::allocate(&sim, &viz, Watts(150.0), &spec);
     assert!(plan.improvement() >= 1.0);
     assert!(plan.sim_cap_watts + plan.viz_cap_watts <= 150.0 + 1e-9);
     // The advisor gives at least the naive share to whichever side is
     // slower at the uniform split — here the simulation.
-    let naive_cap = 75.0;
+    let naive_cap = Watts(75.0);
     let t_sim = advisor::predict_seconds(&sim, naive_cap, &spec);
     let t_viz = advisor::predict_seconds(&viz, naive_cap, &spec);
     if t_sim > t_viz * 1.05 {
