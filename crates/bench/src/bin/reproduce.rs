@@ -8,35 +8,87 @@
 //! reproduce energy  [--quick]     # extension: energy / EDP per cap
 //! reproduce arch    [--quick]     # extension: cross-architecture study
 //! reproduce ablation [--quick]    # extension: model-mechanism ablations
+//!
+//! reproduce <target> --journal out.jsonl   # write the run journal (JSONL)
+//! reproduce <target> --trace out.trace.json # write a chrome://tracing file
 //! ```
 //!
 //! `--quick` shrinks data sizes and render resolutions ~100× while
 //! preserving the experiment structure; use it for smoke runs. Without
 //! it, sizes match the paper (32³–256³ cells; allow several minutes).
+//!
+//! `--journal` / `--trace` enable the run journal: every study phase,
+//! cap sweep row, workload, kernel phase, 100 ms sample, and RAPL cap
+//! change is recorded as a typed event (schema: `docs/OBSERVABILITY.md`).
 
 use std::env;
+use std::path::{Path, PathBuf};
 use vizalgo::Algorithm;
 use vizpower::experiments::{self, FigMetric};
 use vizpower::report;
 use vizpower::study::StudyContext;
 use vizpower::{ablation, arch, energy};
-use vizpower_bench::{CliError, Fidelity};
+use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation> [--quick]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation> [--quick] [--journal <out.jsonl>] [--trace <out.trace.json>]"
     ))
+}
+
+/// Serialize the context's journal to the requested output files.
+fn write_journal_outputs(
+    ctx: &StudyContext,
+    journal_path: Option<&Path>,
+    trace_path: Option<&Path>,
+) -> Result<(), CliError> {
+    if let Some(path) = journal_path {
+        std::fs::write(path, ctx.journal.to_jsonl())
+            .map_err(|e| CliError::new(format!("writing journal {}: {e}", path.display())))?;
+        eprintln!(
+            "journal: {} events ({} dropped) -> {}",
+            ctx.journal.len(),
+            ctx.journal.dropped(),
+            path.display()
+        );
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(path, ctx.journal.to_chrome_trace())
+            .map_err(|e| CliError::new(format!("writing trace {}: {e}", path.display())))?;
+        eprintln!(
+            "trace:   {} events -> {} (open in chrome://tracing or ui.perfetto.dev)",
+            ctx.journal.len(),
+            path.display()
+        );
+    }
+    Ok(())
 }
 
 fn main() -> Result<(), CliError> {
     let args: Vec<String> = env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
-    let Some(&target) = targets.first() else {
+    let mut quick = false;
+    let mut journal_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--journal" => {
+                let path = it.next().ok_or_else(|| usage("--journal needs a path"))?;
+                journal_path = Some(PathBuf::from(path));
+            }
+            "--trace" => {
+                let path = it.next().ok_or_else(|| usage("--trace needs a path"))?;
+                trace_path = Some(PathBuf::from(path));
+            }
+            other if other.starts_with("--") => {
+                return Err(usage(&format!("unknown flag '{other}'")));
+            }
+            _ => targets.push(arg),
+        }
+    }
+    let Some(target) = targets.first().map(|s| s.as_str()) else {
         return Err(usage("missing target"));
     };
     let fidelity = if quick {
@@ -45,6 +97,9 @@ fn main() -> Result<(), CliError> {
         Fidelity::Paper
     };
     let mut ctx = StudyContext::new(fidelity.study_config());
+    if journal_path.is_some() || trace_path.is_some() {
+        ctx.enable_journal(JOURNAL_CAPACITY);
+    }
 
     let run = |ctx: &mut StudyContext, what: &str| -> bool {
         let t2 = fidelity.table2_size();
@@ -194,6 +249,7 @@ fn main() -> Result<(), CliError> {
         other => run(&mut ctx, other),
     };
     if ok {
+        write_journal_outputs(&ctx, journal_path.as_deref(), trace_path.as_deref())?;
         Ok(())
     } else {
         Err(usage(&format!("unknown target '{target}'")))

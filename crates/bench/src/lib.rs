@@ -16,6 +16,12 @@
 
 use vizpower::study::{StudyConfig, PAPER_SIZES};
 
+/// Ring-buffer capacity (events) used when `reproduce` enables the run
+/// journal: large enough for `reproduce all` at paper fidelity, small
+/// enough (~100 MB worst case) to stay harmless on a laptop. Drops are
+/// counted and reported, never silent.
+pub const JOURNAL_CAPACITY: usize = 1 << 20;
+
 /// Sizes used by the reproduction at each fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fidelity {

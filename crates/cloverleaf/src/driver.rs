@@ -3,6 +3,7 @@
 use crate::kernels::{self, Scratch};
 use crate::problems::Problem;
 use crate::state::State;
+use powersim::trace::{Journal, Scope};
 use serde::{Deserialize, Serialize};
 use vizmesh::{DataSet, WorkCounters};
 
@@ -107,11 +108,47 @@ impl Simulation {
         }
     }
 
+    /// Advance one time step like [`Simulation::step`], additionally
+    /// advancing `journal`'s clock by the step's simulated duration and
+    /// emitting a [`Scope::Timestep`] span covering it.
+    pub fn step_journaled(&mut self, journal: &mut Journal) -> StepReport {
+        let time_before = self.time;
+        let report = self.step();
+        let t0 = journal.now();
+        // `report.dt` is the *next* step's dt; this step advanced time
+        // by `report.t - time_before`.
+        let step_dt = report.t - time_before;
+        journal.advance(step_dt);
+        if journal.is_enabled() {
+            journal.push_span(
+                Scope::Timestep,
+                format!("step:{}", report.step),
+                t0,
+                None,
+                vec![
+                    ("step", report.step as f64),
+                    ("dt", step_dt),
+                    ("instructions", report.work.instructions as f64),
+                ],
+            );
+        }
+        report
+    }
+
     /// Run `n` steps, returning the accumulated work.
     pub fn run_steps(&mut self, n: u64) -> WorkCounters {
         let mut total = WorkCounters::new();
         for _ in 0..n {
             total += self.step().work;
+        }
+        total
+    }
+
+    /// Run `n` steps like [`Simulation::run_steps`], journaling each.
+    pub fn run_steps_journaled(&mut self, n: u64, journal: &mut Journal) -> WorkCounters {
+        let mut total = WorkCounters::new();
+        for _ in 0..n {
+            total += self.step_journaled(journal).work;
         }
         total
     }
@@ -181,6 +218,20 @@ mod tests {
             sim.state.energy.clone()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn journaled_steps_advance_journal_clock() {
+        use powersim::trace::Event;
+        let mut sim = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+        let mut journal = Journal::with_capacity(64);
+        sim.run_steps_journaled(5, &mut journal);
+        assert!((journal.now() - sim.time()).abs() < 1e-12);
+        let spans = journal
+            .events()
+            .filter(|e| matches!(e, Event::Span(s) if s.scope == Scope::Timestep))
+            .count();
+        assert_eq!(spans, 5);
     }
 
     #[test]

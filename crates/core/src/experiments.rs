@@ -7,6 +7,8 @@
 
 use crate::efficiency;
 use crate::study::{CapSweep, StudyContext};
+use powersim::trace::Scope;
+use powersim::Joules;
 use serde::{Deserialize, Serialize};
 use vizalgo::Algorithm;
 
@@ -36,60 +38,105 @@ impl FigMetric {
             FigMetric::LlcMissRate => row.avg_llc_miss_rate,
         }
     }
+
+    /// Stable name for journal span labels and report headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FigMetric::EffectiveFrequency => "effective_frequency",
+            FigMetric::Ipc => "ipc",
+            FigMetric::LlcMissRate => "llc_miss_rate",
+        }
+    }
+}
+
+/// Close an experiment-phase span whose joules roll up every row of the
+/// sweeps the phase executed.
+fn emit_phase(ctx: &mut StudyContext, name: String, t0: f64, sweeps: &[CapSweep]) {
+    if !ctx.journal.is_enabled() {
+        return;
+    }
+    let joules: Joules = sweeps
+        .iter()
+        .flat_map(|s| s.rows.iter())
+        .map(|r| r.energy_joules)
+        .sum();
+    ctx.journal.push_span(
+        Scope::Study,
+        name,
+        t0,
+        Some(joules),
+        vec![("sweeps", sweeps.len() as f64)],
+    );
 }
 
 /// **Table I** — Phase 1: the contour baseline across the cap sweep.
 pub fn table1(ctx: &mut StudyContext, size: usize) -> CapSweep {
-    ctx.sweep(Algorithm::Contour, size)
+    let t0 = ctx.journal.now();
+    let sweep = ctx.sweep(Algorithm::Contour, size);
+    emit_phase(
+        ctx,
+        format!("table1:{size}"),
+        t0,
+        std::slice::from_ref(&sweep),
+    );
+    sweep
 }
 
 /// **Table II / Table III** — Phases 2 and 3: every algorithm at one
 /// data-set size (128³ for Table II, 256³ for Table III).
 pub fn slowdown_table(ctx: &mut StudyContext, size: usize) -> Vec<CapSweep> {
-    Algorithm::ALL.iter().map(|&a| ctx.sweep(a, size)).collect()
+    let t0 = ctx.journal.now();
+    let sweeps: Vec<CapSweep> = Algorithm::ALL.iter().map(|&a| ctx.sweep(a, size)).collect();
+    emit_phase(ctx, format!("slowdown_table:{size}"), t0, &sweeps);
+    sweeps
 }
 
 /// **Fig. 2a/2b/2c** — the chosen metric vs power cap for all algorithms
 /// at one size.
 pub fn fig2(ctx: &mut StudyContext, size: usize, metric: FigMetric) -> Vec<FigSeries> {
-    Algorithm::ALL
+    let t0 = ctx.journal.now();
+    let sweeps: Vec<CapSweep> = Algorithm::ALL.iter().map(|&a| ctx.sweep(a, size)).collect();
+    let series = sweeps
         .iter()
-        .map(|&a| {
-            let sweep = ctx.sweep(a, size);
-            FigSeries {
-                label: a.name().to_string(),
-                points: sweep
-                    .rows
-                    .iter()
-                    .map(|r| (r.cap_watts.value(), metric.extract(r)))
-                    .collect(),
-            }
+        .map(|sweep| FigSeries {
+            label: sweep.algorithm.name().to_string(),
+            points: sweep
+                .rows
+                .iter()
+                .map(|r| (r.cap_watts.value(), metric.extract(r)))
+                .collect(),
         })
-        .collect()
+        .collect();
+    emit_phase(ctx, format!("fig2:{}:{size}", metric.name()), t0, &sweeps);
+    series
 }
 
 /// **Fig. 3** — elements (millions) per second for the cell-centered
 /// algorithms.
 pub fn fig3(ctx: &mut StudyContext, size: usize) -> Vec<FigSeries> {
-    Algorithm::CELL_CENTERED
+    let t0 = ctx.journal.now();
+    let sweeps: Vec<CapSweep> = Algorithm::CELL_CENTERED
         .iter()
-        .map(|&a| {
-            let sweep = ctx.sweep(a, size);
-            FigSeries {
-                label: a.name().to_string(),
-                points: sweep
-                    .rows
-                    .iter()
-                    .map(|r| {
-                        (
-                            r.cap_watts.value(),
-                            efficiency::rate(sweep.input_cells, r.seconds),
-                        )
-                    })
-                    .collect(),
-            }
+        .map(|&a| ctx.sweep(a, size))
+        .collect();
+    let series = sweeps
+        .iter()
+        .map(|sweep| FigSeries {
+            label: sweep.algorithm.name().to_string(),
+            points: sweep
+                .rows
+                .iter()
+                .map(|r| {
+                    (
+                        r.cap_watts.value(),
+                        efficiency::rate(sweep.input_cells, r.seconds),
+                    )
+                })
+                .collect(),
         })
-        .collect()
+        .collect();
+    emit_phase(ctx, format!("fig3:{size}"), t0, &sweeps);
+    series
 }
 
 /// **Figs. 4/5/6** — IPC vs cap across data-set sizes for one algorithm
@@ -99,20 +146,21 @@ pub fn fig_size_ipc(
     algorithm: Algorithm,
     sizes: &[usize],
 ) -> Vec<FigSeries> {
-    sizes
+    let t0 = ctx.journal.now();
+    let sweeps: Vec<CapSweep> = sizes.iter().map(|&n| ctx.sweep(algorithm, n)).collect();
+    let series = sweeps
         .iter()
-        .map(|&n| {
-            let sweep = ctx.sweep(algorithm, n);
-            FigSeries {
-                label: format!("{n}"),
-                points: sweep
-                    .rows
-                    .iter()
-                    .map(|r| (r.cap_watts.value(), r.avg_ipc))
-                    .collect(),
-            }
+        .map(|sweep| FigSeries {
+            label: format!("{}", sweep.size),
+            points: sweep
+                .rows
+                .iter()
+                .map(|r| (r.cap_watts.value(), r.avg_ipc))
+                .collect(),
         })
-        .collect()
+        .collect();
+    emit_phase(ctx, format!("fig_size:{}", algorithm.name()), t0, &sweeps);
+    series
 }
 
 #[cfg(test)]
@@ -174,6 +222,24 @@ mod tests {
         for s in &series {
             assert!(s.points.iter().all(|&(_, v)| v > 0.0));
         }
+    }
+
+    #[test]
+    fn experiment_phases_emit_rollup_spans() {
+        use powersim::trace::{Event, Scope};
+        let mut ctx = ctx();
+        ctx.enable_journal(1 << 16);
+        let t = table1(&mut ctx, 8);
+        let total: Joules = t.rows.iter().map(|r| r.energy_joules).sum();
+        let phase = ctx
+            .journal
+            .events()
+            .find_map(|e| match e {
+                Event::Span(s) if s.scope == Scope::Study && s.name == "table1:8" => Some(s),
+                _ => None,
+            })
+            .expect("table1 phase span present");
+        assert_eq!(phase.joules, Some(total));
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //! (energy/EDP view of the §V-A tradeoff), [`arch`] (the same study on
 //! Skylake-SP-class and Xeon-D-class packages), and [`ablation`]
 //! (switching off model mechanisms to show each one earns its place).
+//!
+//! Every layer can record into the run journal ([`powersim::trace`],
+//! re-exported as [`trace`]): enable it with
+//! [`study::StudyContext::enable_journal`] and serialize with
+//! [`trace::Journal::to_jsonl`] / [`trace::Journal::to_chrome_trace`].
+//! The event schema is documented in `docs/OBSERVABILITY.md`.
 
 pub mod ablation;
 pub mod advisor;
@@ -45,4 +51,5 @@ pub mod study;
 pub use characterize::{characterize, ClassSignature};
 pub use classify::{classify, PowerClass};
 pub use metrics::{first_slowdown_cap, Ratios, SLOWDOWN_THRESHOLD};
+pub use powersim::trace;
 pub use study::{AlgorithmRun, CapSweep, StudyConfig, PAPER_CAPS, PAPER_SIZES};

@@ -10,7 +10,8 @@
 use crate::characterize::characterize;
 use crate::metrics::Ratios;
 use cloverleaf::{Problem, SimConfig, Simulation};
-use powersim::{CpuSpec, ExecResult, Package, Watts, Workload};
+use powersim::trace::{Journal, Scope};
+use powersim::{CpuSpec, ExecResult, Joules, Package, Watts, Workload};
 use serde::{Deserialize, Serialize};
 use vizalgo::{
     Algorithm, Contour, Filter, Isovolume, KernelReport, ParticleAdvection, RayTracer,
@@ -266,6 +267,18 @@ impl CapSweep {
 
 /// Characterize a native run and execute it under every cap.
 pub fn sweep(run: &AlgorithmRun, caps: &[Watts], spec: &CpuSpec) -> CapSweep {
+    sweep_journaled(run, caps, spec, &mut Journal::off())
+}
+
+/// [`sweep`], emitting one [`Scope::Sweep`] span per cap point whose
+/// joules are the row's total energy (the rollup of that execution's
+/// kernel spans), plus the executor's own events.
+pub fn sweep_journaled(
+    run: &AlgorithmRun,
+    caps: &[Watts],
+    spec: &CpuSpec,
+    journal: &mut Journal,
+) -> CapSweep {
     let workload: Workload = characterize(run.algorithm.name(), &run.reports, spec);
     assert!(
         !workload.is_empty(),
@@ -275,8 +288,19 @@ pub fn sweep(run: &AlgorithmRun, caps: &[Watts], spec: &CpuSpec) -> CapSweep {
     let rows = caps
         .iter()
         .map(|&cap| {
+            let t0 = journal.now();
             let mut pkg = Package::new(spec.clone());
-            pkg.run_capped(&workload, cap)
+            let row = pkg.run_capped_journaled(&workload, cap, journal);
+            if journal.is_enabled() {
+                journal.push_span(
+                    Scope::Sweep,
+                    format!("cap:{:.0}W", cap.value()),
+                    t0,
+                    Some(row.energy_joules),
+                    vec![("cap_watts", cap.value()), ("seconds", row.seconds)],
+                );
+            }
+            row
         })
         .collect();
     CapSweep {
@@ -290,9 +314,15 @@ pub fn sweep(run: &AlgorithmRun, caps: &[Watts], spec: &CpuSpec) -> CapSweep {
 /// A cache of datasets and native runs so the experiment harness never
 /// repeats an expensive native execution. The hydro base solve is cached
 /// separately so every size above [`HYDRO_BASE_MAX`] reuses it.
+///
+/// The context owns the study's run [`Journal`] (disabled by default;
+/// see [`StudyContext::enable_journal`]): dataset builds, native runs,
+/// sweeps, and experiment phases all record into it.
 #[derive(Default)]
 pub struct StudyContext {
     pub config: Option<StudyConfig>,
+    /// The study-wide run journal (disabled unless enabled explicitly).
+    pub journal: Journal,
     base_datasets: Vec<(usize, DataSet)>,
     datasets: Vec<(usize, DataSet)>,
     runs: Vec<AlgorithmRun>,
@@ -302,10 +332,16 @@ impl StudyContext {
     pub fn new(config: StudyConfig) -> Self {
         StudyContext {
             config: Some(config),
+            journal: Journal::off(),
             base_datasets: Vec::new(),
             datasets: Vec::new(),
             runs: Vec::new(),
         }
+    }
+
+    /// Start journaling into a ring buffer of at most `capacity` events.
+    pub fn enable_journal(&mut self, capacity: usize) {
+        self.journal = Journal::with_capacity(capacity);
     }
 
     pub fn config(&self) -> StudyConfig {
@@ -319,9 +355,22 @@ impl StudyContext {
         }
         let base_n = size.min(HYDRO_BASE_MAX);
         if !self.base_datasets.iter().any(|(s, _)| *s == base_n) {
+            let t0 = self.journal.now();
             let mut sim = Simulation::new(Problem::TwoState, base_n, SimConfig::default());
             while sim.time() < HYDRO_T_END {
-                sim.step();
+                sim.step_journaled(&mut self.journal);
+            }
+            if self.journal.is_enabled() {
+                self.journal.push_span(
+                    Scope::Study,
+                    format!("dataset:{base_n}"),
+                    t0,
+                    None,
+                    vec![
+                        ("cells", (base_n * base_n * base_n) as f64),
+                        ("steps", sim.step_count() as f64),
+                    ],
+                );
             }
             self.base_datasets.push((base_n, sim.dataset()));
         }
@@ -358,16 +407,49 @@ impl StudyContext {
             .find(|(s, _)| *s == size)
             .expect("dataset just inserted")
             .1;
+        let t0 = self.journal.now();
         let run = native_run(&config, algorithm, size, ds);
+        if self.journal.is_enabled() {
+            let instructions: u64 = run.reports.iter().map(|r| r.work.instructions).sum();
+            self.journal.push_span(
+                Scope::Study,
+                format!("native:{}:{size}", algorithm.name()),
+                t0,
+                None,
+                vec![
+                    ("kernels", run.reports.len() as f64),
+                    ("instructions", instructions as f64),
+                ],
+            );
+        }
         self.runs.push(run.clone());
         run
     }
 
-    /// Sweep an algorithm at a size over the configured caps.
+    /// Sweep an algorithm at a size over the configured caps, emitting
+    /// (when the journal is enabled) a [`Scope::Study`] span whose
+    /// joules are the rollup of the per-cap sweep spans.
     pub fn sweep(&mut self, algorithm: Algorithm, size: usize) -> CapSweep {
         let caps = self.config().caps;
         let run = self.run(algorithm, size);
-        sweep(&run, &caps, &CpuSpec::broadwell_e5_2695v4())
+        let t0 = self.journal.now();
+        let sweep = sweep_journaled(
+            &run,
+            &caps,
+            &CpuSpec::broadwell_e5_2695v4(),
+            &mut self.journal,
+        );
+        if self.journal.is_enabled() {
+            let joules: Joules = sweep.rows.iter().map(|r| r.energy_joules).sum();
+            self.journal.push_span(
+                Scope::Study,
+                format!("sweep:{}:{size}", algorithm.name()),
+                t0,
+                Some(joules),
+                vec![("caps", sweep.rows.len() as f64)],
+            );
+        }
+        sweep
     }
 }
 
@@ -450,6 +532,38 @@ mod tests {
         assert_eq!(ctx.runs.len(), 1);
         ctx.run(Algorithm::Slice, 10);
         assert_eq!(ctx.runs.len(), 2);
+    }
+
+    #[test]
+    fn journal_attributes_sweep_energy_exactly() {
+        use powersim::trace::Event;
+        let mut ctx = StudyContext::new(tiny_config());
+        ctx.enable_journal(1 << 16);
+        let sweep = ctx.sweep(Algorithm::Threshold, 8);
+        let spans: Vec<_> = ctx
+            .journal
+            .events()
+            .filter_map(|e| match e {
+                Event::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        // One workload span per cap, each matching its row's energy.
+        let workloads: Vec<_> = spans
+            .iter()
+            .filter(|s| s.scope == Scope::Workload)
+            .collect();
+        assert_eq!(workloads.len(), sweep.rows.len());
+        for (span, row) in workloads.iter().zip(&sweep.rows) {
+            assert_eq!(span.joules, Some(row.energy_joules));
+        }
+        // The study-level sweep span rolls up every row's energy.
+        let total: Joules = sweep.rows.iter().map(|r| r.energy_joules).sum();
+        let study = spans
+            .iter()
+            .find(|s| s.scope == Scope::Study && s.name.starts_with("sweep:"))
+            .expect("study sweep span present");
+        assert_eq!(study.joules, Some(total));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::actions::ActionList;
 use crate::scene::Scene;
 use crate::trigger::Trigger;
 use cloverleaf::{Problem, SimConfig, Simulation};
+use powersim::trace::{Journal, Scope};
 use serde::{Deserialize, Serialize};
 use vizalgo::{KernelClass, KernelReport};
 use vizmesh::{Image, WorkCounters};
@@ -96,32 +97,91 @@ impl InSituRuntime {
     }
 
     /// Run the coupled loop to completion.
+    ///
+    /// Equivalent to [`InSituRuntime::run_journaled`] with a disabled
+    /// journal.
     pub fn run(&mut self) -> CoupledRun {
+        self.run_journaled(&mut Journal::off())
+    }
+
+    /// Run the coupled loop like [`InSituRuntime::run`], journaling
+    /// each simulation timestep (via
+    /// [`Simulation::step_journaled`]) and emitting a [`Scope::Action`]
+    /// span per executed pipeline, per rendered scene, and per whole
+    /// visualization cycle. Viz spans are zero-width: the in situ layer
+    /// models no time of its own, only counted work.
+    pub fn run_journaled(&mut self, journal: &mut Journal) -> CoupledRun {
         let mut out = CoupledRun::default();
         let mut sim_since_viz = WorkCounters::new();
         for _ in 0..self.config.total_steps {
-            let report = self.sim.step();
+            let report = self.sim.step_journaled(journal);
             sim_since_viz += report.work;
             let data = self.sim.dataset();
             if !self.config.trigger.fires(report.step, &data) {
                 continue;
             }
             // Visualization cycle: pipelines, then scenes.
+            let cycle_t0 = journal.now();
             let mut viz_kernels = Vec::new();
-            for (_name, filters) in self.actions.pipelines() {
+            for (name, filters) in self.actions.pipelines() {
+                let t0 = journal.now();
+                let kernels_before = viz_kernels.len();
                 for spec in filters {
                     let filter = spec.build(&data);
                     let result = filter.execute(&data);
                     viz_kernels.extend(result.kernels);
                 }
+                if journal.is_enabled() {
+                    let added = &viz_kernels[kernels_before..];
+                    journal.push_span(
+                        Scope::Action,
+                        format!("pipeline:{name}"),
+                        t0,
+                        None,
+                        vec![
+                            ("kernels", added.len() as f64),
+                            ("instructions", kernel_instructions(added)),
+                        ],
+                    );
+                }
             }
             let mut images = Vec::new();
             for scene in &self.scenes {
+                let t0 = journal.now();
+                let kernels_before = viz_kernels.len();
+                let images_before = images.len();
                 let result = scene
                     .render(&data, report.step)
                     .expect("scene render should not fail without an output dir");
                 viz_kernels.extend(result.kernels);
                 images.extend(result.images);
+                if journal.is_enabled() {
+                    let added = &viz_kernels[kernels_before..];
+                    journal.push_span(
+                        Scope::Action,
+                        format!("scene:{}", scene.name),
+                        t0,
+                        None,
+                        vec![
+                            ("kernels", added.len() as f64),
+                            ("instructions", kernel_instructions(added)),
+                            ("images", (images.len() - images_before) as f64),
+                        ],
+                    );
+                }
+            }
+            if journal.is_enabled() {
+                journal.push_span(
+                    Scope::Action,
+                    format!("cycle:{}", report.step),
+                    cycle_t0,
+                    None,
+                    vec![
+                        ("step", report.step as f64),
+                        ("kernels", viz_kernels.len() as f64),
+                        ("instructions", kernel_instructions(&viz_kernels)),
+                    ],
+                );
             }
             out.cycles.push(CycleRecord {
                 step: report.step,
@@ -138,6 +198,11 @@ impl InSituRuntime {
         out.trailing_sim_work = sim_since_viz;
         out
     }
+}
+
+/// Total instruction count across kernel reports, as a journal arg.
+fn kernel_instructions(kernels: &[KernelReport]) -> f64 {
+    kernels.iter().map(|k| k.work.instructions).sum::<u64>() as f64
 }
 
 #[cfg(test)]
@@ -200,6 +265,37 @@ mod tests {
         assert!(sim.instructions > 0);
         // Simulation classify work counts hydro cells, viz counts its own.
         assert!(sim.items > 0 && viz.items > 0);
+    }
+
+    #[test]
+    fn journaled_run_emits_action_spans() {
+        use powersim::trace::Event;
+        let config = RuntimeConfig {
+            grid_cells: 8,
+            total_steps: 10,
+            trigger: Trigger::EveryN { n: 5 },
+        };
+        let mut rt = InSituRuntime::new(Problem::TwoState, config, actions());
+        let mut journal = Journal::with_capacity(1 << 12);
+        let run = rt.run_journaled(&mut journal);
+        assert_eq!(run.cycles.len(), 2);
+        let names: Vec<&str> = journal
+            .events()
+            .filter_map(|e| match e {
+                Event::Span(s) if s.scope == Scope::Action => Some(s.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        // Per cycle: one pipeline span, one scene span, one cycle span.
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"pipeline:pl"));
+        assert!(names.contains(&"scene:sc"));
+        assert!(names.contains(&"cycle:5"));
+        let timesteps = journal
+            .events()
+            .filter(|e| matches!(e, Event::Span(s) if s.scope == Scope::Timestep))
+            .count();
+        assert_eq!(timesteps, 10);
     }
 
     #[test]

@@ -1,12 +1,20 @@
 //! The workload executor: advances virtual time through a workload under
 //! the programmed power cap, updating counters and energy, and sampling
 //! every 100 ms exactly as the study does.
+//!
+//! Every entry point has a `_journaled` twin that additionally emits
+//! typed events into a [`Journal`]: per-kernel-phase energy spans, the
+//! 100 ms counter samples, and RAPL cap changes (schema in
+//! `docs/OBSERVABILITY.md`).
+
+#![deny(missing_docs)]
 
 use crate::counters::{derived, CounterBank};
 use crate::cpu::CpuSpec;
 use crate::msr::{addr, MsrFile};
 use crate::rapl::{PowerLimiter, CONTROL_WINDOW_SEC};
 use crate::timing::{effective_activity, phase_time};
+use crate::trace::{CapChange, CounterSample, Event, Journal, Scope};
 use crate::units::{Joules, Watts};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -19,23 +27,37 @@ pub const SAMPLE_PERIOD_SEC: f64 = 0.100;
 pub struct Sample {
     /// End time of the interval (virtual seconds).
     pub t: f64,
+    /// Mean package power over the interval, from the energy MSR delta.
     pub power_watts: Watts,
+    /// Effective frequency over the interval (APERF/MPERF), in GHz.
     pub effective_freq_ghz: f64,
+    /// Instructions per reference cycle over the interval.
     pub ipc: f64,
+    /// LLC miss rate (misses / references) over the interval.
     pub llc_miss_rate: f64,
 }
 
 /// Aggregate result of one workload execution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecResult {
+    /// Name of the executed workload.
     pub workload: String,
+    /// The cap programmed when the run started.
     pub cap_watts: Watts,
+    /// Total execution time (virtual seconds).
     pub seconds: f64,
+    /// Total package energy, accumulated per phase then summed, so the
+    /// per-phase journal spans sum to it exactly.
     pub energy_joules: Joules,
+    /// `energy_joules / seconds` (zero for an empty run).
     pub avg_power_watts: Watts,
+    /// Time-weighted mean of the per-sample effective frequencies.
     pub avg_effective_freq_ghz: f64,
+    /// Whole-run instructions per reference cycle.
     pub avg_ipc: f64,
+    /// Whole-run LLC miss rate (misses / references).
     pub avg_llc_miss_rate: f64,
+    /// The 100 ms sample series (last sample may be partial).
     pub samples: Vec<Sample>,
     /// Wall-clock seconds spent in each phase, by phase index.
     pub phase_seconds: Vec<f64>,
@@ -43,14 +65,18 @@ pub struct ExecResult {
 
 /// One simulated processor package.
 pub struct Package {
+    /// The package model (V/f curve, DVFS ladder, power coefficients).
     pub spec: CpuSpec,
+    /// The package's model-specific registers (msr-safe allow-listed).
     pub msr: MsrFile,
+    /// The package's performance counter bank.
     pub counters: CounterBank,
     /// Virtual time since construction.
     pub now: f64,
 }
 
 impl Package {
+    /// A fresh package (zeroed counters, time 0) with the given model.
     pub fn new(spec: CpuSpec) -> Self {
         Package {
             spec,
@@ -70,6 +96,21 @@ impl Package {
         PowerLimiter::set_cap(&mut self.msr, &self.spec, watts)
             // lint: infallible because MSR_PKG_POWER_LIMIT is writable in the msr-safe allowlist
             .expect("power-limit MSR is writable");
+    }
+
+    /// Program a package cap like [`Package::set_cap`], emitting a
+    /// [`CapChange`] event recording both the requested and the actually
+    /// programmed (range-clamped) cap.
+    pub fn set_cap_journaled(&mut self, watts: Watts, journal: &mut Journal) {
+        self.set_cap(watts);
+        if journal.is_enabled() {
+            let actual = PowerLimiter::get_cap(&self.msr).unwrap_or(watts);
+            journal.push(Event::CapChange(CapChange {
+                t: journal.now(),
+                requested_watts: watts,
+                actual_watts: actual,
+            }));
+        }
     }
 
     /// DRAM bandwidth utilization of a phase when running at `f_ghz`.
@@ -105,9 +146,24 @@ impl Package {
 
     /// Execute `workload` to completion under the currently programmed
     /// cap, returning the aggregate result and the 100 ms sample series.
+    ///
+    /// Equivalent to [`Package::run_journaled`] with a disabled journal.
     pub fn run(&mut self, workload: &Workload) -> ExecResult {
+        self.run_journaled(workload, &mut Journal::off())
+    }
+
+    /// Execute `workload` like [`Package::run`], additionally emitting
+    /// journal events: a [`Scope::Kernel`] span per phase carrying that
+    /// phase's exact energy, a [`CounterSample`] per 100 ms interval,
+    /// and a closing [`Scope::Workload`] span whose joules are the sum
+    /// of the kernel spans — the same additions in the same order as
+    /// `energy_joules`, so children sum to the parent exactly. The
+    /// journal clock advances in lock-step with the package's virtual
+    /// time.
+    pub fn run_journaled(&mut self, workload: &Workload, journal: &mut Journal) -> ExecResult {
         let cap = PowerLimiter::get_cap(&self.msr).unwrap_or(self.spec.tdp_watts);
         let start_t = self.now;
+        let run_t0 = journal.now();
         let mut energy = Joules::ZERO;
         let mut samples = Vec::new();
         let mut phase_seconds = Vec::with_capacity(workload.phases.len());
@@ -117,8 +173,10 @@ impl Package {
         let mut snap = self.counters;
         let mut snap_energy_reg = self.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS);
 
-        for phase in &workload.phases {
+        for (phase_index, phase) in workload.phases.iter().enumerate() {
             debug_assert!(phase.is_valid(), "invalid phase {phase:?}");
+            let phase_t0 = journal.now();
+            let mut phase_energy = Joules::ZERO;
             let mut progress = 0.0f64; // fraction of the phase completed
             let mut t_in_phase = 0.0f64;
             while progress < 1.0 {
@@ -157,10 +215,11 @@ impl Package {
                 );
                 let p = self.spec.power_with_traffic(f, act, bw_util);
                 let de = p.for_duration(dt);
-                energy += de;
+                phase_energy += de;
                 self.msr.hw_accumulate_energy(de);
                 self.counters.sync_to_msr(&mut self.msr);
                 self.now += dt;
+                journal.advance(dt);
                 t_in_phase += dt;
                 progress += dt / total_t;
 
@@ -174,12 +233,26 @@ impl Package {
                         snap_energy_reg,
                         e_reg,
                     ));
+                    emit_counter(journal, &samples);
                     last_sample_t = self.now;
                     snap = self.counters;
                     snap_energy_reg = e_reg;
                 }
             }
+            energy += phase_energy;
             phase_seconds.push(t_in_phase);
+            if journal.is_enabled() {
+                journal.push_span(
+                    Scope::Kernel,
+                    phase.name.clone(),
+                    phase_t0,
+                    Some(phase_energy),
+                    vec![
+                        ("phase_index", phase_index as f64),
+                        ("instructions", phase.instructions as f64),
+                    ],
+                );
+            }
         }
 
         // Flush the final partial sample.
@@ -192,6 +265,21 @@ impl Package {
                 snap_energy_reg,
                 e_reg,
             ));
+            emit_counter(journal, &samples);
+        }
+
+        if journal.is_enabled() {
+            journal.push_span(
+                Scope::Workload,
+                workload.name.clone(),
+                run_t0,
+                Some(energy),
+                vec![
+                    ("cap_watts", cap.value()),
+                    ("phases", workload.phases.len() as f64),
+                    ("samples", samples.len() as f64),
+                ],
+            );
         }
 
         let seconds = self.now - start_t;
@@ -265,6 +353,35 @@ impl Package {
     pub fn run_capped(&mut self, workload: &Workload, cap_watts: Watts) -> ExecResult {
         self.set_cap(cap_watts);
         self.run(workload)
+    }
+
+    /// Convenience: program `cap_watts` (journaling the [`CapChange`])
+    /// and [`Package::run_journaled`].
+    pub fn run_capped_journaled(
+        &mut self,
+        workload: &Workload,
+        cap_watts: Watts,
+        journal: &mut Journal,
+    ) -> ExecResult {
+        self.set_cap_journaled(cap_watts, journal);
+        self.run_journaled(workload, journal)
+    }
+}
+
+/// Mirror the newest 100 ms [`Sample`] onto the journal timeline.
+fn emit_counter(journal: &mut Journal, samples: &[Sample]) {
+    if !journal.is_enabled() {
+        return;
+    }
+    if let Some(s) = samples.last() {
+        let t = journal.now();
+        journal.push(Event::Counter(CounterSample {
+            t,
+            power_watts: s.power_watts,
+            effective_freq_ghz: s.effective_freq_ghz,
+            ipc: s.ipc,
+            llc_miss_rate: s.llc_miss_rate,
+        }));
     }
 }
 
@@ -401,6 +518,48 @@ mod tests {
         assert_eq!(a.seconds, b.seconds);
         assert_eq!(a.energy_joules, b.energy_joules);
         assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn journaled_run_attributes_phase_energy_exactly() {
+        let w = Workload::new("mix")
+            .with_phase(KernelPhase::compute("a", 500_000_000_000))
+            .with_phase(KernelPhase::memory("b", 20_000_000_000, 600_000_000_000));
+        let mut journal = Journal::with_capacity(1 << 14);
+        let mut pkg = Package::broadwell();
+        let r = pkg.run_capped_journaled(&w, Watts(90.0), &mut journal);
+        let mut kernel_sum = Joules::ZERO;
+        let mut workload_joules = None;
+        let mut counters = 0;
+        let mut cap_changes = 0;
+        for ev in journal.events() {
+            match ev {
+                Event::Span(s) if s.scope == Scope::Kernel => {
+                    kernel_sum += s.joules.unwrap_or(Joules::ZERO);
+                }
+                Event::Span(s) if s.scope == Scope::Workload => workload_joules = s.joules,
+                Event::Counter(_) => counters += 1,
+                Event::CapChange(_) => cap_changes += 1,
+                Event::Span(_) => {}
+            }
+        }
+        // Exact: the run total is accumulated per phase in span order.
+        assert_eq!(workload_joules, Some(r.energy_joules));
+        assert_eq!(kernel_sum, r.energy_joules);
+        assert_eq!(counters, r.samples.len());
+        assert_eq!(cap_changes, 1);
+    }
+
+    #[test]
+    fn journaled_run_matches_plain_run() {
+        let w = compute_workload(300_000_000_000);
+        let plain = Package::broadwell().run_capped(&w, Watts(70.0));
+        let mut journal = Journal::with_capacity(1 << 14);
+        let journaled = Package::broadwell().run_capped_journaled(&w, Watts(70.0), &mut journal);
+        assert_eq!(plain.seconds, journaled.seconds);
+        assert_eq!(plain.energy_joules, journaled.energy_joules);
+        assert_eq!(plain.samples.len(), journaled.samples.len());
+        assert!(!journal.is_empty());
     }
 
     #[test]

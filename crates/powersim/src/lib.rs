@@ -24,6 +24,9 @@
 //!   the paper's derived metrics (§V-B).
 //! * [`exec`] — the executor: advances virtual time through a workload
 //!   under a cap, updating MSRs/counters, and the 100 ms sampler.
+//! * [`trace`] — the run journal: typed `Span`/`Counter`/`CapChange`
+//!   events in a ring buffer, serialized to JSONL and chrome://tracing
+//!   files (schema in `docs/OBSERVABILITY.md`).
 //!
 //! Everything is deterministic; the only "measurement" the rest of the
 //! workspace performs is reading these simulated counters exactly the way
@@ -36,6 +39,7 @@ pub mod msr;
 pub mod node;
 pub mod rapl;
 pub mod timing;
+pub mod trace;
 pub mod units;
 pub mod workload;
 
@@ -44,5 +48,6 @@ pub use exec::{ExecResult, Package, Sample};
 pub use msr::{MsrError, MsrFile};
 pub use node::{Node, NodeResult};
 pub use rapl::PowerLimiter;
+pub use trace::{CapChange, CounterSample, Event, Journal, Scope, Span};
 pub use units::{Joules, Watts};
 pub use workload::{KernelPhase, Workload};

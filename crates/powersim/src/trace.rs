@@ -1,0 +1,689 @@
+//! The run journal: a typed, ring-buffered event stream for run
+//! observability.
+//!
+//! The paper's evaluation hangs on 100 ms samples of RAPL energy and
+//! performance counters (§V-B), but aggregates alone cannot say *where
+//! inside a run* the joules went. This module is the reproduction's
+//! substitute for the paper's msr-safe sampling harness: every layer of
+//! the workspace (the executor's sampler, RAPL cap programming,
+//! CloverLeaf timesteps, in situ actions, and study phases) emits a
+//! typed [`Event`] into a shared [`Journal`], which serializes to
+//! line-delimited JSON ([`Journal::to_jsonl`]) and to a
+//! `chrome://tracing`-compatible trace file
+//! ([`Journal::to_chrome_trace`]).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** The journal must be byte-identical across runs
+//!    and across rayon thread counts, so it carries no wall-clock
+//!    timestamps. Time is a single logical clock ([`Journal::now`])
+//!    advanced only by *modeled* seconds: the executor advances it in
+//!    lock-step with virtual package time, and the CloverLeaf driver by
+//!    each step's simulated `dt`. Layers that model no time of their own
+//!    (study orchestration, in situ filter graphs) emit spans whose
+//!    endpoints are whatever the clock read when they started/ended —
+//!    possibly zero-width.
+//! 2. **Zero cost when off.** A disabled journal ([`Journal::off`]) has
+//!    capacity 0; emitters guard with [`Journal::is_enabled`] and every
+//!    push is a no-op, so the hot executor loop stays untouched for
+//!    non-journaled runs.
+//! 3. **Bounded memory.** The buffer is a ring: when full, the oldest
+//!    event is dropped and counted in [`Journal::dropped`], which both
+//!    serializers surface so a truncated journal is never mistaken for a
+//!    complete one.
+//!
+//! The serialized schema is versioned ([`SCHEMA_VERSION`]) and
+//! documented in `docs/OBSERVABILITY.md`; `cargo xtask lint` enforces
+//! that every public [`Event`] and [`Scope`] variant has a row in that
+//! document's schema table.
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::units::{Joules, Watts};
+
+/// Version of the serialized journal schema. Every JSONL line carries it
+/// as `"v"`, and the chrome trace embeds it in `otherData`. Bump it when
+/// an event's fields or semantics change, and update the schema table in
+/// `docs/OBSERVABILITY.md` in the same commit.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Which layer of the stack emitted a [`Span`].
+///
+/// Scopes form the attribution hierarchy: a `Study` phase contains
+/// `Sweep` rows, a sweep row contains one `Workload` execution, and a
+/// workload contains `Kernel` phases. `Timestep` and `Action` spans come
+/// from the native (pre-characterization) layer. Each scope maps to its
+/// own track (`tid`) in the chrome trace so the hierarchy reads as
+/// stacked timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Study/experiment orchestration in `core::study` and
+    /// `core::experiments`: dataset builds, native runs, and experiment
+    /// phases (`table1:64`, `fig2:32`, ...).
+    Study,
+    /// One cap point of a power-cap sweep (`core::study::sweep_journaled`).
+    Sweep,
+    /// One workload execution under a programmed cap
+    /// (`powersim::exec::Package::run_journaled`).
+    Workload,
+    /// One kernel phase inside a workload execution, carrying the
+    /// per-phase energy attribution.
+    Kernel,
+    /// One CloverLeaf hydrodynamics timestep
+    /// (`cloverleaf::driver::Simulation::step_journaled`).
+    Timestep,
+    /// One in situ visualization action (a pipeline, a rendered scene,
+    /// or a whole viz cycle) from `insitu::runtime`.
+    Action,
+}
+
+impl Scope {
+    /// Lowercase wire name used by both serializers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scope::Study => "study",
+            Scope::Sweep => "sweep",
+            Scope::Workload => "workload",
+            Scope::Kernel => "kernel",
+            Scope::Timestep => "timestep",
+            Scope::Action => "action",
+        }
+    }
+
+    /// Chrome-trace track id for this scope (`tid` field).
+    fn tid(self) -> u32 {
+        match self {
+            Scope::Study => 1,
+            Scope::Sweep => 2,
+            Scope::Workload => 3,
+            Scope::Kernel => 4,
+            Scope::Timestep => 5,
+            Scope::Action => 6,
+        }
+    }
+}
+
+/// All scope/track pairs, for chrome-trace thread-name metadata.
+const ALL_SCOPES: [Scope; 6] = [
+    Scope::Study,
+    Scope::Sweep,
+    Scope::Workload,
+    Scope::Kernel,
+    Scope::Timestep,
+    Scope::Action,
+];
+
+/// A closed interval of journal time attributed to one named unit of
+/// work, optionally carrying an energy rollup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Which layer emitted the span.
+    pub scope: Scope,
+    /// Name of the unit of work, namespaced by convention
+    /// (`"cap:70W"`, `"pipeline:contour"`, `"table1:64"`, ...).
+    pub name: String,
+    /// Journal time at which the span opened (seconds).
+    pub t0: f64,
+    /// Journal time at which the span closed (seconds, `>= t0`).
+    pub t1: f64,
+    /// Energy attributed to this span, if the emitting layer models
+    /// energy. Kernel spans carry exact per-phase attribution; parent
+    /// spans carry the rollup (sum) of their children.
+    pub joules: Option<Joules>,
+    /// Mean power over the span (`joules / (t1 - t0)`), present whenever
+    /// `joules` is present and the span has nonzero width.
+    pub watts: Option<Watts>,
+    /// Scope-specific numeric annotations (instruction counts, step
+    /// indices, ...). Keys are static by construction so the schema
+    /// stays enumerable.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// One 100 ms sampler reading from the executor, mirroring the derived
+/// metrics of [`crate::exec::Sample`] on the journal timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterSample {
+    /// Journal time at the end of the sampling interval (seconds).
+    pub t: f64,
+    /// Mean package power over the interval, from the energy MSR delta.
+    pub power_watts: Watts,
+    /// Effective frequency over the interval (APERF/MPERF), in GHz.
+    pub effective_freq_ghz: f64,
+    /// Instructions per reference cycle over the interval.
+    pub ipc: f64,
+    /// LLC miss rate (misses / references) over the interval.
+    pub llc_miss_rate: f64,
+}
+
+/// A RAPL package power-limit reprogramming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapChange {
+    /// Journal time of the MSR write (seconds).
+    pub t: f64,
+    /// The cap the caller asked for.
+    pub requested_watts: Watts,
+    /// The cap actually programmed after clamping to the package's
+    /// supported range.
+    pub actual_watts: Watts,
+}
+
+/// One journal entry. Every variant is documented in the schema table of
+/// `docs/OBSERVABILITY.md`; `cargo xtask lint` fails if a variant is
+/// added without a matching row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A closed interval of attributed work.
+    Span(Span),
+    /// A 100 ms executor sampler reading.
+    Counter(CounterSample),
+    /// A RAPL cap reprogramming.
+    CapChange(CapChange),
+}
+
+/// Ring-buffered event journal with a logical clock.
+///
+/// Construct with [`Journal::with_capacity`] to record, or
+/// [`Journal::off`] (also [`Default`]) for a disabled journal that
+/// ignores every push. See the module docs for the clock and
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// `(seq, event)` pairs; `seq` is assigned at push time and survives
+    /// ring eviction, so gaps in the serialized stream reveal drops.
+    events: VecDeque<(u64, Event)>,
+    capacity: usize,
+    dropped: u64,
+    seq: u64,
+    t: f64,
+}
+
+impl Journal {
+    /// A disabled journal: capacity 0, every push a no-op.
+    pub fn off() -> Journal {
+        Journal::with_capacity(0)
+    }
+
+    /// A journal holding at most `capacity` events; once full, each push
+    /// evicts the oldest event and increments [`Journal::dropped`].
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            events: VecDeque::new(),
+            capacity,
+            dropped: 0,
+            seq: 0,
+            t: 0.0,
+        }
+    }
+
+    /// Whether pushes are recorded. Emitters on hot paths should guard
+    /// span construction (allocation, `format!`) behind this.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Current journal time in seconds.
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Advance the journal clock by `dt` seconds of modeled time. Only
+    /// layers that model time call this (the executor, the CloverLeaf
+    /// driver); see the module docs.
+    pub fn advance(&mut self, dt: f64) {
+        self.t += dt;
+    }
+
+    /// Record an event (no-op when disabled; evicts the oldest event
+    /// when full).
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((self.seq, event));
+        self.seq += 1;
+    }
+
+    /// Record a [`Span`] closing now: `t1` is the current clock, and the
+    /// mean power is derived from `joules` when the span has width.
+    pub fn push_span(
+        &mut self,
+        scope: Scope,
+        name: impl Into<String>,
+        t0: f64,
+        joules: Option<Joules>,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let t1 = self.t;
+        let width = t1 - t0;
+        let watts = match joules {
+            Some(j) if width > 0.0 => Some(j.over_seconds(width)),
+            _ => None,
+        };
+        self.push(Event::Span(Span {
+            scope,
+            name: name.into(),
+            t0,
+            t1,
+            joules,
+            watts,
+            args,
+        }));
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().map(|(_, e)| e)
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum number of buffered events (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Serialize to line-delimited JSON, one event per line, oldest
+    /// first. Deterministic: field order is fixed, floats use Rust's
+    /// shortest-roundtrip formatting, absent options are omitted.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in &self.events {
+            write_jsonl_line(&mut out, *seq, event);
+        }
+        out
+    }
+
+    /// Serialize to the Trace Event Format JSON understood by
+    /// `chrome://tracing` and Perfetto. Spans become complete (`"X"`)
+    /// events on per-scope tracks, counter samples a `"C"` counter
+    /// track, and cap changes global instant (`"i"`) events. Journal
+    /// seconds are exported as trace microseconds.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"schema_version\":{SCHEMA_VERSION},\
+             \"dropped\":{}}},\"traceEvents\":[",
+            self.dropped
+        );
+        let mut first = true;
+        for scope in ALL_SCOPES {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                scope.tid(),
+                scope.name()
+            );
+        }
+        for (_, event) in &self.events {
+            sep(&mut out, &mut first);
+            write_chrome_event(&mut out, event);
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::off()
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// JSON string escaping for the subset of strings we emit (names come
+/// from workload/algorithm identifiers, but escape fully anyway).
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Write an `f64` as a JSON number. Rust's `Display` for `f64` is the
+/// shortest string that round-trips, which is both deterministic and
+/// valid JSON for finite values; non-finite values become `null`.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_args(out: &mut String, args: &[(&'static str, f64)]) {
+    out.push('{');
+    for (i, (key, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(out, key);
+        out.push_str("\":");
+        push_f64(out, *value);
+    }
+    out.push('}');
+}
+
+fn write_jsonl_line(out: &mut String, seq: u64, event: &Event) {
+    let _ = write!(out, "{{\"v\":{SCHEMA_VERSION},\"seq\":{seq},");
+    match event {
+        Event::Span(s) => {
+            out.push_str("\"ev\":\"span\",\"scope\":\"");
+            out.push_str(s.scope.name());
+            out.push_str("\",\"name\":\"");
+            json_escape_into(out, &s.name);
+            out.push_str("\",\"t0\":");
+            push_f64(out, s.t0);
+            out.push_str(",\"t1\":");
+            push_f64(out, s.t1);
+            if let Some(j) = s.joules {
+                out.push_str(",\"joules\":");
+                push_f64(out, j.value());
+            }
+            if let Some(w) = s.watts {
+                out.push_str(",\"watts\":");
+                push_f64(out, w.value());
+            }
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":");
+                push_args(out, &s.args);
+            }
+        }
+        Event::Counter(c) => {
+            out.push_str("\"ev\":\"counter\",\"t\":");
+            push_f64(out, c.t);
+            out.push_str(",\"power_watts\":");
+            push_f64(out, c.power_watts.value());
+            out.push_str(",\"effective_freq_ghz\":");
+            push_f64(out, c.effective_freq_ghz);
+            out.push_str(",\"ipc\":");
+            push_f64(out, c.ipc);
+            out.push_str(",\"llc_miss_rate\":");
+            push_f64(out, c.llc_miss_rate);
+        }
+        Event::CapChange(c) => {
+            out.push_str("\"ev\":\"cap_change\",\"t\":");
+            push_f64(out, c.t);
+            out.push_str(",\"requested_watts\":");
+            push_f64(out, c.requested_watts.value());
+            out.push_str(",\"actual_watts\":");
+            push_f64(out, c.actual_watts.value());
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn write_chrome_event(out: &mut String, event: &Event) {
+    match event {
+        Event::Span(s) => {
+            out.push_str("{\"ph\":\"X\",\"name\":\"");
+            json_escape_into(out, &s.name);
+            out.push_str("\",\"cat\":\"");
+            out.push_str(s.scope.name());
+            let _ = write!(out, "\",\"pid\":1,\"tid\":{},\"ts\":", s.scope.tid());
+            push_f64(out, s.t0 * 1e6);
+            out.push_str(",\"dur\":");
+            push_f64(out, (s.t1 - s.t0) * 1e6);
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            if let Some(j) = s.joules {
+                sep(out, &mut first);
+                out.push_str("\"joules\":");
+                push_f64(out, j.value());
+            }
+            if let Some(w) = s.watts {
+                sep(out, &mut first);
+                out.push_str("\"watts\":");
+                push_f64(out, w.value());
+            }
+            for (key, value) in &s.args {
+                sep(out, &mut first);
+                out.push('"');
+                json_escape_into(out, key);
+                out.push_str("\":");
+                push_f64(out, *value);
+            }
+            out.push_str("}}");
+        }
+        Event::Counter(c) => {
+            out.push_str("{\"ph\":\"C\",\"name\":\"sampler\",\"pid\":1,\"ts\":");
+            push_f64(out, c.t * 1e6);
+            out.push_str(",\"args\":{\"power_watts\":");
+            push_f64(out, c.power_watts.value());
+            out.push_str(",\"effective_freq_ghz\":");
+            push_f64(out, c.effective_freq_ghz);
+            out.push_str(",\"ipc\":");
+            push_f64(out, c.ipc);
+            out.push_str(",\"llc_miss_rate\":");
+            push_f64(out, c.llc_miss_rate);
+            out.push_str("}}");
+        }
+        Event::CapChange(c) => {
+            out.push_str(
+                "{\"ph\":\"i\",\"s\":\"g\",\"name\":\"cap_change\",\"pid\":1,\"tid\":0,\
+                 \"ts\":",
+            );
+            push_f64(out, c.t * 1e6);
+            out.push_str(",\"args\":{\"requested_watts\":");
+            push_f64(out, c.requested_watts.value());
+            out.push_str(",\"actual_watts\":");
+            push_f64(out, c.actual_watts.value());
+            out.push_str("}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_ignores_everything() {
+        let mut j = Journal::off();
+        assert!(!j.is_enabled());
+        j.push(Event::CapChange(CapChange {
+            t: 0.0,
+            requested_watts: Watts(70.0),
+            actual_watts: Watts(70.0),
+        }));
+        j.push_span(Scope::Study, "x", 0.0, None, Vec::new());
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.to_jsonl(), "");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_preserves_seq() {
+        let mut j = Journal::with_capacity(2);
+        for i in 0..4 {
+            j.advance(1.0);
+            j.push_span(
+                Scope::Kernel,
+                format!("k{i}"),
+                j.now() - 1.0,
+                None,
+                Vec::new(),
+            );
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 2);
+        let jsonl = j.to_jsonl();
+        assert!(jsonl.contains("\"seq\":2,"), "{jsonl}");
+        assert!(jsonl.contains("\"seq\":3,"), "{jsonl}");
+        assert!(!jsonl.contains("\"seq\":0,"), "{jsonl}");
+    }
+
+    #[test]
+    fn span_derives_mean_power_from_joules() {
+        let mut j = Journal::with_capacity(8);
+        let t0 = j.now();
+        j.advance(2.0);
+        j.push_span(
+            Scope::Kernel,
+            "c",
+            t0,
+            Some(Joules(100.0)),
+            vec![("phase_index", 0.0)],
+        );
+        let events: Vec<&Event> = j.events().collect();
+        match events[0] {
+            Event::Span(s) => {
+                assert_eq!(s.t0, 0.0);
+                assert_eq!(s.t1, 2.0);
+                assert_eq!(s.joules, Some(Joules(100.0)));
+                assert_eq!(s.watts, Some(Watts(50.0)));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_width_span_has_no_watts() {
+        let mut j = Journal::with_capacity(8);
+        j.push_span(
+            Scope::Study,
+            "setup",
+            j.now(),
+            Some(Joules(1.0)),
+            Vec::new(),
+        );
+        match j.events().next() {
+            Some(Event::Span(s)) => assert_eq!(s.watts, None),
+            other => panic!("unexpected event {other:?}"),
+        };
+    }
+
+    #[test]
+    fn jsonl_shape_is_exact() {
+        let mut j = Journal::with_capacity(8);
+        j.push(Event::CapChange(CapChange {
+            t: 0.0,
+            requested_watts: Watts(250.0),
+            actual_watts: Watts(120.0),
+        }));
+        j.advance(0.1);
+        j.push(Event::Counter(CounterSample {
+            t: j.now(),
+            power_watts: Watts(85.5),
+            effective_freq_ghz: 2.6,
+            ipc: 1.25,
+            llc_miss_rate: 0.05,
+        }));
+        j.push_span(
+            Scope::Workload,
+            "contour_64",
+            0.0,
+            Some(Joules(8.55)),
+            vec![("phases", 2.0)],
+        );
+        let jsonl = j.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"v\":1,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
+             \"requested_watts\":250,\"actual_watts\":120}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"v\":1,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
+             \"effective_freq_ghz\":2.6,\"ipc\":1.25,\"llc_miss_rate\":0.05}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"v\":1,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
+             \"t0\":0,\"t1\":0.1,\"joules\":8.55,\"watts\":85.5,\"args\":{\"phases\":2}}"
+        );
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut j = Journal::with_capacity(4);
+        j.push_span(Scope::Study, "a\"b\\c\nd", j.now(), None, Vec::new());
+        let jsonl = j.to_jsonl();
+        assert!(jsonl.contains("\"name\":\"a\\\"b\\\\c\\nd\""), "{jsonl}");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let mut j = Journal::with_capacity(4);
+        j.push(Event::Counter(CounterSample {
+            t: 0.0,
+            power_watts: Watts(f64::NAN),
+            effective_freq_ghz: f64::INFINITY,
+            ipc: 0.0,
+            llc_miss_rate: 0.0,
+        }));
+        let jsonl = j.to_jsonl();
+        assert!(jsonl.contains("\"power_watts\":null"), "{jsonl}");
+        assert!(jsonl.contains("\"effective_freq_ghz\":null"), "{jsonl}");
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_events() {
+        let mut j = Journal::with_capacity(8);
+        j.advance(0.5);
+        j.push_span(Scope::Timestep, "step:1", 0.0, None, vec![("dt", 0.5)]);
+        let trace = j.to_chrome_trace();
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
+        assert!(trace.contains("\"schema_version\":1"), "{trace}");
+        assert!(trace.contains("\"thread_name\""), "{trace}");
+        assert!(
+            trace.contains("\"ph\":\"X\",\"name\":\"step:1\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"dur\":500000"), "{trace}");
+        assert!(trace.ends_with("]}\n"), "{trace}");
+    }
+
+    #[test]
+    fn clock_advances_only_on_advance() {
+        let mut j = Journal::with_capacity(4);
+        assert_eq!(j.now(), 0.0);
+        j.push_span(Scope::Study, "s", j.now(), None, Vec::new());
+        assert_eq!(j.now(), 0.0);
+        j.advance(0.25);
+        assert_eq!(j.now(), 0.25);
+    }
+}

@@ -20,6 +20,8 @@
 //! Both types serialize transparently as plain numbers, so report and
 //! JSON output are unchanged by the migration.
 
+#![deny(missing_docs)]
+
 use std::cmp::Ordering;
 use std::fmt;
 use std::iter::Sum;
@@ -35,6 +37,7 @@ macro_rules! unit_newtype {
         pub struct $name(pub f64);
 
         impl $name {
+            /// The zero quantity (additive identity for sums).
             pub const ZERO: $name = $name(0.0);
 
             /// The raw magnitude, shedding the unit. Prefer keeping the
@@ -44,31 +47,38 @@ macro_rules! unit_newtype {
                 self.0
             }
 
+            /// Absolute value, keeping the unit.
             #[inline]
             pub fn abs(self) -> $name {
                 $name(self.0.abs())
             }
 
+            /// The smaller of two same-unit quantities.
             #[inline]
             pub fn min(self, other: $name) -> $name {
                 $name(self.0.min(other.0))
             }
 
+            /// The larger of two same-unit quantities.
             #[inline]
             pub fn max(self, other: $name) -> $name {
                 $name(self.0.max(other.0))
             }
 
+            /// Clamp into the closed same-unit range `[lo, hi]`.
             #[inline]
             pub fn clamp(self, lo: $name, hi: $name) -> $name {
                 $name(self.0.clamp(lo.0, hi.0))
             }
 
+            /// Total order over magnitudes (IEEE 754 `totalOrder`), for
+            /// sorting sample series that may contain NaN.
             #[inline]
             pub fn total_cmp(&self, other: &$name) -> Ordering {
                 self.0.total_cmp(&other.0)
             }
 
+            /// Whether the magnitude is neither infinite nor NaN.
             #[inline]
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()

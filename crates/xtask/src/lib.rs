@@ -17,7 +17,10 @@ use std::path::Path;
 
 use allow::{Allowlist, PANICS_ALLOW, REDUCTIONS_ALLOW};
 use diag::{Diagnostic, ALLOWLIST};
-use policy::{is_lib_code_of, HOT_PATH_CRATES, KERNEL_CRATES, UNIT_EXEMPT_FILES};
+use policy::{
+    is_lib_code_of, HOT_PATH_CRATES, KERNEL_CRATES, OBSERVABILITY_DOC, TRACE_SOURCE,
+    UNIT_EXEMPT_FILES,
+};
 use scan::SourceFile;
 
 /// Analyzer options.
@@ -69,6 +72,14 @@ pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Report> {
             &mut diagnostics,
         );
     }
+    // Workspace-level pass: the journal event schema must stay documented.
+    // Gated on the trace source existing so fixture trees without it
+    // (and repos predating the journal) lint clean.
+    if root.join(TRACE_SOURCE).is_file() {
+        let trace = SourceFile::load(root, TRACE_SOURCE)?;
+        let doc_text = std::fs::read_to_string(root.join(OBSERVABILITY_DOC)).unwrap_or_default();
+        lints::schema_docs(&trace, &doc_text, &mut diagnostics);
+    }
     report_stale(&panics_allow, &panics_used, &mut diagnostics);
     report_stale(&reductions_allow, &reductions_used, &mut diagnostics);
     diag::sort(&mut diagnostics);
@@ -117,6 +128,16 @@ pub fn lint_source(rel_path: &str, text: &str, opts: &Options) -> Vec<Diagnostic
         opts,
         &mut out,
     );
+    diag::sort(&mut out);
+    out
+}
+
+/// Run only the schema-docs pass over in-memory trace source and doc
+/// texts. This is the fixture-test entry point for that lint.
+pub fn lint_schema_source(trace_text: &str, doc_text: &str) -> Vec<Diagnostic> {
+    let trace = SourceFile::parse(TRACE_SOURCE, trace_text);
+    let mut out = Vec::new();
+    lints::schema_docs(&trace, doc_text, &mut out);
     diag::sort(&mut out);
     out
 }

@@ -1,10 +1,14 @@
-//! The three repo-specific lint passes: panic-policy, unit-safety, and
-//! reduction-determinism. Each pass takes a cleaned [`SourceFile`] and
-//! appends [`Diagnostic`]s; path scoping lives in [`crate::policy`].
+//! The repo-specific lint passes: panic-policy, unit-safety,
+//! reduction-determinism, and schema-docs. Each pass takes a cleaned
+//! [`SourceFile`] and appends [`Diagnostic`]s; path scoping lives in
+//! [`crate::policy`].
 
 use crate::allow::{Allowlist, INFALLIBLE_MARKER, PANICS_ALLOW, REDUCTIONS_ALLOW};
-use crate::diag::{Diagnostic, PANIC_POLICY, REDUCTION_DETERMINISM, UNIT_SAFETY};
-use crate::policy::{unit_family, UnitFamily, UNIT_BOUNDARY_FILES};
+use crate::diag::{Diagnostic, PANIC_POLICY, REDUCTION_DETERMINISM, SCHEMA_DOCS, UNIT_SAFETY};
+use crate::policy::{
+    unit_family, UnitFamily, OBSERVABILITY_DOC, SCHEMA_ENUMS, SCHEMA_TABLE_BEGIN, SCHEMA_TABLE_END,
+    UNIT_BOUNDARY_FILES,
+};
 use crate::scan::SourceFile;
 
 /// Tokens that violate the panic policy in hot-path library code.
@@ -403,4 +407,165 @@ fn has_unordered_float_reduction(statement: &str) -> bool {
         }
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// Schema docs
+// ---------------------------------------------------------------------------
+
+/// Every public variant of the journal's wire enums ([`SCHEMA_ENUMS`] in
+/// the trace source) must have a row in the schema table of
+/// `docs/OBSERVABILITY.md`, and every row must name a live variant. The
+/// table is the marker-delimited block of `| \`Variant\` | ...` rows; a
+/// row whose first cell is not backticked (headers, separators) is
+/// ignored.
+pub fn schema_docs(trace: &SourceFile, doc_text: &str, out: &mut Vec<Diagnostic>) {
+    let begin = marker_line(doc_text, SCHEMA_TABLE_BEGIN);
+    let end = marker_line(doc_text, SCHEMA_TABLE_END);
+    let (Some(begin), Some(end)) = (begin, end) else {
+        out.push(Diagnostic::new(
+            OBSERVABILITY_DOC,
+            1,
+            SCHEMA_DOCS,
+            format!(
+                "missing `{SCHEMA_TABLE_BEGIN}`/`{SCHEMA_TABLE_END}` markers around the \
+                 event schema table"
+            ),
+        ));
+        return;
+    };
+    let rows = schema_table_rows(doc_text, begin, end);
+    let mut variants = Vec::new();
+    for enum_name in SCHEMA_ENUMS {
+        for (variant, line) in enum_variants(trace, enum_name) {
+            variants.push((*enum_name, variant, line));
+        }
+    }
+    for (enum_name, variant, line) in &variants {
+        if !rows.iter().any(|(name, _)| name == variant) {
+            out.push(Diagnostic::new(
+                &trace.rel_path,
+                *line,
+                SCHEMA_DOCS,
+                format!(
+                    "public event variant `{enum_name}::{variant}` is not documented in the \
+                     {OBSERVABILITY_DOC} schema table; add a row between the markers"
+                ),
+            ));
+        }
+    }
+    for (name, line) in &rows {
+        if !variants.iter().any(|(_, v, _)| v == name) {
+            out.push(Diagnostic::new(
+                OBSERVABILITY_DOC,
+                *line,
+                SCHEMA_DOCS,
+                format!(
+                    "stale schema row `{name}` matches no public variant of {} in {}; remove it",
+                    SCHEMA_ENUMS.join("/"),
+                    trace.rel_path
+                ),
+            ));
+        }
+    }
+}
+
+/// 1-based line number of the first line containing `marker`.
+fn marker_line(doc_text: &str, marker: &str) -> Option<usize> {
+    doc_text
+        .lines()
+        .position(|l| l.contains(marker))
+        .map(|i| i + 1)
+}
+
+/// The `(variant name, 1-based line)` of each backticked first cell in
+/// table rows strictly between the marker lines.
+fn schema_table_rows(doc_text: &str, begin: usize, end: usize) -> Vec<(String, usize)> {
+    let mut rows = Vec::new();
+    for (i, raw) in doc_text.lines().enumerate() {
+        let number = i + 1;
+        if number <= begin || number >= end {
+            continue;
+        }
+        let Some(rest) = raw.trim().strip_prefix('|') else {
+            continue;
+        };
+        let cell = rest.split('|').next().unwrap_or("").trim();
+        if let Some(name) = cell
+            .strip_prefix('`')
+            .and_then(|s| s.strip_suffix('`'))
+            .filter(|s| !s.is_empty())
+        {
+            rows.push((name.to_string(), number));
+        }
+    }
+    rows
+}
+
+/// The `(variant name, 1-based line)` of each variant of `pub enum
+/// {enum_name}` in the cleaned source: inside the enum's braces, a
+/// depth-1 code line starting with an uppercase identifier declares a
+/// variant (attributes start with `#`, doc comments are stripped).
+fn enum_variants(file: &SourceFile, enum_name: &str) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut inside = false;
+    let mut depth: i64 = 0;
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        if !inside {
+            if is_enum_header(&line.code, enum_name) {
+                inside = true;
+                depth = brace_delta(&line.code);
+                if depth <= 0 && line.code.contains('}') {
+                    inside = false; // one-line (empty) enum
+                }
+            }
+            continue;
+        }
+        if depth == 1 {
+            let trimmed = line.code.trim();
+            if trimmed
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                let ident: String = trimmed
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                variants.push((ident, line.number));
+            }
+        }
+        depth += brace_delta(&line.code);
+        if depth <= 0 {
+            inside = false;
+        }
+    }
+    variants
+}
+
+/// True when the cleaned line declares `pub enum {name}` (with a token
+/// boundary after the name, so `Event` does not match `EventKind`).
+fn is_enum_header(code: &str, name: &str) -> bool {
+    let needle = format!("pub enum {name}");
+    let Some(pos) = code.find(&needle) else {
+        return false;
+    };
+    let after = code[pos + needle.len()..].chars().next();
+    !after.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Net `{`/`}` depth change of a cleaned code line.
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
 }

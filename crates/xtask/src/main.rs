@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo xtask lint [--strict] [--root DIR]   # repo-specific static analysis
-//! cargo xtask ci   [--root DIR]              # full local CI: fmt, clippy, lint, build, test
+//! cargo xtask ci   [--root DIR]              # full local CI: fmt, clippy, lint, build, test, doc
 //! ```
 //!
 //! Exit codes: 0 clean, 1 policy violations, 2 usage or environment error.
@@ -85,8 +85,8 @@ fn run_lint(root: &Path, strict: bool) -> u8 {
 
 /// The local CI umbrella, mirroring .github/workflows/ci.yml.
 fn run_ci(root: &Path, strict: bool) -> u8 {
-    let steps: &[(&str, &[&str])] = &[
-        ("cargo fmt --check", &["fmt", "--all", "--check"]),
+    let steps: &[(&str, &[&str], &[(&str, &str)])] = &[
+        ("cargo fmt --check", &["fmt", "--all", "--check"], &[]),
         (
             "cargo clippy",
             &[
@@ -97,10 +97,11 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
                 "-D",
                 "warnings",
             ],
+            &[],
         ),
     ];
-    for (label, argv) in steps {
-        if let Some(code) = run_step(root, label, argv) {
+    for (label, argv, envs) in steps {
+        if let Some(code) = run_step(root, label, argv, envs) {
             return code;
         }
     }
@@ -108,12 +109,17 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
     if lint != 0 {
         return lint;
     }
-    let tier1: &[(&str, &[&str])] = &[
-        ("cargo build --release", &["build", "--release"]),
-        ("cargo test -q", &["test", "-q"]),
+    let tier1: &[(&str, &[&str], &[(&str, &str)])] = &[
+        ("cargo build --release", &["build", "--release"], &[]),
+        ("cargo test -q", &["test", "-q"], &[]),
+        (
+            "cargo doc --no-deps (RUSTDOCFLAGS='-D warnings')",
+            &["doc", "--no-deps", "--workspace"],
+            &[("RUSTDOCFLAGS", "-D warnings")],
+        ),
     ];
-    for (label, argv) in tier1 {
-        if let Some(code) = run_step(root, label, argv) {
+    for (label, argv, envs) in tier1 {
+        if let Some(code) = run_step(root, label, argv, envs) {
             return code;
         }
     }
@@ -121,10 +127,16 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
     0
 }
 
-/// Run one cargo step; `Some(code)` means it failed and CI should stop.
-fn run_step(root: &Path, label: &str, argv: &[&str]) -> Option<u8> {
+/// Run one cargo step with extra environment variables; `Some(code)`
+/// means it failed and CI should stop.
+fn run_step(root: &Path, label: &str, argv: &[&str], envs: &[(&str, &str)]) -> Option<u8> {
     eprintln!("xtask ci: running {label}");
-    match Command::new("cargo").args(argv).current_dir(root).status() {
+    match Command::new("cargo")
+        .args(argv)
+        .envs(envs.iter().copied())
+        .current_dir(root)
+        .status()
+    {
         Ok(status) if status.success() => None,
         Ok(_) => {
             eprintln!("xtask ci: step failed: {label}");

@@ -16,6 +16,7 @@ pub const KERNEL_CRATES: &[&str] = &["vizalgo", "cloverleaf"];
 pub const UNIT_BOUNDARY_FILES: &[&str] = &[
     "crates/powersim/src/rapl.rs",
     "crates/powersim/src/exec.rs",
+    "crates/powersim/src/trace.rs",
     "crates/powersim/src/node.rs",
     "crates/powersim/src/cpu.rs",
     "crates/powersim/src/msr.rs",
@@ -32,6 +33,24 @@ pub const UNIT_BOUNDARY_FILES: &[&str] = &[
 /// Files exempt from the unit-safety lint: the newtype definitions
 /// themselves, whose internals are raw `f64` by construction.
 pub const UNIT_EXEMPT_FILES: &[&str] = &["crates/powersim/src/units.rs"];
+
+/// The run-journal event definitions whose public enum variants must all
+/// be documented in the observability schema table.
+pub const TRACE_SOURCE: &str = "crates/powersim/src/trace.rs";
+
+/// The document holding the event schema table the schema-docs lint
+/// checks against [`TRACE_SOURCE`].
+pub const OBSERVABILITY_DOC: &str = "docs/OBSERVABILITY.md";
+
+/// HTML-comment markers delimiting the schema table inside
+/// [`OBSERVABILITY_DOC`]. Rows between them with a backticked first cell
+/// name one enum variant each.
+pub const SCHEMA_TABLE_BEGIN: &str = "<!-- xtask:schema-table:begin -->";
+pub const SCHEMA_TABLE_END: &str = "<!-- xtask:schema-table:end -->";
+
+/// The public enums in [`TRACE_SOURCE`] whose variants form the journal's
+/// wire schema: every variant needs a schema-table row.
+pub const SCHEMA_ENUMS: &[&str] = &["Event", "Scope"];
 
 /// Returns the crate name (directory under `crates/`) for a
 /// workspace-relative path, or `None` for the root package.

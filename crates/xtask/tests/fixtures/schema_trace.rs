@@ -1,0 +1,18 @@
+//! Mini journal event definitions for the schema-docs golden tests.
+
+/// A journal event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A closed span.
+    Span(Span),
+    /// A 100 ms counter sample.
+    Counter(CounterSample),
+    /// A RAPL cap transition.
+    CapChange(CapChange),
+}
+
+/// What layer a span describes.
+pub enum Scope {
+    Study,
+    Kernel,
+}

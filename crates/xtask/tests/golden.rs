@@ -3,7 +3,7 @@
 //! codes, plus the allowlist/justification round trip.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::Command;
 
 use xtask::allow::Allowlist;
@@ -16,6 +16,7 @@ const UNITS_BAD: &str = include_str!("fixtures/units_bad.rs");
 const UNITS_GOOD: &str = include_str!("fixtures/units_good.rs");
 const REDUCTION_BAD: &str = include_str!("fixtures/reduction_bad.rs");
 const REDUCTION_GOOD: &str = include_str!("fixtures/reduction_good.rs");
+const SCHEMA_TRACE: &str = include_str!("fixtures/schema_trace.rs");
 
 fn rendered(rel_path: &str, text: &str, strict: bool) -> Vec<String> {
     lint_source(rel_path, text, &Options { strict })
@@ -207,6 +208,72 @@ fn reduction_manifest_registration_silences_the_site() {
     assert!(manifest.stale(&used).is_empty());
 }
 
+const SCHEMA_DOC_GOOD: &str = "\
+# Observability\n\
+\n\
+<!-- xtask:schema-table:begin -->\n\
+| Variant | Kind |\n\
+| --- | --- |\n\
+| `Span` | event |\n\
+| `Counter` | event |\n\
+| `CapChange` | event |\n\
+| `Study` | scope |\n\
+| `Kernel` | scope |\n\
+<!-- xtask:schema-table:end -->\n";
+
+const SCHEMA_DOC_BAD: &str = "\
+# Observability\n\
+\n\
+<!-- xtask:schema-table:begin -->\n\
+| Variant | Kind |\n\
+| --- | --- |\n\
+| `Span` | event |\n\
+| `Counter` | event |\n\
+| `Study` | scope |\n\
+| `Timestep` | scope |\n\
+| `Kernel` | scope |\n\
+<!-- xtask:schema-table:end -->\n";
+
+fn rendered_schema(doc: &str) -> Vec<String> {
+    xtask::lint_schema_source(SCHEMA_TRACE, doc)
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn schema_docs_complete_table_is_clean() {
+    assert_eq!(rendered_schema(SCHEMA_DOC_GOOD), Vec::<String>::new());
+}
+
+#[test]
+fn schema_docs_flags_undocumented_variant_and_stale_row() {
+    assert_eq!(
+        rendered_schema(SCHEMA_DOC_BAD),
+        vec![
+            "crates/powersim/src/trace.rs:11: [schema-docs] public event variant \
+             `Event::CapChange` is not documented in the docs/OBSERVABILITY.md schema table; \
+             add a row between the markers"
+                .to_string(),
+            "docs/OBSERVABILITY.md:9: [schema-docs] stale schema row `Timestep` matches no \
+             public variant of Event/Scope in crates/powersim/src/trace.rs; remove it"
+                .to_string(),
+        ]
+    );
+}
+
+#[test]
+fn schema_docs_requires_table_markers() {
+    assert_eq!(
+        rendered_schema("# Observability\n\n| `Span` | event |\n"),
+        vec![
+            "docs/OBSERVABILITY.md:1: [schema-docs] missing `<!-- xtask:schema-table:begin -->`\
+             /`<!-- xtask:schema-table:end -->` markers around the event schema table"
+                .to_string(),
+        ]
+    );
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: the real binary against a temporary workspace tree.
 // ---------------------------------------------------------------------------
@@ -358,6 +425,26 @@ fn binary_reports_stale_allowlist_entries() {
             "crates/xtask/allowlists/panics.allow:2: [allowlist] stale entry \
              `crates/vizalgo/src/removed.rs :: .unwrap()` matches no flagged site; remove it",
         ]
+    );
+}
+
+#[test]
+fn binary_checks_the_schema_table_when_the_trace_source_exists() {
+    // With the trace source present and the doc complete, the tree is
+    // clean; delete the doc and the schema-docs pass fires.
+    let tree = TempTree::new("schema");
+    tree.write("crates/powersim/src/trace.rs", SCHEMA_TRACE);
+    tree.write("docs/OBSERVABILITY.md", SCHEMA_DOC_GOOD);
+    let (code, stdout) = tree.lint();
+    assert_eq!(code, 0, "documented schema must pass; stdout:\n{stdout}");
+
+    let missing = TempTree::new("schema-missing-doc");
+    missing.write("crates/powersim/src/trace.rs", SCHEMA_TRACE);
+    let (code, stdout) = missing.lint();
+    assert_eq!(code, 1, "missing doc must fail");
+    assert!(
+        stdout.contains("[schema-docs] missing"),
+        "stdout should report the missing markers:\n{stdout}"
     );
 }
 
