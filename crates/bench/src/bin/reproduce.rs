@@ -8,6 +8,9 @@
 //! reproduce energy  [--quick]     # extension: energy / EDP per cap
 //! reproduce arch    [--quick]     # extension: cross-architecture study
 //! reproduce ablation [--quick]    # extension: model-mechanism ablations
+//! reproduce governor --budget-sweep [--quick]
+//!                                 # extension: closed-loop governor across
+//!                                 # node budgets (80-240 W, 4 policies)
 //!
 //! reproduce <target> --journal out.jsonl   # write the run journal (JSONL)
 //! reproduce <target> --trace out.trace.json # write a chrome://tracing file
@@ -32,7 +35,7 @@ use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation> [--quick] [--journal <out.jsonl>] [--trace <out.trace.json>]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>]"
     ))
 }
 
@@ -74,6 +77,9 @@ fn main() -> Result<(), CliError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            // The governor target's study selector; accepted (and
+            // implied) so scripts can spell the study out explicitly.
+            "--budget-sweep" => {}
             "--journal" => {
                 let path = it.next().ok_or_else(|| usage("--journal needs a path"))?;
                 journal_path = Some(PathBuf::from(path));
@@ -203,6 +209,16 @@ fn main() -> Result<(), CliError> {
                         println!("{row}");
                     }
                 }
+            }
+            "governor" => {
+                // Characterization grid: the sweep's cost is dominated by
+                // the governed virtual-time loops, but quick mode still
+                // shrinks the instrumentation run.
+                let grid = if quick { 16 } else { 32 };
+                println!("== Extension: closed-loop governor budget sweep ({grid}³) ==");
+                let spec = powersim::CpuSpec::broadwell_e5_2695v4();
+                let sweep = governor::budget_sweep(grid, &spec, &mut ctx.journal);
+                print!("{}", governor::render_table(&sweep));
             }
             "ablation" => {
                 println!("== Extension: model ablations (contour at {t2}³) ==");

@@ -79,21 +79,60 @@ impl Simulation {
     /// Advance one time step: EOS → viscosity → acceleration → PdV →
     /// advection → next-dt.
     pub fn step(&mut self) -> StepReport {
+        self.step_phases(&mut |_, _| {})
+    }
+
+    /// Advance one time step like [`Simulation::step`], invoking
+    /// `observer` with each hydro kernel's name and work counters as it
+    /// retires — the phase-level callback the in-situ runtime and the
+    /// power governor characterize per-kernel workloads from.
+    pub fn step_phases(
+        &mut self,
+        observer: &mut dyn FnMut(&'static str, WorkCounters),
+    ) -> StepReport {
         let mut work = WorkCounters::new();
-        work += kernels::ideal_gas(&mut self.state);
-        work += kernels::divergence(&self.state, &mut self.scratch.div);
-        work += kernels::viscosity(&mut self.state, &self.scratch.div);
-        work += kernels::acceleration(&mut self.state, self.dt);
+        let mut tally = |work: &mut WorkCounters, name: &'static str, w: WorkCounters| {
+            observer(name, w);
+            *work += w;
+        };
+        tally(&mut work, "ideal_gas", kernels::ideal_gas(&mut self.state));
+        tally(
+            &mut work,
+            "divergence",
+            kernels::divergence(&self.state, &mut self.scratch.div),
+        );
+        tally(
+            &mut work,
+            "viscosity",
+            kernels::viscosity(&mut self.state, &self.scratch.div),
+        );
+        tally(
+            &mut work,
+            "acceleration",
+            kernels::acceleration(&mut self.state, self.dt),
+        );
         // Divergence changed with the new velocities; PdV uses the fresh one.
-        work += kernels::divergence(&self.state, &mut self.scratch.div);
-        work += kernels::pdv(&mut self.state, &self.scratch.div, self.dt);
-        work += kernels::advect(&mut self.state, &mut self.scratch, self.dt);
+        tally(
+            &mut work,
+            "divergence",
+            kernels::divergence(&self.state, &mut self.scratch.div),
+        );
+        tally(
+            &mut work,
+            "pdv",
+            kernels::pdv(&mut self.state, &self.scratch.div, self.dt),
+        );
+        tally(
+            &mut work,
+            "advect",
+            kernels::advect(&mut self.state, &mut self.scratch, self.dt),
+        );
 
         self.time += self.dt;
         self.step += 1;
 
         let (next_dt, w_dt) = kernels::calc_dt(&self.state, self.dt, self.config.cfl);
-        work += w_dt;
+        tally(&mut work, "calc_dt", w_dt);
         self.dt = next_dt.min(self.config.max_dt);
 
         // The hot working set of a step: every field array.
@@ -112,8 +151,18 @@ impl Simulation {
     /// advancing `journal`'s clock by the step's simulated duration and
     /// emitting a [`Scope::Timestep`] span covering it.
     pub fn step_journaled(&mut self, journal: &mut Journal) -> StepReport {
+        self.step_phases_journaled(&mut |_, _| {}, journal)
+    }
+
+    /// [`Simulation::step_phases`] with the journaling of
+    /// [`Simulation::step_journaled`].
+    pub fn step_phases_journaled(
+        &mut self,
+        observer: &mut dyn FnMut(&'static str, WorkCounters),
+        journal: &mut Journal,
+    ) -> StepReport {
         let time_before = self.time;
-        let report = self.step();
+        let report = self.step_phases(observer);
         let t0 = journal.now();
         // `report.dt` is the *next* step's dt; this step advanced time
         // by `report.t - time_before`.
@@ -232,6 +281,44 @@ mod tests {
             .filter(|e| matches!(e, Event::Span(s) if s.scope == Scope::Timestep))
             .count();
         assert_eq!(spans, 5);
+    }
+
+    #[test]
+    fn step_phases_reports_every_kernel_and_sums_to_step_work() {
+        let mut sim = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+        let mut names = Vec::new();
+        let mut instructions = 0u64;
+        let r = sim.step_phases(&mut |name, w| {
+            names.push(name);
+            instructions += w.instructions;
+        });
+        assert_eq!(
+            names,
+            vec![
+                "ideal_gas",
+                "divergence",
+                "viscosity",
+                "acceleration",
+                "divergence",
+                "pdv",
+                "advect",
+                "calc_dt",
+            ]
+        );
+        assert_eq!(instructions, r.work.instructions);
+    }
+
+    #[test]
+    fn step_phases_matches_plain_step() {
+        let mut plain = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+        let mut observed = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+        for _ in 0..5 {
+            let a = plain.step();
+            let b = observed.step_phases(&mut |_, _| {});
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.work.instructions, b.work.instructions);
+        }
+        assert_eq!(plain.state.energy, observed.state.energy);
     }
 
     #[test]

@@ -31,8 +31,17 @@ pub struct AllocationPlan {
 }
 
 impl AllocationPlan {
-    /// Speedup of the optimized split over the uniform split.
+    /// Speedup of the optimized split over the uniform split. A
+    /// degenerate plan (zero predicted time, e.g. from empty workloads)
+    /// reports no improvement rather than a meaningless ∞/NaN ratio.
     pub fn improvement(&self) -> f64 {
+        debug_assert!(
+            self.predicted_seconds > 0.0,
+            "improvement() on a plan with zero predicted_seconds"
+        );
+        if self.predicted_seconds <= 0.0 {
+            return 1.0;
+        }
         self.naive_seconds / self.predicted_seconds
     }
 }
@@ -103,8 +112,16 @@ pub struct PhasedPlan {
 }
 
 impl PhasedPlan {
-    /// Speedup of the phased schedule over the static cap.
+    /// Speedup of the phased schedule over the static cap, with the
+    /// same zero-time guard as [`AllocationPlan::improvement`].
     pub fn improvement(&self) -> f64 {
+        debug_assert!(
+            self.total_seconds > 0.0,
+            "improvement() on a plan with zero total_seconds"
+        );
+        if self.total_seconds <= 0.0 {
+            return 1.0;
+        }
         self.static_seconds / self.total_seconds
     }
 }
@@ -255,6 +272,38 @@ mod tests {
             let plan = schedule_phased(&hot_sim(), &hot_sim(), budget, &spec());
             assert!(plan.total_seconds <= plan.static_seconds * (1.0 + 1e-9));
         }
+    }
+
+    #[test]
+    fn zero_time_plan_improvement_is_guarded() {
+        let plan = AllocationPlan {
+            budget_watts: Watts(160.0),
+            sim_cap_watts: Watts(80.0),
+            viz_cap_watts: Watts(80.0),
+            predicted_seconds: 0.0,
+            naive_seconds: 5.0,
+        };
+        if cfg!(debug_assertions) {
+            // Debug builds flag the degenerate plan loudly.
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.improvement()));
+            assert!(caught.is_err(), "debug_assert on zero predicted_seconds");
+        } else {
+            // Release builds degrade to "no improvement", never ∞/NaN.
+            assert_eq!(plan.improvement(), 1.0);
+        }
+    }
+
+    #[test]
+    fn positive_time_plan_improvement_is_the_plain_ratio() {
+        let plan = AllocationPlan {
+            budget_watts: Watts(160.0),
+            sim_cap_watts: Watts(110.0),
+            viz_cap_watts: Watts(50.0),
+            predicted_seconds: 4.0,
+            naive_seconds: 5.0,
+        };
+        assert_eq!(plan.improvement(), 1.25);
     }
 
     #[test]

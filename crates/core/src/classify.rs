@@ -37,6 +37,29 @@ pub fn classify(rows: &[Ratios]) -> PowerClass {
     }
 }
 
+/// Online IPC boundary (the divide visible in Fig. 2b): compute-bound
+/// phases retire more than one instruction per reference cycle even
+/// under deep caps, while memory-bound phases sit below it at any cap.
+pub const SENSITIVE_IPC: f64 = 1.0;
+
+/// Online LLC miss-ratio boundary: when misses dominate references the
+/// phase is memory-bound regardless of its apparent IPC.
+pub const OPPORTUNITY_LLC_MISS_RATE: f64 = 0.5;
+
+/// Classify a single 100 ms counter sample online, without a cap sweep.
+///
+/// This is the governor's per-window view of [`classify`]: a phase
+/// whose LLC misses dominate its references, or whose IPC is below
+/// [`SENSITIVE_IPC`], is a power opportunity (capping it is nearly
+/// free); anything else is power sensitive.
+pub fn classify_sample(ipc: f64, llc_miss_rate: f64) -> PowerClass {
+    if llc_miss_rate >= OPPORTUNITY_LLC_MISS_RATE || ipc < SENSITIVE_IPC {
+        PowerClass::PowerOpportunity
+    } else {
+        PowerClass::PowerSensitive
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +120,22 @@ mod tests {
     fn boundary_cap_counts_as_sensitive() {
         let r = rows(&[(120.0, 1.0), (70.0, 1.10), (40.0, 2.0)]);
         assert_eq!(classify(&r), PowerClass::PowerSensitive);
+    }
+
+    #[test]
+    fn sample_compute_bound_is_sensitive() {
+        // Uncapped compute phase: IPC ≈ 3, almost no LLC misses.
+        assert_eq!(classify_sample(3.0, 0.02), PowerClass::PowerSensitive);
+        // Still sensitive when a deep cap has dragged the IPC down.
+        assert_eq!(classify_sample(1.3, 0.02), PowerClass::PowerSensitive);
+    }
+
+    #[test]
+    fn sample_memory_bound_is_opportunity() {
+        assert_eq!(classify_sample(0.4, 0.9), PowerClass::PowerOpportunity);
+        // High miss ratio wins even with inflated IPC.
+        assert_eq!(classify_sample(1.8, 0.8), PowerClass::PowerOpportunity);
+        // Low IPC alone is enough.
+        assert_eq!(classify_sample(0.6, 0.1), PowerClass::PowerOpportunity);
     }
 }

@@ -1,0 +1,365 @@
+//! The closed control loop: run a simulation/visualization pair on two
+//! packages, observe each 100 ms window, and let a [`Policy`] reassign
+//! the per-package RAPL caps under the node budget.
+//!
+//! Each iteration advances both sides by one sample period of virtual
+//! time through [`powersim::RunState::advance`], differences their
+//! energy counters to get per-package window power, builds an
+//! [`Observation`] from the newest 100 ms counter samples, asks the
+//! policy for the next split, sanitizes it against the hard invariants
+//! (hardware cap range, active caps summing to at most the budget), and
+//! reprograms only the caps that changed. Every decision is journaled as
+//! a [`PolicyDecision`] event and every reprogramming as a `CapChange`,
+//! so the budget contract is auditable from the journal alone.
+//!
+//! Determinism: the loop consumes only modeled quantities (virtual time,
+//! counter deltas) and the journal clock advances once per window by the
+//! window's modeled duration, so identical inputs produce byte-identical
+//! journals regardless of wall-clock or thread count.
+
+use crate::pair::WorkloadPair;
+use crate::policy::{CapSplit, Observation, Policy, SideObs};
+use powersim::exec::SAMPLE_PERIOD_SEC;
+use powersim::trace::{Event, Journal, PolicyDecision, Scope};
+use powersim::{CpuSpec, ExecResult, Joules, Package, RunState, Watts};
+
+/// Outcome of one governed pair execution.
+#[derive(Debug, Clone)]
+pub struct GovernorResult {
+    /// Name of the policy that governed the run.
+    pub policy: String,
+    /// The (feasibility-clamped) node budget that was enforced.
+    pub budget_watts: Watts,
+    /// Pair completion time: the slower side's execution time.
+    pub seconds: f64,
+    /// Total node energy (both packages).
+    pub energy_joules: Joules,
+    /// The simulation side's execution result.
+    pub sim: ExecResult,
+    /// The visualization side's execution result.
+    pub viz: ExecResult,
+    /// Number of control decisions taken (one per 100 ms window).
+    pub decisions: u64,
+    /// Number of RAPL reprogrammings (including the two initial ones).
+    pub cap_changes: u64,
+    /// Highest node power observed over any 100 ms window.
+    pub max_window_power_watts: Watts,
+    /// The split in force when the run ended (0 W marks a retired side).
+    pub final_split: CapSplit,
+}
+
+/// Clamp a requested budget to the feasible node range: both packages
+/// must hold at least `min_cap` and can use at most TDP each.
+pub fn clamp_budget(budget_watts: Watts, spec: &CpuSpec) -> Watts {
+    budget_watts.clamp(2.0 * spec.min_cap_watts, 2.0 * spec.tdp_watts)
+}
+
+/// Force a policy's request into the feasible region. Active sides are
+/// clamped to the hardware cap range (and, for a lone survivor, to the
+/// budget); retired sides are pinned to 0 W. If both sides are active
+/// and the clamped caps still exceed the budget, the request is replaced
+/// by the uniform split — a deterministic fallback that keeps a buggy
+/// policy from ever breaking the budget contract.
+fn sanitize(
+    raw: CapSplit,
+    sim_active: bool,
+    viz_active: bool,
+    budget: Watts,
+    spec: &CpuSpec,
+) -> CapSplit {
+    let lo = spec.min_cap_watts;
+    let hi = spec.tdp_watts;
+    let mut split = CapSplit {
+        sim: if sim_active {
+            raw.sim.clamp(lo, hi)
+        } else {
+            Watts::ZERO
+        },
+        viz: if viz_active {
+            raw.viz.clamp(lo, hi)
+        } else {
+            Watts::ZERO
+        },
+    };
+    match (sim_active, viz_active) {
+        (true, true) => {
+            if split.total() > budget + Watts(1e-9) {
+                split = CapSplit::uniform(budget, spec);
+            }
+        }
+        (true, false) => split.sim = split.sim.min(budget.min(hi)),
+        (false, true) => split.viz = split.viz.min(budget.min(hi)),
+        (false, false) => {}
+    }
+    split
+}
+
+/// Per-side window bookkeeping: energy snapshot for power differencing.
+struct SideTrack {
+    prev_energy: Joules,
+}
+
+impl SideTrack {
+    fn new() -> SideTrack {
+        SideTrack {
+            prev_energy: Joules::ZERO,
+        }
+    }
+
+    /// Mean power over this window from the energy delta, and advance
+    /// the snapshot. Zero when the side did not run this window.
+    fn window_power(&mut self, energy_now: Joules, side_dt: f64) -> (Joules, Watts) {
+        let de = energy_now - self.prev_energy;
+        self.prev_energy = energy_now;
+        if side_dt > 0.0 {
+            (de, de.over_seconds(side_dt))
+        } else {
+            (de, Watts::ZERO)
+        }
+    }
+}
+
+/// Build one side's observation from its run state and window power.
+fn observe_side(state: &RunState, cap: Watts, power: Watts) -> SideObs {
+    let (ipc, miss) = state
+        .latest_sample()
+        .map(|s| (s.ipc, s.llc_miss_rate))
+        .unwrap_or((0.0, 0.0));
+    SideObs {
+        active: !state.is_done(),
+        cap,
+        power,
+        ipc,
+        llc_miss_rate: miss,
+    }
+}
+
+/// Execute `pair` concurrently on two fresh packages under `policy` and
+/// the node `budget_watts` (clamped to the feasible range), journaling
+/// every decision, cap change, and a closing [`Scope::Governor`] span.
+pub fn govern(
+    pair: &WorkloadPair,
+    policy: &mut dyn Policy,
+    budget_watts: Watts,
+    spec: &CpuSpec,
+    journal: &mut Journal,
+) -> GovernorResult {
+    let budget = clamp_budget(budget_watts, spec);
+    let t0 = journal.now();
+
+    let mut sim_pkg = Package::new(spec.clone());
+    let mut viz_pkg = Package::new(spec.clone());
+
+    let initial = sanitize(policy.initial(pair, budget, spec), true, true, budget, spec);
+    sim_pkg.set_cap_journaled(initial.sim, journal);
+    viz_pkg.set_cap_journaled(initial.viz, journal);
+    let mut cap_changes = 2u64;
+    let mut split = initial;
+
+    // Each side journals into its own disabled journal: per-package
+    // spans/counters would interleave two clocks, and the shared journal
+    // clock must advance exactly once per window (below).
+    let mut sim_off = Journal::off();
+    let mut viz_off = Journal::off();
+    let mut sim_state = RunState::new(&sim_pkg, &pair.sim, &sim_off);
+    let mut viz_state = RunState::new(&viz_pkg, &pair.viz, &viz_off);
+    let mut sim_track = SideTrack::new();
+    let mut viz_track = SideTrack::new();
+
+    let mut decisions = 0u64;
+    let mut max_window_power = Watts::ZERO;
+
+    while !(sim_state.is_done() && viz_state.is_done()) {
+        let sim_dt = if sim_state.is_done() {
+            0.0
+        } else {
+            sim_state.advance(&mut sim_pkg, SAMPLE_PERIOD_SEC, &mut sim_off)
+        };
+        let viz_dt = if viz_state.is_done() {
+            0.0
+        } else {
+            viz_state.advance(&mut viz_pkg, SAMPLE_PERIOD_SEC, &mut viz_off)
+        };
+        let dt = sim_dt.max(viz_dt);
+        if dt <= 0.0 {
+            // Both sides completed without consuming time (e.g. an empty
+            // workload): nothing to observe.
+            continue;
+        }
+        journal.advance(dt);
+
+        let (de_sim, sim_power) = sim_track.window_power(sim_state.energy_so_far(), sim_dt);
+        let (de_viz, viz_power) = viz_track.window_power(viz_state.energy_so_far(), viz_dt);
+        max_window_power = max_window_power.max((de_sim + de_viz).over_seconds(dt));
+
+        if sim_state.is_done() && viz_state.is_done() {
+            // This window finished the pair: there is no next window to
+            // cap, so deciding would only zero the recorded final split.
+            break;
+        }
+
+        let obs = Observation {
+            t: journal.now(),
+            budget,
+            sim: observe_side(&sim_state, split.sim, sim_power),
+            viz: observe_side(&viz_state, split.viz, viz_power),
+        };
+        let next = sanitize(
+            policy.decide(&obs, spec),
+            obs.sim.active,
+            obs.viz.active,
+            budget,
+            spec,
+        );
+        decisions += 1;
+        if journal.is_enabled() {
+            journal.push(Event::PolicyDecision(PolicyDecision {
+                t: journal.now(),
+                budget_watts: budget,
+                sim_cap_watts: next.sim,
+                viz_cap_watts: next.viz,
+                sim_power_watts: sim_power,
+                viz_power_watts: viz_power,
+                sim_ipc: obs.sim.ipc,
+                viz_ipc: obs.viz.ipc,
+                sim_llc_miss_rate: obs.sim.llc_miss_rate,
+                viz_llc_miss_rate: obs.viz.llc_miss_rate,
+            }));
+        }
+        if obs.sim.active && next.sim != split.sim {
+            sim_pkg.set_cap_journaled(next.sim, journal);
+            cap_changes += 1;
+        }
+        if obs.viz.active && next.viz != split.viz {
+            viz_pkg.set_cap_journaled(next.viz, journal);
+            cap_changes += 1;
+        }
+        split = next;
+    }
+
+    let sim = sim_state.finish(&sim_pkg);
+    let viz = viz_state.finish(&viz_pkg);
+    let energy = sim.energy_joules + viz.energy_joules;
+    let seconds = sim.seconds.max(viz.seconds);
+    if journal.is_enabled() {
+        journal.push_span(
+            Scope::Governor,
+            format!("governor:{}:{:.0}W", policy.name(), budget.value()),
+            t0,
+            Some(energy),
+            vec![
+                ("budget_watts", budget.value()),
+                ("decisions", decisions as f64),
+                ("cap_changes", cap_changes as f64),
+            ],
+        );
+    }
+    GovernorResult {
+        policy: policy.name().to_string(),
+        budget_watts: budget,
+        seconds,
+        energy_joules: energy,
+        sim,
+        viz,
+        decisions,
+        cap_changes,
+        max_window_power_watts: max_window_power,
+        final_split: split,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Reactive, Uniform};
+    use powersim::trace::Event;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::broadwell_e5_2695v4()
+    }
+
+    fn pair() -> WorkloadPair {
+        WorkloadPair::synthetic_for_tests()
+    }
+
+    #[test]
+    fn governed_run_completes_both_sides() {
+        let mut j = Journal::off();
+        let r = govern(&pair(), &mut Uniform::new(), Watts(160.0), &spec(), &mut j);
+        assert!(r.sim.seconds > 0.0 && r.viz.seconds > 0.0);
+        assert_eq!(r.seconds, r.sim.seconds.max(r.viz.seconds));
+        assert!(r.decisions > 10, "decisions = {}", r.decisions);
+        assert!(r.energy_joules > Joules(0.0));
+    }
+
+    #[test]
+    fn budget_is_clamped_to_feasible_range() {
+        let mut j = Journal::off();
+        let r = govern(&pair(), &mut Uniform::new(), Watts(10.0), &spec(), &mut j);
+        assert_eq!(r.budget_watts, Watts(80.0));
+        let r = govern(&pair(), &mut Uniform::new(), Watts(999.0), &spec(), &mut j);
+        assert_eq!(r.budget_watts, Watts(240.0));
+    }
+
+    #[test]
+    fn reactive_beats_uniform_on_the_synthetic_pair() {
+        let mut j = Journal::off();
+        let budget = Watts(120.0);
+        let uni = govern(&pair(), &mut Uniform::new(), budget, &spec(), &mut j);
+        let rea = govern(&pair(), &mut Reactive::new(), budget, &spec(), &mut j);
+        assert!(
+            rea.seconds < uni.seconds,
+            "reactive {} !< uniform {}",
+            rea.seconds,
+            uni.seconds
+        );
+    }
+
+    #[test]
+    fn every_decision_respects_the_budget_and_cap_range() {
+        let spec = spec();
+        let lo = spec.min_cap_watts;
+        let hi = spec.tdp_watts;
+        let budget = Watts(100.0);
+        let mut j = Journal::with_capacity(1 << 14);
+        let r = govern(&pair(), &mut Reactive::new(), budget, &spec, &mut j);
+        assert!(r.max_window_power_watts <= budget + Watts(0.5));
+        let mut seen = 0;
+        for e in j.events() {
+            if let Event::PolicyDecision(d) = e {
+                seen += 1;
+                assert!(d.sim_power_watts + d.viz_power_watts <= budget + Watts(0.5));
+                let mut active_total = Watts::ZERO;
+                for cap in [d.sim_cap_watts, d.viz_cap_watts] {
+                    if cap > Watts(1e-9) {
+                        assert!(cap >= lo - Watts(1e-9) && cap <= hi + Watts(1e-9));
+                        active_total += cap;
+                    }
+                }
+                assert!(active_total <= budget + Watts(1e-9));
+            }
+        }
+        assert_eq!(seen as u64, r.decisions);
+    }
+
+    #[test]
+    fn governed_journal_is_byte_identical_across_runs() {
+        let run = || {
+            let mut j = Journal::with_capacity(1 << 14);
+            govern(&pair(), &mut Reactive::new(), Watts(140.0), &spec(), &mut j);
+            j.to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn retirement_hands_the_survivor_the_budget() {
+        let mut j = Journal::with_capacity(1 << 14);
+        let r = govern(&pair(), &mut Reactive::new(), Watts(160.0), &spec(), &mut j);
+        // The viz side retires first; afterwards the sim cap is the
+        // budget bounded by TDP.
+        assert!(r.viz.seconds < r.sim.seconds);
+        assert_eq!(r.final_split.sim, Watts(120.0));
+        assert_eq!(r.final_split.viz, Watts::ZERO);
+    }
+}

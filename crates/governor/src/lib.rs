@@ -1,0 +1,42 @@
+//! # governor — the closed-loop online power governor
+//!
+//! The paper's motivating use case (§VII) asks for "a runtime system
+//! that assigns power between a simulation and visualization application
+//! running concurrently under a power budget". `vizpower::advisor` does
+//! this *offline*, from pre-characterized workloads; this crate closes
+//! the loop *online*: it runs the pair on two simulated RAPL-capped
+//! packages, observes each 100 ms counter sample (IPC, LLC miss ratio,
+//! power from the energy MSR), classifies the current phase with the
+//! thresholds of [`vizpower::classify`], and reassigns the per-package
+//! caps between windows — never letting the caps of active packages
+//! exceed the node budget.
+//!
+//! * [`policy`] — the [`Policy`] trait and its implementations:
+//!   [`Uniform`] (naïve half/half), [`StaticAdvisor`] (the offline plan,
+//!   applied once), [`Reactive`] (a hysteresis hill-climb stealing
+//!   headroom from power-opportunity phases), and [`FixedSplit`] (the
+//!   oracle building block).
+//! * [`pair`] — builds the governed workload pair by instrumenting a
+//!   tightly-coupled CloverLeaf + visualization run.
+//! * [`control`] — the control loop itself: [`govern`] steps two
+//!   resumable executions window by window, journaling every
+//!   `PolicyDecision` and `CapChange`.
+//! * [`study`] — the `reproduce governor --budget-sweep` study: every
+//!   policy at node budgets from 80 W to 240 W, plus an oracle found by
+//!   exhaustive fixed-split search.
+//!
+//! Everything downstream of a characterized pair is deterministic:
+//! identical inputs produce byte-identical journals regardless of thread
+//! count or wall-clock (see `docs/GOVERNOR.md`).
+
+pub mod control;
+pub mod pair;
+pub mod policy;
+pub mod study;
+
+pub use control::{clamp_budget, govern, GovernorResult};
+pub use pair::{coupled_pair, WorkloadPair, TARGET_SIM_SECONDS, TARGET_VIZ_SECONDS};
+pub use policy::{
+    CapSplit, FixedSplit, Observation, Policy, Reactive, SideObs, StaticAdvisor, Uniform,
+};
+pub use study::{budget_sweep, budgets, render_table, sweep_pair, BudgetSweep, PolicyRow};

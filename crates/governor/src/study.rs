@@ -1,0 +1,266 @@
+//! The budget-sweep study: the governed cloverleaf + visualization pair
+//! across node budgets from 80 W to 240 W, one row per (budget, policy).
+//!
+//! Four policies run at every budget: the three online policies
+//! ([`Uniform`], [`StaticAdvisor`], [`Reactive`]) plus an *oracle* upper
+//! bound — the best fixed split found by exhaustive search over the 5 W
+//! grid (with journaling off), re-run journaled under the name
+//! `"oracle"`. The oracle bounds what any static assignment can achieve;
+//! `Reactive` may beat it, because reassigning the retired side's power
+//! mid-run is outside the static space.
+
+use crate::control::{clamp_budget, govern, GovernorResult};
+use crate::pair::{coupled_pair, WorkloadPair};
+use crate::policy::{CapSplit, FixedSplit, Policy, Reactive, StaticAdvisor, Uniform};
+use powersim::trace::{Journal, Scope};
+use powersim::{CpuSpec, Joules, Watts};
+
+/// The studied node budgets: 80 W (both packages at the floor) to 240 W
+/// (both at TDP) in 20 W steps.
+pub fn budgets() -> Vec<Watts> {
+    (0..9).map(|i| Watts(80.0 + 20.0 * i as f64)).collect()
+}
+
+/// One (budget, policy) cell of the sweep table.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The enforced node budget.
+    pub budget_watts: Watts,
+    /// Policy name (`uniform`, `static-advisor`, `reactive`, `oracle`).
+    pub policy: String,
+    /// Pair completion time (slower side).
+    pub seconds: f64,
+    /// Total node energy.
+    pub energy_joules: Joules,
+    /// `energy / seconds`.
+    pub avg_power_watts: Watts,
+    /// Highest node power over any 100 ms window.
+    pub max_window_power_watts: Watts,
+    /// Simulation-side completion time.
+    pub sim_seconds: f64,
+    /// Visualization-side completion time.
+    pub viz_seconds: f64,
+    /// RAPL reprogrammings performed.
+    pub cap_changes: u64,
+    /// Control decisions taken.
+    pub decisions: u64,
+}
+
+impl PolicyRow {
+    fn from_result(r: &GovernorResult) -> PolicyRow {
+        PolicyRow {
+            budget_watts: r.budget_watts,
+            policy: r.policy.clone(),
+            seconds: r.seconds,
+            energy_joules: r.energy_joules,
+            avg_power_watts: if r.seconds > 0.0 {
+                r.energy_joules.over_seconds(r.seconds)
+            } else {
+                Watts::ZERO
+            },
+            max_window_power_watts: r.max_window_power_watts,
+            sim_seconds: r.sim.seconds,
+            viz_seconds: r.viz.seconds,
+            cap_changes: r.cap_changes,
+            decisions: r.decisions,
+        }
+    }
+}
+
+/// The full sweep: every policy at every budget.
+#[derive(Debug, Clone)]
+pub struct BudgetSweep {
+    /// Grid size the pair was characterized from (cells per axis).
+    pub grid_cells: usize,
+    /// Rows in budget-major order: for each budget, `uniform`,
+    /// `static-advisor`, `reactive`, `oracle`.
+    pub rows: Vec<PolicyRow>,
+}
+
+impl BudgetSweep {
+    /// The row for a given budget and policy, if present.
+    pub fn row(&self, budget: Watts, policy: &str) -> Option<&PolicyRow> {
+        self.rows
+            .iter()
+            .find(|r| (r.budget_watts - budget).abs() < Watts(1e-9) && r.policy == policy)
+    }
+}
+
+/// Exhaustively search the best fixed split for `budget` on the 5 W cap
+/// grid (journaling off), breaking ties toward the larger simulation
+/// cap so the search order cannot affect the result.
+fn oracle_split(pair: &WorkloadPair, budget: Watts, spec: &CpuSpec) -> CapSplit {
+    let lo = spec.min_cap_watts;
+    let hi = spec.tdp_watts;
+    let budget = clamp_budget(budget, spec);
+    let mut best: Option<(CapSplit, f64)> = None;
+    let mut sim_cap = lo;
+    while sim_cap <= hi + Watts(1e-9) {
+        let viz_cap = (budget - sim_cap).clamp(lo, hi);
+        if sim_cap + viz_cap <= budget + Watts(1e-9) {
+            let split = CapSplit {
+                sim: sim_cap,
+                viz: viz_cap,
+            };
+            let r = govern(
+                pair,
+                &mut FixedSplit::new(split),
+                budget,
+                spec,
+                &mut Journal::off(),
+            );
+            let better = match &best {
+                None => true,
+                Some((_, t)) => r.seconds < t * (1.0 - 1e-9),
+            };
+            if better {
+                best = Some((split, r.seconds));
+            }
+        }
+        sim_cap += Watts(5.0);
+    }
+    best.map(|(s, _)| s)
+        .unwrap_or_else(|| CapSplit::uniform(budget, spec))
+}
+
+/// Sweep one already-characterized pair across `budgets`, journaling
+/// each governed run.
+pub fn sweep_pair(
+    pair: &WorkloadPair,
+    budgets: &[Watts],
+    spec: &CpuSpec,
+    journal: &mut Journal,
+) -> Vec<PolicyRow> {
+    let mut rows = Vec::with_capacity(budgets.len() * 4);
+    for &budget in budgets {
+        let mut online: [Box<dyn Policy>; 3] = [
+            Box::new(Uniform::new()),
+            Box::new(StaticAdvisor::new()),
+            Box::new(Reactive::new()),
+        ];
+        for policy in online.iter_mut() {
+            let r = govern(pair, policy.as_mut(), budget, spec, journal);
+            rows.push(PolicyRow::from_result(&r));
+        }
+        let split = oracle_split(pair, budget, spec);
+        let mut oracle = FixedSplit::named(split, "oracle");
+        let r = govern(pair, &mut oracle, budget, spec, journal);
+        rows.push(PolicyRow::from_result(&r));
+    }
+    rows
+}
+
+/// The full study: characterize the coupled pair at `grid_cells`³ and
+/// sweep it across [`budgets`], under a [`Scope::Study`] span.
+pub fn budget_sweep(grid_cells: usize, spec: &CpuSpec, journal: &mut Journal) -> BudgetSweep {
+    let t0 = journal.now();
+    let pair = coupled_pair(grid_cells, spec);
+    let rows = sweep_pair(&pair, &budgets(), spec, journal);
+    if journal.is_enabled() {
+        journal.push_span(
+            Scope::Study,
+            format!("governor-sweep:{grid_cells}"),
+            t0,
+            None,
+            vec![
+                ("grid_cells", grid_cells as f64),
+                ("budgets", budgets().len() as f64),
+                ("rows", rows.len() as f64),
+            ],
+        );
+    }
+    BudgetSweep { grid_cells, rows }
+}
+
+/// Render the sweep as a paper-style fixed-width table.
+pub fn render_table(sweep: &BudgetSweep) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Budget sweep: governed cloverleaf + visualization pair ({}^3 grid)\n",
+        sweep.grid_cells
+    ));
+    out.push_str(
+        "budget_W  policy          time_s   energy_J   avg_W  max_win_W  sim_s   viz_s  caps\n",
+    );
+    let mut last_budget = Watts(-1.0);
+    for row in &sweep.rows {
+        if (row.budget_watts - last_budget).abs() > Watts(1e-9) && last_budget >= Watts::ZERO {
+            out.push('\n');
+        }
+        last_budget = row.budget_watts;
+        out.push_str(&format!(
+            "{:>8.0}  {:<14} {:>7.2} {:>10.0} {:>7.1} {:>10.1} {:>6.2} {:>7.2} {:>5}\n",
+            row.budget_watts,
+            row.policy,
+            row.seconds,
+            row.energy_joules,
+            row.avg_power_watts,
+            row.max_window_power_watts,
+            row.sim_seconds,
+            row.viz_seconds,
+            row.cap_changes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::broadwell_e5_2695v4()
+    }
+
+    #[test]
+    fn budgets_cover_floor_to_tdp() {
+        let b = budgets();
+        assert_eq!(b.len(), 9);
+        assert_eq!(b[0], Watts(80.0));
+        assert_eq!(b[8], Watts(240.0));
+    }
+
+    #[test]
+    fn sweep_of_synthetic_pair_orders_policies_sanely() {
+        let pair = WorkloadPair::synthetic_for_tests();
+        let budgets = [Watts(120.0), Watts(160.0)];
+        let mut j = Journal::off();
+        let rows = sweep_pair(&pair, &budgets, &spec(), &mut j);
+        assert_eq!(rows.len(), 8);
+        for &budget in &budgets {
+            // A missing row yields NaN, which fails every assert below.
+            let get = |p: &str| {
+                rows.iter()
+                    .find(|r| r.budget_watts == budget && r.policy == p)
+                    .map(|r| r.seconds)
+                    .unwrap_or(f64::NAN)
+            };
+            let uniform = get("uniform");
+            let reactive = get("reactive");
+            let oracle = get("oracle");
+            assert!(
+                reactive < uniform,
+                "at {budget}: reactive {reactive} !< uniform {uniform}"
+            );
+            assert!(
+                oracle <= uniform * (1.0 + 1e-9),
+                "at {budget}: oracle {oracle} !<= uniform {uniform}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_one_line_per_row() {
+        let pair = WorkloadPair::synthetic_for_tests();
+        let mut j = Journal::off();
+        let rows = sweep_pair(&pair, &[Watts(160.0)], &spec(), &mut j);
+        let sweep = BudgetSweep {
+            grid_cells: 32,
+            rows,
+        };
+        let table = render_table(&sweep);
+        assert!(table.contains("reactive"));
+        assert!(table.contains("oracle"));
+        assert!(table.lines().filter(|l| l.contains("160")).count() >= 4);
+    }
+}

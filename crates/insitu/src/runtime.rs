@@ -38,6 +38,12 @@ pub struct CycleRecord {
     pub step: u64,
     /// Work of the simulation steps since the previous cycle.
     pub sim_work: KernelReport,
+    /// The same simulation work broken down by hydro kernel (first-seen
+    /// order, one report per kernel name), from
+    /// [`Simulation::step_phases`] — the phase-level view the power
+    /// governor characterizes the simulation side from. Instruction
+    /// counts sum exactly to `sim_work`.
+    pub sim_phases: Vec<KernelReport>,
     /// Work of every visualization kernel in this cycle.
     pub viz_kernels: Vec<KernelReport>,
     /// Images rendered by the scenes this cycle.
@@ -113,8 +119,17 @@ impl InSituRuntime {
     pub fn run_journaled(&mut self, journal: &mut Journal) -> CoupledRun {
         let mut out = CoupledRun::default();
         let mut sim_since_viz = WorkCounters::new();
+        // Per-hydro-kernel accumulation since the last cycle, keyed by
+        // name in first-seen order (repeated kernels merge).
+        let mut sim_phase_acc: Vec<(&'static str, WorkCounters)> = Vec::new();
         for _ in 0..self.config.total_steps {
-            let report = self.sim.step_journaled(journal);
+            let report = self.sim.step_phases_journaled(
+                &mut |name, w| match sim_phase_acc.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, acc)) => *acc += w,
+                    None => sim_phase_acc.push((name, w)),
+                },
+                journal,
+            );
             sim_since_viz += report.work;
             let data = self.sim.dataset();
             if !self.config.trigger.fires(report.step, &data) {
@@ -190,6 +205,10 @@ impl InSituRuntime {
                     KernelClass::Simulation,
                     sim_since_viz,
                 ),
+                sim_phases: sim_phase_acc
+                    .drain(..)
+                    .map(|(name, w)| KernelReport::new(name, KernelClass::Simulation, w))
+                    .collect(),
                 viz_kernels,
                 images,
             });
@@ -248,6 +267,35 @@ mod tests {
         }
         assert_eq!(run.cycles[0].step, 5);
         assert_eq!(run.cycles[1].step, 10);
+    }
+
+    #[test]
+    fn sim_phases_break_down_sim_work_exactly() {
+        let config = RuntimeConfig {
+            grid_cells: 8,
+            total_steps: 10,
+            trigger: Trigger::EveryN { n: 5 },
+        };
+        let mut rt = InSituRuntime::new(Problem::TwoState, config, actions());
+        let run = rt.run();
+        for c in &run.cycles {
+            assert!(!c.sim_phases.is_empty());
+            // One merged report per hydro kernel name.
+            let names: Vec<&str> = c.sim_phases.iter().map(|k| k.name.as_str()).collect();
+            let unique: std::collections::BTreeSet<&str> = names.iter().copied().collect();
+            assert_eq!(
+                unique.len(),
+                names.len(),
+                "duplicate phase names: {names:?}"
+            );
+            assert!(names.contains(&"advect"));
+            let phase_inst: u64 = c.sim_phases.iter().map(|k| k.work.instructions).sum();
+            assert_eq!(phase_inst, c.sim_work.work.instructions);
+            assert!(c
+                .sim_phases
+                .iter()
+                .all(|k| k.class == KernelClass::Simulation));
+        }
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! typed events into a [`Journal`]: per-kernel-phase energy spans, the
 //! 100 ms counter samples, and RAPL cap changes (schema in
 //! `docs/OBSERVABILITY.md`).
+//!
+//! Execution is resumable: [`RunState`] holds all in-flight progress of
+//! one workload on one [`Package`], and [`RunState::advance`] runs it
+//! for a bounded slice of virtual time. [`Package::run_journaled`] is
+//! the one-shot wrapper (an unbounded advance); the closed-loop governor
+//! steps two `RunState`s in 100 ms windows and reprograms caps between
+//! them.
 
 #![deny(missing_docs)]
 
@@ -127,9 +134,7 @@ impl Package {
     /// phase's activity plus the DRAM-traffic term at the bandwidth the
     /// phase would actually achieve at that frequency — fits the cap.
     fn decide_frequency(&self, phase: &crate::workload::KernelPhase) -> (f64, f64, f64) {
-        let cap = PowerLimiter::get_cap(&self.msr)
-            .unwrap_or(self.spec.tdp_watts)
-            .min(self.spec.tdp_watts);
+        let cap = PowerLimiter::effective_cap(&self.msr, &self.spec);
         let act = effective_activity(&self.spec, phase, self.spec.turbo_ghz);
         let mut chosen = self.spec.min_ghz;
         let mut chosen_util = self.bw_utilization(phase, self.spec.min_ghz);
@@ -161,162 +166,11 @@ impl Package {
     /// journal clock advances in lock-step with the package's virtual
     /// time.
     pub fn run_journaled(&mut self, workload: &Workload, journal: &mut Journal) -> ExecResult {
-        let cap = PowerLimiter::get_cap(&self.msr).unwrap_or(self.spec.tdp_watts);
-        let start_t = self.now;
-        let run_t0 = journal.now();
-        let mut energy = Joules::ZERO;
-        let mut samples = Vec::new();
-        let mut phase_seconds = Vec::with_capacity(workload.phases.len());
-
-        // Sampling bookkeeping.
-        let mut last_sample_t = self.now;
-        let mut snap = self.counters;
-        let mut snap_energy_reg = self.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS);
-
-        for (phase_index, phase) in workload.phases.iter().enumerate() {
-            debug_assert!(phase.is_valid(), "invalid phase {phase:?}");
-            let phase_t0 = journal.now();
-            let mut phase_energy = Joules::ZERO;
-            let mut progress = 0.0f64; // fraction of the phase completed
-            let mut t_in_phase = 0.0f64;
-            while progress < 1.0 {
-                let (f, act, bw_util) = self.decide_frequency(phase);
-                let total_t = phase_time(&self.spec, phase, f);
-                let remaining_t = (1.0 - progress) * total_t;
-                // Advance to the next control window, sample boundary, or
-                // phase end — whichever is first.
-                let to_window = CONTROL_WINDOW_SEC
-                    - (self.now / CONTROL_WINDOW_SEC).fract() * CONTROL_WINDOW_SEC;
-                let to_sample = (last_sample_t + SAMPLE_PERIOD_SEC - self.now).max(0.0);
-                let dt = remaining_t
-                    .min(if to_window <= 1e-12 {
-                        CONTROL_WINDOW_SEC
-                    } else {
-                        to_window
-                    })
-                    .min(if to_sample <= 1e-12 {
-                        SAMPLE_PERIOD_SEC
-                    } else {
-                        to_sample
-                    })
-                    .max(1e-9);
-
-                let inst_rate = phase.instructions as f64 / total_t;
-                let ref_rate = phase.llc_refs as f64 / total_t;
-                let miss_rate = phase.llc_misses() as f64 / total_t;
-                self.counters.advance(
-                    dt,
-                    f,
-                    self.spec.base_ghz,
-                    self.spec.cores,
-                    inst_rate,
-                    ref_rate,
-                    miss_rate,
-                );
-                let p = self.spec.power_with_traffic(f, act, bw_util);
-                let de = p.for_duration(dt);
-                phase_energy += de;
-                self.msr.hw_accumulate_energy(de);
-                self.counters.sync_to_msr(&mut self.msr);
-                self.now += dt;
-                journal.advance(dt);
-                t_in_phase += dt;
-                progress += dt / total_t;
-
-                // Emit a sample at each 100 ms boundary.
-                if self.now - last_sample_t >= SAMPLE_PERIOD_SEC - 1e-12 {
-                    let e_reg = self.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS);
-                    samples.push(self.make_sample(
-                        self.now,
-                        self.now - last_sample_t,
-                        &snap,
-                        snap_energy_reg,
-                        e_reg,
-                    ));
-                    emit_counter(journal, &samples);
-                    last_sample_t = self.now;
-                    snap = self.counters;
-                    snap_energy_reg = e_reg;
-                }
-            }
-            energy += phase_energy;
-            phase_seconds.push(t_in_phase);
-            if journal.is_enabled() {
-                journal.push_span(
-                    Scope::Kernel,
-                    phase.name.clone(),
-                    phase_t0,
-                    Some(phase_energy),
-                    vec![
-                        ("phase_index", phase_index as f64),
-                        ("instructions", phase.instructions as f64),
-                    ],
-                );
-            }
+        let mut state = RunState::new(self, workload, journal);
+        while !state.is_done() {
+            state.advance(self, f64::INFINITY, journal);
         }
-
-        // Flush the final partial sample.
-        if self.now - last_sample_t > 1e-9 {
-            let e_reg = self.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS);
-            samples.push(self.make_sample(
-                self.now,
-                self.now - last_sample_t,
-                &snap,
-                snap_energy_reg,
-                e_reg,
-            ));
-            emit_counter(journal, &samples);
-        }
-
-        if journal.is_enabled() {
-            journal.push_span(
-                Scope::Workload,
-                workload.name.clone(),
-                run_t0,
-                Some(energy),
-                vec![
-                    ("cap_watts", cap.value()),
-                    ("phases", workload.phases.len() as f64),
-                    ("samples", samples.len() as f64),
-                ],
-            );
-        }
-
-        let seconds = self.now - start_t;
-        let total_inst = workload.total_instructions();
-        let total_refs = workload.total_llc_refs();
-        let total_miss: u64 = workload.phases.iter().map(|p| p.llc_misses()).sum();
-        // Run-level averages weighted by time (frequency) or totals (IPC).
-        let avg_freq = if seconds > 0.0 {
-            samples
-                .iter()
-                .zip(sample_durations(&samples, start_t))
-                .map(|(s, d)| s.effective_freq_ghz * d)
-                .sum::<f64>()
-                / seconds
-        } else {
-            0.0
-        };
-        let avg_ipc = derived::ipc(
-            total_inst,
-            (self.spec.base_ghz * 1e9 * seconds * self.spec.cores as f64) as u64,
-        );
-        ExecResult {
-            workload: workload.name.clone(),
-            cap_watts: cap,
-            seconds,
-            energy_joules: energy,
-            avg_power_watts: if seconds > 0.0 {
-                energy.over_seconds(seconds)
-            } else {
-                Watts::ZERO
-            },
-            avg_effective_freq_ghz: avg_freq,
-            avg_ipc,
-            avg_llc_miss_rate: derived::llc_miss_rate(total_miss, total_refs),
-            samples,
-            phase_seconds,
-        }
+        state.finish(self)
     }
 
     fn make_sample(
@@ -365,6 +219,264 @@ impl Package {
     ) -> ExecResult {
         self.set_cap_journaled(cap_watts, journal);
         self.run_journaled(workload, journal)
+    }
+}
+
+/// In-flight progress of one workload on one [`Package`].
+///
+/// Created by [`RunState::new`], driven by repeated calls to
+/// [`RunState::advance`] with a virtual-time budget per call (the
+/// governor uses the 100 ms sample period), and consumed by
+/// [`RunState::finish`] once [`RunState::is_done`]. An unbounded
+/// `advance` reproduces [`Package::run_journaled`] exactly — same
+/// events, same order, same arithmetic.
+pub struct RunState<'w> {
+    workload: &'w Workload,
+    /// Cap programmed at construction (reported in [`ExecResult`]).
+    cap: Watts,
+    start_t: f64,
+    run_t0: f64,
+    energy: Joules,
+    samples: Vec<Sample>,
+    phase_seconds: Vec<f64>,
+    // Sampling bookkeeping.
+    last_sample_t: f64,
+    snap: CounterBank,
+    snap_energy_reg: u64,
+    // In-flight phase bookkeeping.
+    phase_index: usize,
+    progress: f64,
+    t_in_phase: f64,
+    phase_energy: Joules,
+    phase_t0: f64,
+    phase_open: bool,
+    completed: bool,
+}
+
+impl<'w> RunState<'w> {
+    /// Begin executing `workload` on `pkg` under its currently
+    /// programmed cap. Nothing advances until [`RunState::advance`].
+    pub fn new(pkg: &Package, workload: &'w Workload, journal: &Journal) -> Self {
+        RunState {
+            workload,
+            cap: PowerLimiter::get_cap(&pkg.msr).unwrap_or(pkg.spec.tdp_watts),
+            start_t: pkg.now,
+            run_t0: journal.now(),
+            energy: Joules::ZERO,
+            samples: Vec::new(),
+            phase_seconds: Vec::with_capacity(workload.phases.len()),
+            last_sample_t: pkg.now,
+            snap: pkg.counters,
+            snap_energy_reg: pkg.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS),
+            phase_index: 0,
+            progress: 0.0,
+            t_in_phase: 0.0,
+            phase_energy: Joules::ZERO,
+            phase_t0: 0.0,
+            phase_open: false,
+            completed: false,
+        }
+    }
+
+    /// All phases executed and the closing events emitted.
+    pub fn is_done(&self) -> bool {
+        self.completed
+    }
+
+    /// The most recent 100 ms [`Sample`], if one has been emitted yet.
+    pub fn latest_sample(&self) -> Option<&Sample> {
+        self.samples.last()
+    }
+
+    /// Energy accumulated so far, including the open phase — the
+    /// governor differences this per window to track node power.
+    pub fn energy_so_far(&self) -> Joules {
+        self.energy + self.phase_energy
+    }
+
+    /// Run for at most `budget_seconds` of virtual time, mutating `pkg`
+    /// (clock, counters, energy MSR) and emitting journal events as
+    /// they occur. Returns the virtual seconds actually consumed, which
+    /// is less than the budget only when the workload completes inside
+    /// this slice. The cap is re-read from the MSR every firmware
+    /// control window, so caps reprogrammed between calls take effect
+    /// at the next window edge.
+    pub fn advance(
+        &mut self,
+        pkg: &mut Package,
+        budget_seconds: f64,
+        journal: &mut Journal,
+    ) -> f64 {
+        let mut consumed = 0.0f64;
+        while !self.completed {
+            if self.phase_index >= self.workload.phases.len() {
+                // All phases done: flush the final partial sample and
+                // close the workload span, exactly once.
+                if pkg.now - self.last_sample_t > 1e-9 {
+                    let e_reg = pkg.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS);
+                    self.samples.push(pkg.make_sample(
+                        pkg.now,
+                        pkg.now - self.last_sample_t,
+                        &self.snap,
+                        self.snap_energy_reg,
+                        e_reg,
+                    ));
+                    emit_counter(journal, &self.samples);
+                    self.last_sample_t = pkg.now;
+                    self.snap = pkg.counters;
+                    self.snap_energy_reg = e_reg;
+                }
+                if journal.is_enabled() {
+                    journal.push_span(
+                        Scope::Workload,
+                        self.workload.name.clone(),
+                        self.run_t0,
+                        Some(self.energy),
+                        vec![
+                            ("cap_watts", self.cap.value()),
+                            ("phases", self.workload.phases.len() as f64),
+                            ("samples", self.samples.len() as f64),
+                        ],
+                    );
+                }
+                self.completed = true;
+                break;
+            }
+            if budget_seconds - consumed <= 1e-12 {
+                break;
+            }
+            let phase = &self.workload.phases[self.phase_index];
+            if !self.phase_open {
+                debug_assert!(phase.is_valid(), "invalid phase {phase:?}");
+                self.phase_t0 = journal.now();
+                self.phase_energy = Joules::ZERO;
+                self.progress = 0.0;
+                self.t_in_phase = 0.0;
+                self.phase_open = true;
+            }
+
+            let (f, act, bw_util) = pkg.decide_frequency(phase);
+            let total_t = phase_time(&pkg.spec, phase, f);
+            let remaining_t = (1.0 - self.progress) * total_t;
+            // Advance to the next control window, sample boundary, or
+            // phase end — whichever is first — bounded by the slice.
+            let to_window =
+                CONTROL_WINDOW_SEC - (pkg.now / CONTROL_WINDOW_SEC).fract() * CONTROL_WINDOW_SEC;
+            let to_sample = (self.last_sample_t + SAMPLE_PERIOD_SEC - pkg.now).max(0.0);
+            let dt = remaining_t
+                .min(if to_window <= 1e-12 {
+                    CONTROL_WINDOW_SEC
+                } else {
+                    to_window
+                })
+                .min(if to_sample <= 1e-12 {
+                    SAMPLE_PERIOD_SEC
+                } else {
+                    to_sample
+                })
+                .max(1e-9)
+                .min(budget_seconds - consumed);
+
+            let inst_rate = phase.instructions as f64 / total_t;
+            let ref_rate = phase.llc_refs as f64 / total_t;
+            let miss_rate = phase.llc_misses() as f64 / total_t;
+            pkg.counters.advance(
+                dt,
+                f,
+                pkg.spec.base_ghz,
+                pkg.spec.cores,
+                inst_rate,
+                ref_rate,
+                miss_rate,
+            );
+            let p = pkg.spec.power_with_traffic(f, act, bw_util);
+            let de = p.for_duration(dt);
+            self.phase_energy += de;
+            pkg.msr.hw_accumulate_energy(de);
+            pkg.counters.sync_to_msr(&mut pkg.msr);
+            pkg.now += dt;
+            journal.advance(dt);
+            consumed += dt;
+            self.t_in_phase += dt;
+            self.progress += dt / total_t;
+
+            // Emit a sample at each 100 ms boundary.
+            if pkg.now - self.last_sample_t >= SAMPLE_PERIOD_SEC - 1e-12 {
+                let e_reg = pkg.msr.hw_get(addr::MSR_PKG_ENERGY_STATUS);
+                self.samples.push(pkg.make_sample(
+                    pkg.now,
+                    pkg.now - self.last_sample_t,
+                    &self.snap,
+                    self.snap_energy_reg,
+                    e_reg,
+                ));
+                emit_counter(journal, &self.samples);
+                self.last_sample_t = pkg.now;
+                self.snap = pkg.counters;
+                self.snap_energy_reg = e_reg;
+            }
+
+            if self.progress >= 1.0 {
+                self.energy += self.phase_energy;
+                self.phase_seconds.push(self.t_in_phase);
+                if journal.is_enabled() {
+                    journal.push_span(
+                        Scope::Kernel,
+                        phase.name.clone(),
+                        self.phase_t0,
+                        Some(self.phase_energy),
+                        vec![
+                            ("phase_index", self.phase_index as f64),
+                            ("instructions", phase.instructions as f64),
+                        ],
+                    );
+                }
+                self.phase_energy = Joules::ZERO;
+                self.phase_open = false;
+                self.phase_index += 1;
+            }
+        }
+        consumed
+    }
+
+    /// Aggregate the completed run into an [`ExecResult`].
+    pub fn finish(self, pkg: &Package) -> ExecResult {
+        debug_assert!(self.completed, "finish() before the workload completed");
+        let seconds = pkg.now - self.start_t;
+        let total_inst = self.workload.total_instructions();
+        let total_refs = self.workload.total_llc_refs();
+        let total_miss: u64 = self.workload.phases.iter().map(|p| p.llc_misses()).sum();
+        // Run-level averages weighted by time (frequency) or totals (IPC).
+        let avg_freq = if seconds > 0.0 {
+            self.samples
+                .iter()
+                .zip(sample_durations(&self.samples, self.start_t))
+                .map(|(s, d)| s.effective_freq_ghz * d)
+                .sum::<f64>()
+                / seconds
+        } else {
+            0.0
+        };
+        let avg_ipc = derived::ipc(
+            total_inst,
+            (pkg.spec.base_ghz * 1e9 * seconds * pkg.spec.cores as f64) as u64,
+        );
+        ExecResult {
+            workload: self.workload.name.clone(),
+            cap_watts: self.cap,
+            seconds,
+            energy_joules: self.energy,
+            avg_power_watts: if seconds > 0.0 {
+                self.energy.over_seconds(seconds)
+            } else {
+                Watts::ZERO
+            },
+            avg_effective_freq_ghz: avg_freq,
+            avg_ipc,
+            avg_llc_miss_rate: derived::llc_miss_rate(total_miss, total_refs),
+            samples: self.samples,
+            phase_seconds: self.phase_seconds,
+        }
     }
 }
 
@@ -540,7 +652,7 @@ mod tests {
                 Event::Span(s) if s.scope == Scope::Workload => workload_joules = s.joules,
                 Event::Counter(_) => counters += 1,
                 Event::CapChange(_) => cap_changes += 1,
-                Event::Span(_) => {}
+                _ => {}
             }
         }
         // Exact: the run total is accumulated per phase in span order.
@@ -576,5 +688,74 @@ mod tests {
         let first = r.samples.first().unwrap().effective_freq_ghz;
         let last = r.samples.last().unwrap().effective_freq_ghz;
         assert!(first < last, "first {first} !< last {last}");
+    }
+
+    #[test]
+    fn windowed_advance_matches_one_shot_run() {
+        let w = Workload::new("mix")
+            .with_phase(KernelPhase::compute("a", 500_000_000_000))
+            .with_phase(KernelPhase::memory("b", 20_000_000_000, 600_000_000_000));
+        let one = Package::broadwell().run_capped(&w, Watts(90.0));
+
+        let mut pkg = Package::broadwell();
+        pkg.set_cap(Watts(90.0));
+        let mut journal = Journal::off();
+        let mut st = RunState::new(&pkg, &w, &journal);
+        let mut windows = 0;
+        while !st.is_done() {
+            let consumed = st.advance(&mut pkg, SAMPLE_PERIOD_SEC, &mut journal);
+            assert!(consumed <= SAMPLE_PERIOD_SEC + 1e-9);
+            windows += 1;
+            assert!(windows < 100_000, "advance() must make progress");
+        }
+        let windowed = st.finish(&pkg);
+
+        // Window boundaries may split a micro-quantum in two, so the
+        // trajectories agree to float dust rather than bit-exactly.
+        assert!((one.seconds - windowed.seconds).abs() < 1e-6);
+        let rel =
+            (one.energy_joules - windowed.energy_joules).abs() / one.energy_joules.max(Joules(1.0));
+        assert!(
+            rel < 1e-6,
+            "energy {} vs {}",
+            one.energy_joules,
+            windowed.energy_joules
+        );
+        assert_eq!(one.samples.len(), windowed.samples.len());
+        assert_eq!(one.phase_seconds.len(), windowed.phase_seconds.len());
+    }
+
+    #[test]
+    fn midstream_cap_change_takes_effect_next_window() {
+        // Start a long compute run uncapped, then cap it hard mid-flight:
+        // subsequent samples must show lower power and frequency.
+        let w = compute_workload(3_000_000_000_000);
+        let mut pkg = Package::broadwell();
+        pkg.set_cap(Watts(120.0));
+        let mut journal = Journal::off();
+        let mut st = RunState::new(&pkg, &w, &journal);
+        for _ in 0..3 {
+            st.advance(&mut pkg, SAMPLE_PERIOD_SEC, &mut journal);
+        }
+        let before = st.latest_sample().copied().unwrap();
+        pkg.set_cap(Watts(40.0));
+        for _ in 0..3 {
+            st.advance(&mut pkg, SAMPLE_PERIOD_SEC, &mut journal);
+        }
+        let after = st.latest_sample().copied().unwrap();
+        assert!(
+            after.power_watts < before.power_watts - Watts(20.0),
+            "power {} -> {}",
+            before.power_watts,
+            after.power_watts
+        );
+        assert!(after.effective_freq_ghz < before.effective_freq_ghz);
+        // Run it out and check the energy rollup still holds together.
+        while !st.is_done() {
+            st.advance(&mut pkg, SAMPLE_PERIOD_SEC, &mut journal);
+        }
+        let r = st.finish(&pkg);
+        assert!((r.seconds - pkg.now).abs() < 1e-12);
+        assert!(r.energy_joules > Joules::ZERO);
     }
 }

@@ -44,10 +44,10 @@ pub mod units;
 pub mod workload;
 
 pub use cpu::CpuSpec;
-pub use exec::{ExecResult, Package, Sample};
+pub use exec::{ExecResult, Package, RunState, Sample};
 pub use msr::{MsrError, MsrFile};
 pub use node::{Node, NodeResult};
 pub use rapl::PowerLimiter;
-pub use trace::{CapChange, CounterSample, Event, Journal, Scope, Span};
+pub use trace::{CapChange, CounterSample, Event, Journal, PolicyDecision, Scope, Span};
 pub use units::{Joules, Watts};
 pub use workload::{KernelPhase, Workload};

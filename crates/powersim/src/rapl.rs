@@ -49,12 +49,18 @@ impl PowerLimiter {
         Some((v & 0x7FFF) as f64 * POWER_UNIT)
     }
 
+    /// The cap the firmware actually enforces this window: the
+    /// programmed limit if enabled, else TDP — and never above TDP.
+    pub fn effective_cap(msr: &MsrFile, spec: &CpuSpec) -> Watts {
+        Self::get_cap(msr)
+            .unwrap_or(spec.tdp_watts)
+            .min(spec.tdp_watts)
+    }
+
     /// Firmware decision for one control window: the frequency to run at
     /// given the active workload's effective activity factor.
     pub fn control_frequency(msr: &MsrFile, spec: &CpuSpec, activity: f64) -> f64 {
-        let cap = Self::get_cap(msr).unwrap_or(spec.tdp_watts);
-        let cap = cap.min(spec.tdp_watts);
-        spec.solve_frequency(cap, activity)
+        spec.solve_frequency(Self::effective_cap(msr, spec), activity)
     }
 }
 
@@ -83,6 +89,15 @@ mod tests {
         assert!((PowerLimiter::get_cap(&msr).unwrap() - Watts(40.0)).abs() < 0.2);
         PowerLimiter::set_cap(&mut msr, &spec, Watts(500.0)).unwrap();
         assert!((PowerLimiter::get_cap(&msr).unwrap() - Watts(120.0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn effective_cap_defaults_to_tdp_and_never_exceeds_it() {
+        let (mut msr, spec) = setup();
+        PowerLimiter::disable(&mut msr).unwrap();
+        assert_eq!(PowerLimiter::effective_cap(&msr, &spec), spec.tdp_watts);
+        PowerLimiter::set_cap(&mut msr, &spec, Watts(70.0)).unwrap();
+        assert!((PowerLimiter::effective_cap(&msr, &spec) - Watts(70.0)).abs() < POWER_UNIT);
     }
 
     #[test]

@@ -48,7 +48,10 @@ use crate::units::{Joules, Watts};
 /// as `"v"`, and the chrome trace embeds it in `otherData`. Bump it when
 /// an event's fields or semantics change, and update the schema table in
 /// `docs/OBSERVABILITY.md` in the same commit.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the [`PolicyDecision`] event and the [`Scope::Governor`]
+/// span scope for the closed-loop power governor.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Which layer of the stack emitted a [`Span`].
 ///
@@ -78,6 +81,10 @@ pub enum Scope {
     /// One in situ visualization action (a pipeline, a rendered scene,
     /// or a whole viz cycle) from `insitu::runtime`.
     Action,
+    /// One closed-loop governor run: a simulation/visualization pair
+    /// executed concurrently under a node power budget
+    /// (`governor::control::govern`).
+    Governor,
 }
 
 impl Scope {
@@ -90,6 +97,7 @@ impl Scope {
             Scope::Kernel => "kernel",
             Scope::Timestep => "timestep",
             Scope::Action => "action",
+            Scope::Governor => "governor",
         }
     }
 
@@ -102,18 +110,20 @@ impl Scope {
             Scope::Kernel => 4,
             Scope::Timestep => 5,
             Scope::Action => 6,
+            Scope::Governor => 7,
         }
     }
 }
 
 /// All scope/track pairs, for chrome-trace thread-name metadata.
-const ALL_SCOPES: [Scope; 6] = [
+const ALL_SCOPES: [Scope; 7] = [
     Scope::Study,
     Scope::Sweep,
     Scope::Workload,
     Scope::Kernel,
     Scope::Timestep,
     Scope::Action,
+    Scope::Governor,
 ];
 
 /// A closed interval of journal time attributed to one named unit of
@@ -170,6 +180,34 @@ pub struct CapChange {
     pub actual_watts: Watts,
 }
 
+/// One control decision of the closed-loop power governor: the per-side
+/// observations of the last 100 ms window and the cap split chosen for
+/// the next one. A cap of 0 W marks a side whose workload has completed
+/// (its package is idle and excluded from the budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDecision {
+    /// Journal time of the decision (end of the observed window, seconds).
+    pub t: f64,
+    /// The node power budget the governor splits.
+    pub budget_watts: Watts,
+    /// Cap chosen for the simulation package (0 W once it completed).
+    pub sim_cap_watts: Watts,
+    /// Cap chosen for the visualization package (0 W once it completed).
+    pub viz_cap_watts: Watts,
+    /// Observed simulation-package power over the window.
+    pub sim_power_watts: Watts,
+    /// Observed visualization-package power over the window.
+    pub viz_power_watts: Watts,
+    /// Observed simulation IPC (instructions / reference cycle).
+    pub sim_ipc: f64,
+    /// Observed visualization IPC (instructions / reference cycle).
+    pub viz_ipc: f64,
+    /// Observed simulation LLC miss ratio (misses / references).
+    pub sim_llc_miss_rate: f64,
+    /// Observed visualization LLC miss ratio (misses / references).
+    pub viz_llc_miss_rate: f64,
+}
+
 /// One journal entry. Every variant is documented in the schema table of
 /// `docs/OBSERVABILITY.md`; `cargo xtask lint` fails if a variant is
 /// added without a matching row.
@@ -181,6 +219,8 @@ pub enum Event {
     Counter(CounterSample),
     /// A RAPL cap reprogramming.
     CapChange(CapChange),
+    /// A governor control decision (observed ratios + chosen cap split).
+    PolicyDecision(PolicyDecision),
 }
 
 /// Ring-buffered event journal with a logical clock.
@@ -451,6 +491,28 @@ fn write_jsonl_line(out: &mut String, seq: u64, event: &Event) {
             out.push_str(",\"actual_watts\":");
             push_f64(out, c.actual_watts.value());
         }
+        Event::PolicyDecision(d) => {
+            out.push_str("\"ev\":\"policy_decision\",\"t\":");
+            push_f64(out, d.t);
+            out.push_str(",\"budget_watts\":");
+            push_f64(out, d.budget_watts.value());
+            out.push_str(",\"sim_cap_watts\":");
+            push_f64(out, d.sim_cap_watts.value());
+            out.push_str(",\"viz_cap_watts\":");
+            push_f64(out, d.viz_cap_watts.value());
+            out.push_str(",\"sim_power_watts\":");
+            push_f64(out, d.sim_power_watts.value());
+            out.push_str(",\"viz_power_watts\":");
+            push_f64(out, d.viz_power_watts.value());
+            out.push_str(",\"sim_ipc\":");
+            push_f64(out, d.sim_ipc);
+            out.push_str(",\"viz_ipc\":");
+            push_f64(out, d.viz_ipc);
+            out.push_str(",\"sim_llc_miss_rate\":");
+            push_f64(out, d.sim_llc_miss_rate);
+            out.push_str(",\"viz_llc_miss_rate\":");
+            push_f64(out, d.viz_llc_miss_rate);
+        }
     }
     out.push_str("}\n");
 }
@@ -510,6 +572,23 @@ fn write_chrome_event(out: &mut String, event: &Event) {
             push_f64(out, c.requested_watts.value());
             out.push_str(",\"actual_watts\":");
             push_f64(out, c.actual_watts.value());
+            out.push_str("}}");
+        }
+        Event::PolicyDecision(d) => {
+            // A counter track: the split and the observed draw plot as
+            // stacked series against the budget over journal time.
+            out.push_str("{\"ph\":\"C\",\"name\":\"governor\",\"pid\":1,\"ts\":");
+            push_f64(out, d.t * 1e6);
+            out.push_str(",\"args\":{\"budget_watts\":");
+            push_f64(out, d.budget_watts.value());
+            out.push_str(",\"sim_cap_watts\":");
+            push_f64(out, d.sim_cap_watts.value());
+            out.push_str(",\"viz_cap_watts\":");
+            push_f64(out, d.viz_cap_watts.value());
+            out.push_str(",\"sim_power_watts\":");
+            push_f64(out, d.sim_power_watts.value());
+            out.push_str(",\"viz_power_watts\":");
+            push_f64(out, d.viz_power_watts.value());
             out.push_str("}}");
         }
     }
@@ -622,19 +701,51 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"v\":1,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
+            "{\"v\":2,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
              \"requested_watts\":250,\"actual_watts\":120}"
         );
         assert_eq!(
             lines[1],
-            "{\"v\":1,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
+            "{\"v\":2,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
              \"effective_freq_ghz\":2.6,\"ipc\":1.25,\"llc_miss_rate\":0.05}"
         );
         assert_eq!(
             lines[2],
-            "{\"v\":1,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
+            "{\"v\":2,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
              \"t0\":0,\"t1\":0.1,\"joules\":8.55,\"watts\":85.5,\"args\":{\"phases\":2}}"
         );
+    }
+
+    #[test]
+    fn policy_decision_jsonl_shape_is_exact() {
+        let mut j = Journal::with_capacity(4);
+        j.advance(0.1);
+        j.push(Event::PolicyDecision(PolicyDecision {
+            t: j.now(),
+            budget_watts: Watts(160.0),
+            sim_cap_watts: Watts(110.0),
+            viz_cap_watts: Watts(50.0),
+            sim_power_watts: Watts(88.25),
+            viz_power_watts: Watts(46.5),
+            sim_ipc: 1.8,
+            viz_ipc: 0.4,
+            sim_llc_miss_rate: 0.05,
+            viz_llc_miss_rate: 0.9,
+        }));
+        let jsonl = j.to_jsonl();
+        assert_eq!(
+            jsonl.trim_end(),
+            "{\"v\":2,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
+             \"sim_cap_watts\":110,\"viz_cap_watts\":50,\"sim_power_watts\":88.25,\
+             \"viz_power_watts\":46.5,\"sim_ipc\":1.8,\"viz_ipc\":0.4,\
+             \"sim_llc_miss_rate\":0.05,\"viz_llc_miss_rate\":0.9}"
+        );
+        let trace = j.to_chrome_trace();
+        assert!(
+            trace.contains("\"ph\":\"C\",\"name\":\"governor\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"thread_name\""), "{trace}");
     }
 
     #[test]
@@ -667,7 +778,7 @@ mod tests {
         j.push_span(Scope::Timestep, "step:1", 0.0, None, vec![("dt", 0.5)]);
         let trace = j.to_chrome_trace();
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
-        assert!(trace.contains("\"schema_version\":1"), "{trace}");
+        assert!(trace.contains("\"schema_version\":2"), "{trace}");
         assert!(trace.contains("\"thread_name\""), "{trace}");
         assert!(
             trace.contains("\"ph\":\"X\",\"name\":\"step:1\""),

@@ -3,7 +3,7 @@
 
 /// Crates whose library code sits on the measurement hot path. The
 /// panic-policy and reduction-determinism lints only apply here.
-pub const HOT_PATH_CRATES: &[&str] = &["vizalgo", "cloverleaf", "powersim"];
+pub const HOT_PATH_CRATES: &[&str] = &["vizalgo", "cloverleaf", "powersim", "governor"];
 
 /// Kernel crates where unordered parallel float reductions would make the
 /// paper tables run-to-run irreproducible.
@@ -28,6 +28,10 @@ pub const UNIT_BOUNDARY_FILES: &[&str] = &[
     "crates/core/src/ablation.rs",
     "crates/core/src/arch.rs",
     "crates/core/src/classify.rs",
+    "crates/governor/src/policy.rs",
+    "crates/governor/src/control.rs",
+    "crates/governor/src/study.rs",
+    "crates/governor/src/pair.rs",
 ];
 
 /// Files exempt from the unit-safety lint: the newtype definitions

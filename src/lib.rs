@@ -11,8 +11,11 @@
 //! * [`insitu`] — the Ascent-like in situ coupling framework.
 //! * [`vizpower`] — the power/performance study itself (phases, metrics,
 //!   classification, the power advisor, and the table/figure harness).
+//! * [`governor`] — the closed-loop online power governor and its
+//!   budget-sweep study.
 
 pub use cloverleaf;
+pub use governor;
 pub use insitu;
 pub use powersim;
 pub use vizalgo;

@@ -1,0 +1,172 @@
+//! Golden tests for the closed-loop governor's 32³ budget sweep: the
+//! journal must be byte-identical across runs and rayon thread counts,
+//! every journaled decision must respect the node budget and hardware
+//! cap range, and the Reactive policy must beat the Uniform baseline on
+//! pair completion time at every budget at or below 160 W (the regime
+//! where the uniform split leaves the simulation power-starved).
+
+use vizpower_suite::governor::{self, BudgetSweep};
+use vizpower_suite::powersim::trace::{Event, Journal, Scope};
+use vizpower_suite::powersim::{CpuSpec, Watts};
+
+fn spec() -> CpuSpec {
+    CpuSpec::broadwell_e5_2695v4()
+}
+
+/// Run the 32³ budget sweep under a private `num_threads` rayon pool,
+/// returning the sweep table and the serialized journal.
+fn run_sweep(threads: usize) -> (BudgetSweep, String) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool");
+    pool.install(|| {
+        let mut journal = Journal::with_capacity(1 << 16);
+        let sweep = governor::budget_sweep(32, &spec(), &mut journal);
+        assert_eq!(journal.dropped(), 0, "golden run must not drop events");
+        (sweep, journal.to_jsonl())
+    })
+}
+
+#[test]
+fn budget_sweep_table_and_policy_ordering() {
+    let (sweep, jsonl) = run_sweep(2);
+    assert_eq!(sweep.rows.len(), 36, "9 budgets x 4 policies");
+    assert!(!jsonl.is_empty());
+
+    for budget in governor::budgets() {
+        let seconds = |policy: &str| {
+            sweep
+                .row(budget, policy)
+                .map(|r| r.seconds)
+                .unwrap_or(f64::NAN)
+        };
+        let uniform = seconds("uniform");
+        let advisor = seconds("static-advisor");
+        let reactive = seconds("reactive");
+        let oracle = seconds("oracle");
+        // The acceptance bar: closed-loop reactive strictly beats the
+        // naive split whenever the budget actually constrains the pair.
+        if budget <= Watts(160.0) {
+            assert!(
+                reactive < uniform,
+                "at {budget} W: reactive {reactive} !< uniform {uniform}"
+            );
+        } else {
+            assert!(
+                reactive <= uniform * (1.0 + 1e-9),
+                "at {budget} W: reactive {reactive} > uniform {uniform}"
+            );
+        }
+        // The oracle is the best *static* split: it bounds the static
+        // policies (reactive may beat it via retirement reassignment).
+        assert!(
+            oracle <= uniform * (1.0 + 1e-9),
+            "at {budget} W: oracle {oracle} > uniform {uniform}"
+        );
+        assert!(
+            oracle <= advisor * (1.0 + 1e-9),
+            "at {budget} W: oracle {oracle} > static-advisor {advisor}"
+        );
+        // No policy's node power ever exceeded the budget in any window.
+        for policy in ["uniform", "static-advisor", "reactive", "oracle"] {
+            let row = sweep.row(budget, policy).expect("row present");
+            assert!(
+                row.max_window_power_watts <= budget + Watts(0.5),
+                "{policy} at {budget} W drew {} W in a window",
+                row.max_window_power_watts
+            );
+            assert!(row.seconds > 0.0 && row.decisions > 0);
+        }
+    }
+}
+
+#[test]
+fn journal_is_byte_identical_across_runs_and_thread_counts() {
+    let (_, first) = run_sweep(1);
+    let (_, again) = run_sweep(1);
+    assert_eq!(first, again, "repeat run must match byte-for-byte");
+    let (_, pooled) = run_sweep(4);
+    assert_eq!(first, pooled, "thread count must not change the journal");
+}
+
+#[test]
+fn every_journaled_decision_respects_budget_and_cap_range() {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .expect("build rayon pool");
+    let journal = pool.install(|| {
+        let mut journal = Journal::with_capacity(1 << 16);
+        let _ = governor::budget_sweep(32, &spec(), &mut journal);
+        journal
+    });
+    let spec = spec();
+    let lo = spec.min_cap_watts;
+    let hi = spec.tdp_watts;
+
+    let mut decisions = 0u64;
+    let mut governor_spans = 0u64;
+    for e in journal.events() {
+        match e {
+            Event::PolicyDecision(d) => {
+                decisions += 1;
+                // Observed node power never exceeds the decision's budget.
+                assert!(
+                    d.sim_power_watts + d.viz_power_watts <= d.budget_watts + Watts(0.5),
+                    "window power {} + {} over budget {}",
+                    d.sim_power_watts,
+                    d.viz_power_watts,
+                    d.budget_watts
+                );
+                // Caps are 0 W (retired side) or inside the hardware
+                // range, and active caps fit the budget.
+                let mut active_total = Watts::ZERO;
+                for cap in [d.sim_cap_watts, d.viz_cap_watts] {
+                    if cap > Watts(1e-9) {
+                        assert!(
+                            cap >= lo - Watts(1e-9) && cap <= hi + Watts(1e-9),
+                            "cap {cap} outside [{lo}, {hi}]"
+                        );
+                        active_total += cap;
+                    }
+                }
+                assert!(
+                    active_total <= d.budget_watts + Watts(1e-9),
+                    "caps {active_total} exceed budget {}",
+                    d.budget_watts
+                );
+            }
+            Event::Span(s) if s.scope == Scope::Governor => governor_spans += 1,
+            _ => {}
+        }
+    }
+    assert!(decisions > 100, "sweep produced only {decisions} decisions");
+    assert_eq!(governor_spans, 36, "one governor span per (budget, policy)");
+}
+
+#[test]
+fn uniform_policy_first_decision_is_the_even_split() {
+    let spec = spec();
+    let pair = governor::coupled_pair(16, &spec);
+    for budget in [Watts(100.0), Watts(160.0), Watts(220.0)] {
+        let mut journal = Journal::with_capacity(1 << 14);
+        let _ = governor::govern(
+            &pair,
+            &mut governor::Uniform::new(),
+            budget,
+            &spec,
+            &mut journal,
+        );
+        let first = journal
+            .events()
+            .find_map(|e| match e {
+                Event::PolicyDecision(d) => Some(*d),
+                _ => None,
+            })
+            .expect("at least one decision");
+        let per = (budget / 2.0).clamp(spec.min_cap_watts, spec.tdp_watts);
+        assert_eq!(first.sim_cap_watts, per);
+        assert_eq!(first.viz_cap_watts, per);
+    }
+}

@@ -1,0 +1,34 @@
+//! Compile-check stand-in for rand: deterministic xorshift, f64 ranges only.
+
+pub mod rngs {
+    pub struct StdRng(pub(crate) u64);
+}
+
+pub trait SeedableRng {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+    fn random_range(&mut self, range: std::ops::Range<f64>) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}

@@ -1,0 +1,104 @@
+//! Compile-only sequential stand-in for rayon: parallel iterators are
+//! plain std iterators, pools run inline.
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelBridge,
+        ParallelIterator,
+    };
+}
+
+pub mod iter {
+    pub trait ParallelIterator: Iterator + Sized {}
+    impl<T: Iterator> ParallelIterator for T {}
+
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+    impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+    where
+        &'a I: IntoIterator,
+    {
+        type Iter = <&'a I as IntoIterator>::IntoIter;
+        type Item = <&'a I as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+    impl<'a, I: 'a + ?Sized> IntoParallelRefMutIterator<'a> for I
+    where
+        &'a mut I: IntoIterator,
+    {
+        type Iter = <&'a mut I as IntoIterator>::IntoIter;
+        type Item = <&'a mut I as IntoIterator>::Item;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    pub trait ParallelBridge: Sized {
+        fn par_bridge(self) -> Self {
+            self
+        }
+    }
+    impl<T: Iterator + Sized> ParallelBridge for T {}
+}
+
+pub struct ThreadPool;
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("stub pool")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder;
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder
+    }
+    pub fn num_threads(self, _n: usize) -> Self {
+        self
+    }
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub fn join<RA, RB>(a: impl FnOnce() -> RA, b: impl FnOnce() -> RB) -> (RA, RB) {
+    (a(), b())
+}

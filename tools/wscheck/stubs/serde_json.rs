@@ -1,0 +1,230 @@
+//! Compile-only serde_json stand-in with a real minimal parser for
+//! `Value` (enough for the journal golden test); other target types fail
+//! at runtime.
+
+use std::any::{Any, TypeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        matches!(self, Value::Number(n) if *n == *other as f64)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Value::Number(n) if *n == *other as f64)
+    }
+}
+
+pub fn from_str<T: 'static>(s: &str) -> Result<T, Error> {
+    if TypeId::of::<T>() == TypeId::of::<Value>() {
+        let v = parse(s)?;
+        let boxed: Box<dyn Any> = Box::new(v);
+        return match boxed.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(_) => Err(Error("downcast".into())),
+        };
+    }
+    Err(Error("stub: only Value parses".into()))
+}
+
+pub fn to_string<T>(_v: &T) -> Result<String, Error> {
+    Err(Error("stub: no serialization".into()))
+}
+
+pub fn to_string_pretty<T>(_v: &T) -> Result<String, Error> {
+    Err(Error("stub: no serialization".into()))
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    let v = parse_value(&chars, &mut i)?;
+    skip_ws(&chars, &mut i);
+    if i != chars.len() {
+        return Err(Error(format!("trailing input at {i}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], i: &mut usize) {
+    while *i < c.len() && c[*i].is_whitespace() {
+        *i += 1;
+    }
+}
+
+fn expect(c: &[char], i: &mut usize, ch: char) -> Result<(), Error> {
+    if c.get(*i) == Some(&ch) {
+        *i += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected {ch} at {i}", i = *i)))
+    }
+}
+
+fn parse_value(c: &[char], i: &mut usize) -> Result<Value, Error> {
+    skip_ws(c, i);
+    match c.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(c, i);
+            if c.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(Value::Object(m));
+            }
+            loop {
+                skip_ws(c, i);
+                let k = parse_string(c, i)?;
+                skip_ws(c, i);
+                expect(c, i, ':')?;
+                let v = parse_value(c, i)?;
+                m.insert(k, v);
+                skip_ws(c, i);
+                match c.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(Value::Object(m));
+                    }
+                    _ => return Err(Error(format!("bad object at {i}", i = *i))),
+                }
+            }
+        }
+        Some('[') => {
+            *i += 1;
+            let mut a = Vec::new();
+            skip_ws(c, i);
+            if c.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(Value::Array(a));
+            }
+            loop {
+                a.push(parse_value(c, i)?);
+                skip_ws(c, i);
+                match c.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(Value::Array(a));
+                    }
+                    _ => return Err(Error(format!("bad array at {i}", i = *i))),
+                }
+            }
+        }
+        Some('"') => Ok(Value::String(parse_string(c, i)?)),
+        Some('t') => keyword(c, i, "true", Value::Bool(true)),
+        Some('f') => keyword(c, i, "false", Value::Bool(false)),
+        Some('n') => keyword(c, i, "null", Value::Null),
+        Some(_) => parse_number(c, i),
+        None => Err(Error("unexpected end".into())),
+    }
+}
+
+fn keyword(c: &[char], i: &mut usize, word: &str, v: Value) -> Result<Value, Error> {
+    for ch in word.chars() {
+        expect(c, i, ch)?;
+    }
+    Ok(v)
+}
+
+fn parse_string(c: &[char], i: &mut usize) -> Result<String, Error> {
+    expect(c, i, '"')?;
+    let mut out = String::new();
+    while let Some(&ch) = c.get(*i) {
+        *i += 1;
+        match ch {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = c.get(*i).copied().ok_or_else(|| Error("bad escape".into()))?;
+                *i += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = c[*i..(*i + 4).min(c.len())].iter().collect();
+                        *i += 4;
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| Error(e.to_string()))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(Error(format!("bad escape \\{other}"))),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err(Error("unterminated string".into()))
+}
+
+fn parse_number(c: &[char], i: &mut usize) -> Result<Value, Error> {
+    let start = *i;
+    while let Some(&ch) = c.get(*i) {
+        if ch.is_ascii_digit() || "+-.eE".contains(ch) {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+    let text: String = c[start..*i].iter().collect();
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+}
