@@ -11,6 +11,9 @@
 //! reproduce governor --budget-sweep [--quick]
 //!                                 # extension: closed-loop governor across
 //!                                 # node budgets (80-240 W, 4 policies)
+//! reproduce conformance [--quick] # analytic-oracle / differential /
+//!                                 # metamorphic checks for all eight
+//!                                 # kernels (exit 1 on any failure)
 //!
 //! reproduce <target> --journal out.jsonl   # write the run journal (JSONL)
 //! reproduce <target> --trace out.trace.json # write a chrome://tracing file
@@ -35,7 +38,7 @@ use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>]"
     ))
 }
 
@@ -261,6 +264,29 @@ fn main() -> Result<(), CliError> {
                 run(&mut ctx, what);
             }
             true
+        }
+        "conformance" => {
+            let cfg = if quick {
+                conformance::ConformanceConfig::quick()
+            } else {
+                conformance::ConformanceConfig::full()
+            };
+            println!(
+                "== Conformance: oracle / differential / metamorphic checks at {:?}³ ==",
+                cfg.grids
+            );
+            let report = conformance::run_journaled(&cfg, &mut ctx.journal);
+            print!("{}", conformance::render_table(&report));
+            println!();
+            write_journal_outputs(&ctx, journal_path.as_deref(), trace_path.as_deref())?;
+            if report.all_pass() {
+                return Ok(());
+            }
+            return Err(CliError::new(format!(
+                "{} of {} conformance checks failed",
+                report.failed(),
+                report.checks.len()
+            )));
         }
         other => run(&mut ctx, other),
     };

@@ -1,0 +1,412 @@
+//! Analytic-oracle conformance suite for the eight visualization kernels.
+//!
+//! The study harness measures *power and performance*; this crate checks
+//! that the kernels being measured are *correct*, three ways:
+//!
+//! * **Oracle** ([`oracle`]): run each kernel on an analytic input field
+//!   (see [`fields`]) and compare its output against a closed-form
+//!   answer — a contoured sphere must have area `4πr²` and genus 0, a
+//!   clipped ball must remove `4/3·πr³` of volume, advected particles in
+//!   a rigid rotation must stay on their circles, and so on.
+//! * **Differential** ([`reference`]): re-run each kernel under 1-thread
+//!   and 4-thread rayon pools (outputs must be byte-identical), and
+//!   compare against deliberately simple sequential re-implementations
+//!   (bit-exact where the reference replicates the arithmetic).
+//! * **Metamorphic** ([`metamorphic`]): cross-kernel laws that need no
+//!   ground truth at all — clip and its complementary isovolume must
+//!   tile the domain, isovolume and all-points threshold must agree on
+//!   interior cells, contour areas must grow with the isovalue, and the
+//!   contour discretization error must shrink at second order under grid
+//!   refinement.
+//!
+//! Every check reduces to one [`CheckResult`] — `|measured − expected| ≤
+//! tolerance` — so the whole suite serializes into the run journal as
+//! schema-v3 `conformance_check` events (see docs/OBSERVABILITY.md and
+//! docs/CONFORMANCE.md).
+
+pub mod fields;
+pub mod metamorphic;
+pub mod oracle;
+pub mod reference;
+
+use powersim::trace::{ConformanceCheck, Event, Journal, Scope};
+use std::fmt::Write as _;
+use vizalgo::{
+    Algorithm, Contour, Filter, Isovolume, ParticleAdvection, RayTracer, SphericalClip, ThreeSlice,
+    Threshold, VolumeRenderer,
+};
+use vizmesh::dataset::Geometry;
+use vizmesh::{CellSet, CellShape, DataSet, Vec3};
+
+/// Radius of the clip sphere and the primary contour isovalue.
+pub const SPHERE_R: f64 = 0.3;
+/// Isovolume band over the x-ramp: `[ISO_LO, ISO_HI]`.
+pub const ISO_LO: f64 = 0.3;
+pub const ISO_HI: f64 = 0.6;
+/// Threshold band over the cell-centered x-ramp. Both bounds are dyadic,
+/// so cell centers `(i + ½)/n` on power-of-two grids never land on a
+/// boundary and the analytic kept-cell count is exact in `f64`.
+pub const THRESH_LO: f64 = 0.25;
+pub const THRESH_HI: f64 = 0.75;
+
+/// Which family a check belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Closed-form analytic answer.
+    Oracle,
+    /// Thread-count and sequential-reference comparison.
+    Differential,
+    /// Cross-kernel law.
+    Metamorphic,
+}
+
+impl CheckKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckKind::Oracle => "oracle",
+            CheckKind::Differential => "differential",
+            CheckKind::Metamorphic => "metamorphic",
+        }
+    }
+}
+
+/// One conformance check: a measured quantity against its expectation.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    pub algorithm: Algorithm,
+    /// Namespaced id, e.g. `oracle:sphere-area`.
+    pub check: String,
+    pub kind: CheckKind,
+    /// Grid resolution (cells per axis) the check ran at.
+    pub grid: u32,
+    pub measured: f64,
+    pub expected: f64,
+    /// Absolute tolerance; 0 for exact checks.
+    pub tolerance: f64,
+}
+
+impl CheckResult {
+    pub fn new(
+        algorithm: Algorithm,
+        kind: CheckKind,
+        check: impl Into<String>,
+        grid: usize,
+        measured: f64,
+        expected: f64,
+        tolerance: f64,
+    ) -> Self {
+        CheckResult {
+            algorithm,
+            check: format!("{}:{}", kind.as_str(), check.into()),
+            kind,
+            grid: grid as u32,
+            measured,
+            expected,
+            tolerance,
+        }
+    }
+
+    /// A check that could not even be evaluated (missing output); always
+    /// fails with a NaN measurement.
+    pub fn setup_failure(algorithm: Algorithm, kind: CheckKind, check: &str, grid: usize) -> Self {
+        CheckResult::new(algorithm, kind, check, grid, f64::NAN, 0.0, 0.0)
+    }
+
+    pub fn pass(&self) -> bool {
+        self.measured.is_finite() && (self.measured - self.expected).abs() <= self.tolerance
+    }
+}
+
+/// Knobs for one conformance run. All defaults use power-of-two grids so
+/// grid coordinates are exact dyadic `f64` values.
+#[derive(Debug, Clone)]
+pub struct ConformanceConfig {
+    /// Grid resolutions every oracle/differential check runs at.
+    pub grids: Vec<usize>,
+    /// Three increasing resolutions for the refinement-order law.
+    pub refinement: [usize; 3],
+    /// Image width = height for the two renderers.
+    pub render_px: usize,
+    pub cameras: usize,
+    pub particles: usize,
+    pub advect_steps: usize,
+    /// RK4 step length in fractions of the domain diagonal.
+    pub step_fraction: f64,
+    /// Seed for the advection particle placement.
+    pub seed: u64,
+}
+
+impl ConformanceConfig {
+    /// The acceptance configuration: every algorithm at 32³ and 64³.
+    pub fn full() -> Self {
+        ConformanceConfig {
+            grids: vec![32, 64],
+            refinement: [32, 64, 128],
+            render_px: 48,
+            cameras: 4,
+            particles: 24,
+            advect_steps: 200,
+            step_fraction: 1e-3,
+            seed: 0x00C0_FFEE,
+        }
+    }
+
+    /// CI configuration: same checks, half the resolution.
+    pub fn quick() -> Self {
+        ConformanceConfig {
+            grids: vec![16, 32],
+            refinement: [16, 32, 64],
+            render_px: 24,
+            cameras: 2,
+            particles: 8,
+            advect_steps: 100,
+            ..ConformanceConfig::full()
+        }
+    }
+}
+
+/// Build the analytic input dataset an algorithm is checked on.
+pub fn build_input(alg: Algorithm, n: usize) -> DataSet {
+    match alg {
+        Algorithm::Contour => fields::sphere_dataset(n),
+        Algorithm::Threshold => fields::cell_xramp_dataset(n),
+        Algorithm::SphericalClip => fields::energy_dataset(n),
+        Algorithm::Isovolume
+        | Algorithm::Slice
+        | Algorithm::RayTracing
+        | Algorithm::VolumeRendering => fields::xramp_dataset(n),
+        Algorithm::ParticleAdvection => fields::rotation_dataset(n),
+    }
+}
+
+/// Build the filter configuration each algorithm is checked under.
+pub fn build_filter(alg: Algorithm, cfg: &ConformanceConfig, input: &DataSet) -> Box<dyn Filter> {
+    let px = cfg.render_px;
+    match alg {
+        Algorithm::Contour => Box::new(Contour::new(fields::FIELD, vec![SPHERE_R])),
+        Algorithm::Threshold => Box::new(Threshold::new(fields::FIELD, THRESH_LO, THRESH_HI)),
+        Algorithm::SphericalClip => Box::new(SphericalClip::new(fields::CENTER, SPHERE_R)),
+        Algorithm::Isovolume => Box::new(Isovolume::new(fields::FIELD, ISO_LO, ISO_HI)),
+        Algorithm::Slice => Box::new(ThreeSlice::centered(input, fields::FIELD)),
+        Algorithm::ParticleAdvection => Box::new(ParticleAdvection::new(
+            fields::VELOCITY,
+            cfg.particles,
+            cfg.advect_steps,
+            cfg.step_fraction,
+            cfg.seed,
+        )),
+        Algorithm::RayTracing => Box::new(RayTracer::new(fields::FIELD, px, px, cfg.cameras)),
+        Algorithm::VolumeRendering => {
+            Box::new(VolumeRenderer::new(fields::FIELD, px, px, cfg.cameras))
+        }
+    }
+}
+
+/// The explicit points + cells of an unstructured output, if present.
+pub(crate) fn explicit_parts(ds: &DataSet) -> Option<(&[Vec3], &CellSet)> {
+    match &ds.geometry {
+        Geometry::Explicit { points, cells } => Some((points, cells)),
+        Geometry::Uniform(_) => None,
+    }
+}
+
+/// Total area of the `Triangle` cells of an unstructured mesh.
+pub(crate) fn surface_area(points: &[Vec3], cells: &CellSet) -> f64 {
+    let mut area = 0.0;
+    for (shape, conn) in cells.iter() {
+        if shape == CellShape::Triangle && conn.len() == 3 {
+            let a = points[conn[0] as usize];
+            let b = points[conn[1] as usize];
+            let c = points[conn[2] as usize];
+            area += (b - a).cross(c - a).length() * 0.5;
+        }
+    }
+    area
+}
+
+/// Number of cells of one shape.
+pub(crate) fn count_shape(cells: &CellSet, shape: CellShape) -> usize {
+    cells.iter().filter(|(s, _)| *s == shape).count()
+}
+
+/// Full results of a conformance run.
+#[derive(Debug, Clone, Default)]
+pub struct ConformanceReport {
+    pub checks: Vec<CheckResult>,
+}
+
+impl ConformanceReport {
+    pub fn passed(&self) -> usize {
+        self.checks.iter().filter(|c| c.pass()).count()
+    }
+
+    pub fn failed(&self) -> usize {
+        self.checks.len() - self.passed()
+    }
+
+    pub fn failures(&self) -> impl Iterator<Item = &CheckResult> {
+        self.checks.iter().filter(|c| !c.pass())
+    }
+
+    pub fn all_pass(&self) -> bool {
+        self.failed() == 0
+    }
+}
+
+/// Run every check, grouped as `(algorithm, grid, checks)` — one group
+/// per algorithm per grid, plus the metamorphic groups.
+pub fn run_grouped(cfg: &ConformanceConfig) -> Vec<(Algorithm, u32, Vec<CheckResult>)> {
+    let mut groups = Vec::new();
+    for &n in &cfg.grids {
+        for alg in Algorithm::ALL {
+            let input = build_input(alg, n);
+            let filter = build_filter(alg, cfg, &input);
+            let out = filter.execute(&input);
+            let mut checks = oracle::checks(alg, cfg, n, &input, &out);
+            checks.extend(reference::checks(alg, cfg, n, &input, &out));
+            groups.push((alg, n as u32, checks));
+        }
+    }
+    groups.extend(metamorphic::groups(cfg));
+    groups
+}
+
+/// Run every check and flatten into one report.
+pub fn run_all(cfg: &ConformanceConfig) -> ConformanceReport {
+    let checks = run_grouped(cfg)
+        .into_iter()
+        .flat_map(|(_, _, checks)| checks)
+        .collect();
+    ConformanceReport { checks }
+}
+
+/// Run every check, journaling one `conformance_check` event per check
+/// plus one zero-width `Scope::Conformance` span per group (see
+/// docs/OBSERVABILITY.md).
+pub fn run_journaled(cfg: &ConformanceConfig, journal: &mut Journal) -> ConformanceReport {
+    let mut all = Vec::new();
+    for (alg, grid, checks) in run_grouped(cfg) {
+        let t0 = journal.now();
+        let failures = checks.iter().filter(|c| !c.pass()).count();
+        for c in &checks {
+            journal.push(Event::ConformanceCheck(ConformanceCheck {
+                t: journal.now(),
+                algorithm: alg.name().to_string(),
+                check: c.check.clone(),
+                kind: c.kind.as_str().to_string(),
+                grid,
+                measured: c.measured,
+                expected: c.expected,
+                tolerance: c.tolerance,
+                pass: c.pass(),
+            }));
+        }
+        journal.push_span(
+            Scope::Conformance,
+            format!("conformance:{}:{}", alg.name(), grid),
+            t0,
+            None,
+            vec![
+                ("grid", f64::from(grid)),
+                ("checks", checks.len() as f64),
+                ("failures", failures as f64),
+            ],
+        );
+        all.extend(checks);
+    }
+    ConformanceReport { checks: all }
+}
+
+/// Render the report as the fixed-width table the `reproduce conformance`
+/// verb prints.
+pub fn render_table(report: &ConformanceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>5} {:<34} {:>13} {:>13} {:>9}  {}",
+        "ALGORITHM", "GRID", "CHECK", "MEASURED", "EXPECTED", "TOL", "STATUS"
+    );
+    for c in &report.checks {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:<34} {:>13.6e} {:>13.6e} {:>9.1e}  {}",
+            c.algorithm.name(),
+            c.grid,
+            c.check,
+            c.measured,
+            c.expected,
+            c.tolerance,
+            if c.pass() { "PASS" } else { "FAIL" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} checks, {} passed, {} failed",
+        report.checks.len(),
+        report.passed(),
+        report.failed()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_result_pass_semantics() {
+        let ok = CheckResult::new(
+            Algorithm::Contour,
+            CheckKind::Oracle,
+            "x",
+            8,
+            1.0,
+            1.05,
+            0.1,
+        );
+        assert!(ok.pass());
+        let fail = CheckResult::new(Algorithm::Contour, CheckKind::Oracle, "x", 8, 1.0, 1.2, 0.1);
+        assert!(!fail.pass());
+        let nan = CheckResult::setup_failure(Algorithm::Contour, CheckKind::Oracle, "x", 8);
+        assert!(!nan.pass());
+        assert_eq!(nan.check, "oracle:x");
+    }
+
+    #[test]
+    fn config_grids_are_powers_of_two() {
+        for cfg in [ConformanceConfig::full(), ConformanceConfig::quick()] {
+            for n in cfg.grids.iter().chain(cfg.refinement.iter()) {
+                assert!(n.is_power_of_two(), "grid {n} must be a power of two");
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_builds_input_and_filter() {
+        let cfg = ConformanceConfig::quick();
+        for alg in Algorithm::ALL {
+            let input = build_input(alg, 4);
+            let filter = build_filter(alg, &cfg, &input);
+            assert_eq!(filter.name(), alg.name());
+        }
+    }
+
+    #[test]
+    fn table_renders_every_check() {
+        let report = ConformanceReport {
+            checks: vec![CheckResult::new(
+                Algorithm::Slice,
+                CheckKind::Oracle,
+                "slice-area",
+                16,
+                3.0,
+                3.0,
+                1e-9,
+            )],
+        };
+        let t = render_table(&report);
+        assert!(t.contains("oracle:slice-area"));
+        assert!(t.contains("PASS"));
+        assert!(t.contains("1 checks, 1 passed, 0 failed"));
+    }
+}

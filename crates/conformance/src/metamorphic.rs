@@ -1,0 +1,125 @@
+//! Metamorphic checks: cross-kernel laws that hold without any ground
+//! truth.
+//!
+//! * **clip-complement** — the spherical clip keeps the outside of the
+//!   ball, the `f ≤ r` isovolume of the distance field keeps the inside;
+//!   both discretize the same piecewise-linear boundary, so their
+//!   volumes must tile the unit cube.
+//! * **interior-threshold** — an all-points threshold over a point field
+//!   keeps exactly the cells the isovolume passes through whole.
+//! * **isovalue-monotone** — larger isovalues of the distance field give
+//!   strictly larger contour spheres.
+//! * **refinement-order** — the contour area error against `4πr²` must
+//!   shrink at second order as the grid refines.
+
+use crate::fields::{self, CENTER, FIELD};
+use crate::{
+    count_shape, explicit_parts, surface_area, CheckKind, CheckResult, ConformanceConfig, ISO_HI,
+    ISO_LO, SPHERE_R,
+};
+use std::f64::consts::PI;
+use vizalgo::{Algorithm, Contour, Filter, Isovolume, SphericalClip, Threshold};
+use vizmesh::{validate_cells, CellShape};
+
+const KIND: CheckKind = CheckKind::Metamorphic;
+
+/// All metamorphic check groups for one configuration.
+pub fn groups(cfg: &ConformanceConfig) -> Vec<(Algorithm, u32, Vec<CheckResult>)> {
+    let n = cfg.grids.last().copied().unwrap_or(32);
+    vec![
+        (Algorithm::SphericalClip, n as u32, vec![clip_complement(n)]),
+        (Algorithm::Isovolume, n as u32, vec![interior_threshold(n)]),
+        (Algorithm::Contour, n as u32, vec![isovalue_monotone(n)]),
+        (
+            Algorithm::Contour,
+            cfg.refinement[2] as u32,
+            vec![refinement_order(cfg)],
+        ),
+    ]
+}
+
+/// Total volume of an unstructured output (0 when there is none).
+fn volume_of(out: &vizalgo::FilterOutput) -> Option<f64> {
+    let ds = out.dataset.as_ref()?;
+    let (points, cells) = explicit_parts(ds)?;
+    Some(validate_cells(points, cells, 0.0).total_volume)
+}
+
+/// vol(clip ∖ ball) + vol(ball) = 1: the clip on the constant-energy
+/// cube plus the `f ∈ [−1, r]` isovolume of the distance field.
+fn clip_complement(n: usize) -> CheckResult {
+    let alg = Algorithm::SphericalClip;
+    let check = "clip-complement";
+    let clip_in = fields::energy_dataset(n);
+    let outside = SphericalClip::new(CENTER, SPHERE_R).execute(&clip_in);
+    let ball_in = fields::sphere_dataset(n);
+    let inside = Isovolume::new(FIELD, -1.0, SPHERE_R).execute(&ball_in);
+    let (Some(v_out), Some(v_in)) = (volume_of(&outside), volume_of(&inside)) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    CheckResult::new(alg, KIND, check, n, v_out + v_in, 1.0, 1e-9)
+}
+
+/// All-points threshold of the point ramp keeps exactly the isovolume's
+/// whole (hexahedral) cells.
+fn interior_threshold(n: usize) -> CheckResult {
+    let alg = Algorithm::Isovolume;
+    let check = "interior-threshold";
+    let input = fields::xramp_dataset(n);
+    let thresh = Threshold::new(FIELD, ISO_LO, ISO_HI).execute(&input);
+    let iso = Isovolume::new(FIELD, ISO_LO, ISO_HI).execute(&input);
+    let count = |out: &vizalgo::FilterOutput| {
+        out.dataset
+            .as_ref()
+            .and_then(explicit_parts)
+            .map(|(_, cells)| count_shape(cells, CellShape::Hexahedron))
+    };
+    let (Some(a), Some(b)) = (count(&thresh), count(&iso)) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    CheckResult::new(alg, KIND, check, n, a as f64, b as f64, 0.0)
+}
+
+/// Contour area of the distance field at one isovalue.
+fn sphere_area(n: usize, iso: f64) -> Option<f64> {
+    let input = fields::sphere_dataset(n);
+    let out = Contour::new(FIELD, vec![iso]).execute(&input);
+    let ds = out.dataset?;
+    let (points, cells) = explicit_parts(&ds)?;
+    Some(surface_area(points, cells))
+}
+
+/// Areas at isovalues 0.1 < 0.2 < 0.3 < 0.4 must strictly increase.
+fn isovalue_monotone(n: usize) -> CheckResult {
+    let alg = Algorithm::Contour;
+    let check = "isovalue-monotone";
+    let mut areas = Vec::new();
+    for iso in [0.1, 0.2, 0.3, 0.4] {
+        match sphere_area(n, iso) {
+            Some(a) => areas.push(a),
+            None => return CheckResult::setup_failure(alg, KIND, check, n),
+        }
+    }
+    let violations = areas.windows(2).filter(|w| w[1] <= w[0]).count();
+    CheckResult::new(alg, KIND, check, n, violations as f64, 0.0, 0.0)
+}
+
+/// Observed convergence order of the contour area error across the three
+/// refinement grids: `log(e_coarse/e_fine) / log(n_fine/n_coarse)`,
+/// which must sit near 2 (chordal approximation of a curved surface).
+fn refinement_order(cfg: &ConformanceConfig) -> CheckResult {
+    let alg = Algorithm::Contour;
+    let check = "refinement-order";
+    let exact = 4.0 * PI * SPHERE_R * SPHERE_R;
+    let [n0, _, n2] = cfg.refinement;
+    let (Some(a0), Some(a2)) = (sphere_area(n0, SPHERE_R), sphere_area(n2, SPHERE_R)) else {
+        return CheckResult::setup_failure(alg, KIND, check, cfg.refinement[2]);
+    };
+    let (e0, e2) = ((a0 - exact).abs(), (a2 - exact).abs());
+    let order = if e0 > 0.0 && e2 > 0.0 {
+        (e0 / e2).ln() / (n2 as f64 / n0 as f64).ln()
+    } else {
+        f64::NAN
+    };
+    CheckResult::new(alg, KIND, check, cfg.refinement[2], order, 2.15, 0.45)
+}

@@ -1,0 +1,481 @@
+//! Differential checks: thread-count invariance and deliberately simple
+//! sequential re-implementations.
+//!
+//! The references here trade every optimization for obviousness — plain
+//! `for` loops over cells in raster order, a `HashMap` weld, a
+//! brute-force ray/triangle loop — but replicate the kernels'
+//! *arithmetic* exactly, so the comparison is bit-exact (tolerance 0).
+
+use crate::fields::{CENTER, FIELD, VELOCITY};
+use crate::{
+    count_shape, explicit_parts, CheckKind, CheckResult, ConformanceConfig, ISO_HI, ISO_LO,
+    SPHERE_R, THRESH_HI, THRESH_LO,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use vizalgo::colormap::ColorMap;
+use vizalgo::contour::{triangle_table, EDGES};
+use vizalgo::raytrace::external_face_triangles;
+use vizalgo::{Algorithm, FilterOutput, ThreeSlice};
+use vizmesh::{Camera, CellShape, DataSet, UniformGrid, Vec3};
+
+const KIND: CheckKind = CheckKind::Differential;
+
+/// Differential checks for `alg` at grid `n`: thread invariance plus the
+/// sequential-reference comparison.
+pub fn checks(
+    alg: Algorithm,
+    cfg: &ConformanceConfig,
+    n: usize,
+    input: &DataSet,
+    out: &FilterOutput,
+) -> Vec<CheckResult> {
+    let mut checks = vec![thread_invariance(alg, cfg, n, input)];
+    match alg {
+        Algorithm::Contour => checks.push(contour_reference(n, input, out)),
+        Algorithm::Threshold => checks.push(threshold_reference(n, input, out)),
+        Algorithm::SphericalClip => checks.push(clip_reference(n, input, out)),
+        Algorithm::Isovolume => checks.push(isovolume_reference(n, input, out)),
+        Algorithm::Slice => checks.push(slice_reference(n, input, out)),
+        Algorithm::ParticleAdvection => checks.push(advection_reference(cfg, n, input, out)),
+        // The brute-force ray loop is O(pixels × triangles); run it at
+        // the smallest grid only.
+        Algorithm::RayTracing => {
+            if Some(&n) == cfg.grids.first() {
+                checks.push(raytrace_reference(cfg, n, input, out));
+            }
+        }
+        Algorithm::VolumeRendering => checks.push(volren_reference(cfg, n, input, out)),
+    }
+    checks
+}
+
+/// Execute the canonical filter under private 1- and 4-thread rayon
+/// pools; the outputs must be identical.
+fn thread_invariance(
+    alg: Algorithm,
+    cfg: &ConformanceConfig,
+    n: usize,
+    input: &DataSet,
+) -> CheckResult {
+    let filter = crate::build_filter(alg, cfg, input);
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let Ok(pool) = rayon::ThreadPoolBuilder::new().num_threads(threads).build() else {
+            return CheckResult::setup_failure(alg, KIND, "threads", n);
+        };
+        runs.push(pool.install(|| filter.execute(input)));
+    }
+    let equal = runs[0].dataset == runs[1].dataset && runs[0].images == runs[1].images;
+    CheckResult::new(
+        alg,
+        KIND,
+        "threads",
+        n,
+        f64::from(u8::from(!equal)),
+        0.0,
+        0.0,
+    )
+}
+
+/// Sequential welded marching cubes, replicating the kernel's per-edge
+/// arithmetic (same `t01`, same lerp, same weld keys, same degenerate
+/// drop) in plain raster order.
+fn sequential_marching_cubes(
+    grid: &UniformGrid,
+    values: &[f64],
+    iso: f64,
+) -> (Vec<Vec3>, Vec<[u32; 3]>) {
+    let table = triangle_table();
+    let mut weld: HashMap<u64, u32> = HashMap::new();
+    let mut points: Vec<Vec3> = Vec::new();
+    let mut tris: Vec<[u32; 3]> = Vec::new();
+    for c in 0..grid.num_cells() {
+        let ids = grid.cell_point_ids(c);
+        let mut config = 0u8;
+        for (bit, &pid) in ids.iter().enumerate() {
+            if values[pid] > iso {
+                config |= 1 << bit;
+            }
+        }
+        let case = &table[config as usize];
+        if case.is_empty() {
+            continue;
+        }
+        let corners = grid.cell_corners(c);
+        for t in case {
+            let mut key = [0u64; 3];
+            let mut pos = [Vec3::ZERO; 3];
+            for (slot, &e) in t.iter().enumerate() {
+                let (a, b) = EDGES[e as usize];
+                let (pa, pb) = (ids[a], ids[b]);
+                let (va, vb) = (values[pa], values[pb]);
+                let t01 = ((iso - va) / (vb - va)).clamp(0.0, 1.0);
+                pos[slot] = corners[a].lerp(corners[b], t01);
+                let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
+                key[slot] = (lo as u64) << 32 | hi as u64;
+            }
+            let mut tri = [0u32; 3];
+            for s in 0..3 {
+                tri[s] = match weld.get(&key[s]) {
+                    Some(&id) => id,
+                    None => {
+                        let id = points.len() as u32;
+                        weld.insert(key[s], id);
+                        points.push(pos[s]);
+                        id
+                    }
+                };
+            }
+            if tri[0] != tri[1] && tri[1] != tri[2] && tri[2] != tri[0] {
+                tris.push(tri);
+            }
+        }
+    }
+    (points, tris)
+}
+
+/// Count the points and triangles where `ds` differs from the reference
+/// mesh, bit for bit.
+fn mesh_mismatches(ds: &DataSet, ref_points: &[Vec3], ref_tris: &[[u32; 3]]) -> f64 {
+    let Some((points, cells)) = explicit_parts(ds) else {
+        return f64::NAN;
+    };
+    let mut mismatches = points.len().abs_diff(ref_points.len());
+    for (p, q) in points.iter().zip(ref_points) {
+        if p.x.to_bits() != q.x.to_bits()
+            || p.y.to_bits() != q.y.to_bits()
+            || p.z.to_bits() != q.z.to_bits()
+        {
+            mismatches += 1;
+        }
+    }
+    let out_tris: Vec<&[u32]> = cells
+        .iter()
+        .filter(|(s, _)| *s == CellShape::Triangle)
+        .map(|(_, conn)| conn)
+        .collect();
+    mismatches += out_tris.len().abs_diff(ref_tris.len());
+    for (conn, tri) in out_tris.iter().zip(ref_tris) {
+        if *conn != &tri[..] {
+            mismatches += 1;
+        }
+    }
+    mismatches as f64
+}
+
+fn contour_reference(n: usize, input: &DataSet, out: &FilterOutput) -> CheckResult {
+    let alg = Algorithm::Contour;
+    let check = "mesh-exact";
+    let (Some(grid), Some(values), Some(ds)) = (
+        input.as_uniform(),
+        input.point_scalars(FIELD),
+        out.dataset.as_ref(),
+    ) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let (ref_points, ref_tris) = sequential_marching_cubes(grid, values, SPHERE_R);
+    CheckResult::new(
+        alg,
+        KIND,
+        check,
+        n,
+        mesh_mismatches(ds, &ref_points, &ref_tris),
+        0.0,
+        0.0,
+    )
+}
+
+fn slice_reference(n: usize, input: &DataSet, out: &FilterOutput) -> CheckResult {
+    let alg = Algorithm::Slice;
+    let check = "mesh-exact";
+    let (Some(grid), Some(ds)) = (input.as_uniform(), out.dataset.as_ref()) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let mut ref_points: Vec<Vec3> = Vec::new();
+    let mut ref_tris: Vec<[u32; 3]> = Vec::new();
+    for plane in &ThreeSlice::centered(input, FIELD).planes {
+        let sdf: Vec<f64> = (0..grid.num_points())
+            .map(|p| plane.distance(grid.point_coord_id(p)))
+            .collect();
+        let (pts, tris) = sequential_marching_cubes(grid, &sdf, 0.0);
+        let base = ref_points.len() as u32;
+        ref_points.extend(pts);
+        ref_tris.extend(tris.iter().map(|t| [t[0] + base, t[1] + base, t[2] + base]));
+    }
+    CheckResult::new(
+        alg,
+        KIND,
+        check,
+        n,
+        mesh_mismatches(ds, &ref_points, &ref_tris),
+        0.0,
+        0.0,
+    )
+}
+
+fn threshold_reference(n: usize, input: &DataSet, out: &FilterOutput) -> CheckResult {
+    let alg = Algorithm::Threshold;
+    let check = "kept-count";
+    let (Some(vals), Some(ds)) = (input.cell_scalars(FIELD), out.dataset.as_ref()) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let expected = vals
+        .iter()
+        .filter(|&&v| v >= THRESH_LO && v <= THRESH_HI)
+        .count();
+    let measured = explicit_parts(ds)
+        .map(|(_, cells)| count_shape(cells, CellShape::Hexahedron))
+        .unwrap_or(usize::MAX);
+    CheckResult::new(alg, KIND, check, n, measured as f64, expected as f64, 0.0)
+}
+
+fn clip_reference(n: usize, input: &DataSet, out: &FilterOutput) -> CheckResult {
+    let alg = Algorithm::SphericalClip;
+    let check = "whole-cells";
+    let (Some(grid), Some(ds)) = (input.as_uniform(), out.dataset.as_ref()) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    // A cell passes through whole iff no corner is strictly inside the
+    // sphere — the same signed distance the kernel computes.
+    let expected = (0..grid.num_cells())
+        .filter(|&c| {
+            grid.cell_point_ids(c)
+                .iter()
+                .all(|&p| grid.point_coord_id(p).distance(CENTER) - SPHERE_R >= 0.0)
+        })
+        .count();
+    let measured = explicit_parts(ds)
+        .map(|(_, cells)| count_shape(cells, CellShape::Hexahedron))
+        .unwrap_or(usize::MAX);
+    CheckResult::new(alg, KIND, check, n, measured as f64, expected as f64, 0.0)
+}
+
+fn isovolume_reference(n: usize, input: &DataSet, out: &FilterOutput) -> CheckResult {
+    let alg = Algorithm::Isovolume;
+    let check = "whole-cells";
+    let (Some(grid), Some(vals), Some(ds)) = (
+        input.as_uniform(),
+        input.point_scalars(FIELD),
+        out.dataset.as_ref(),
+    ) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let expected = (0..grid.num_cells())
+        .filter(|&c| {
+            grid.cell_point_ids(c)
+                .iter()
+                .all(|&p| vals[p] >= ISO_LO && vals[p] <= ISO_HI)
+        })
+        .count();
+    let measured = explicit_parts(ds)
+        .map(|(_, cells)| count_shape(cells, CellShape::Hexahedron))
+        .unwrap_or(usize::MAX);
+    CheckResult::new(alg, KIND, check, n, measured as f64, expected as f64, 0.0)
+}
+
+/// Sequential RK4 re-integration with the kernel's exact seed order and
+/// update arithmetic; streamlines must match bit for bit.
+fn advection_reference(
+    cfg: &ConformanceConfig,
+    n: usize,
+    input: &DataSet,
+    out: &FilterOutput,
+) -> CheckResult {
+    let alg = Algorithm::ParticleAdvection;
+    let check = "streamlines-exact";
+    let (Some(grid), Some(vel), Some(ds)) = (
+        input.as_uniform(),
+        input.point_vectors(VELOCITY),
+        out.dataset.as_ref(),
+    ) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let Some((points, cells)) = explicit_parts(ds) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let b = grid.bounds();
+    let h = b.diagonal() * cfg.step_fraction;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ref_paths: Vec<Vec<Vec3>> = Vec::new();
+    for _ in 0..cfg.particles {
+        let seed = Vec3::new(
+            rng.random_range(b.min.x..b.max.x),
+            rng.random_range(b.min.y..b.max.y),
+            rng.random_range(b.min.z..b.max.z),
+        );
+        let mut path = vec![seed];
+        let mut p = seed;
+        for _ in 0..cfg.advect_steps {
+            let step = (|| {
+                let k1 = grid.sample_vector(vel, p)?;
+                let k2 = grid.sample_vector(vel, p + k1 * (h * 0.5))?;
+                let k3 = grid.sample_vector(vel, p + k2 * (h * 0.5))?;
+                let k4 = grid.sample_vector(vel, p + k3 * h)?;
+                Some(p + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (h / 6.0))
+            })();
+            match step {
+                Some(next) => {
+                    p = next;
+                    path.push(p);
+                }
+                None => break,
+            }
+        }
+        if path.len() >= 2 {
+            ref_paths.push(path);
+        }
+    }
+    let out_paths: Vec<Vec<Vec3>> = cells
+        .iter()
+        .filter(|(s, _)| *s == CellShape::PolyLine)
+        .map(|(_, conn)| conn.iter().map(|&i| points[i as usize]).collect())
+        .collect();
+    let mut mismatches = out_paths.len().abs_diff(ref_paths.len());
+    for (a, b) in out_paths.iter().zip(&ref_paths) {
+        if a.len() != b.len() {
+            mismatches += 1;
+            continue;
+        }
+        if a.iter().zip(b).any(|(p, q)| {
+            p.x.to_bits() != q.x.to_bits()
+                || p.y.to_bits() != q.y.to_bits()
+                || p.z.to_bits() != q.z.to_bits()
+        }) {
+            mismatches += 1;
+        }
+    }
+    CheckResult::new(alg, KIND, check, n, mismatches as f64, 0.0, 0.0)
+}
+
+/// Brute-force nearest-hit over every external face triangle (first
+/// camera only): the BVH must find the same entry depth everywhere.
+fn raytrace_reference(
+    cfg: &ConformanceConfig,
+    n: usize,
+    input: &DataSet,
+    out: &FilterOutput,
+) -> CheckResult {
+    let alg = Algorithm::RayTracing;
+    let check = "depth-brute-force";
+    let Some(img) = out.images.first() else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let (tris, _) = external_face_triangles(input, FIELD);
+    let cameras = Camera::orbit(&input.bounds(), cfg.cameras);
+    let Some(cam) = cameras.first() else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let px = cfg.render_px;
+    let mut mismatches = 0usize;
+    for y in 0..px {
+        for x in 0..px {
+            let ray = cam.pixel_ray(x, y, px, px);
+            let mut best = f64::INFINITY;
+            for tri in &tris {
+                if let Some((t, _, _)) = tri.intersect(&ray) {
+                    if t < best {
+                        best = t;
+                    }
+                }
+            }
+            let expected = if best.is_finite() {
+                best as f32
+            } else {
+                f32::INFINITY
+            };
+            if img.depth_at(x, y).to_bits() != expected.to_bits() {
+                mismatches += 1;
+            }
+        }
+    }
+    CheckResult::new(alg, KIND, check, n, mismatches as f64, 0.0, 0.0)
+}
+
+/// Sequential front-to-back ray march replicating the kernel's sampling
+/// and compositing arithmetic; every pixel must match bit for bit.
+fn volren_reference(
+    cfg: &ConformanceConfig,
+    n: usize,
+    input: &DataSet,
+    out: &FilterOutput,
+) -> CheckResult {
+    let alg = Algorithm::VolumeRendering;
+    let check = "pixels-exact";
+    let (Some(grid), Some(values)) = (input.as_uniform(), input.point_scalars(FIELD)) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let (lo, hi) = input
+        .field(FIELD)
+        .and_then(|f| f.scalar_range())
+        .unwrap_or((0.0, 1.0));
+    let tf = ColorMap::volume_default();
+    let bounds = grid.bounds();
+    let step = grid.spacing().length() * 0.8;
+    let opacity_scale = 0.35f64;
+    let cameras = Camera::orbit(&bounds, cfg.cameras);
+    let px = cfg.render_px;
+    let mut mismatches = out.images.len().abs_diff(cameras.len());
+    for (img, cam) in out.images.iter().zip(&cameras) {
+        for y in 0..px {
+            for x in 0..px {
+                let ray = cam.pixel_ray(x, y, px, px);
+                let mut color = [0.0f32; 4];
+                if let Some((t0, t1)) =
+                    bounds.intersect_ray(ray.origin, ray.inv_direction(), 0.0, f64::INFINITY)
+                {
+                    let mut t = t0.max(0.0) + step * 0.5;
+                    while t < t1 && color[3] < 0.99 {
+                        if let Some(v) = grid.sample_scalar(values, ray.at(t)) {
+                            let mut s = tf.sample_range(v, lo, hi);
+                            s[3] = (s[3] * opacity_scale as f32).clamp(0.0, 1.0);
+                            let w = s[3] * (1.0 - color[3]);
+                            color[0] += s[0] * w;
+                            color[1] += s[1] * w;
+                            color[2] += s[2] * w;
+                            color[3] += w;
+                        }
+                        t += step;
+                    }
+                }
+                // The kernel only writes pixels that accumulated opacity.
+                let expected = if color[3] > 0.0 { color } else { [0.0f32; 4] };
+                let got = img.get(x, y);
+                if got
+                    .iter()
+                    .zip(&expected)
+                    .any(|(a, b)| a.to_bits() != b.to_bits())
+                {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    CheckResult::new(alg, KIND, check, n, mismatches as f64, 0.0, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields;
+
+    /// The sequential MC reference agrees with itself run twice, and the
+    /// weld produces an indexed mesh (no duplicate point keys).
+    #[test]
+    fn sequential_mc_is_deterministic_and_welded() {
+        let ds = fields::sphere_dataset(8);
+        let grid = ds.as_uniform().unwrap();
+        let vals = ds.point_scalars(FIELD).unwrap();
+        let (p1, t1) = sequential_marching_cubes(grid, vals, SPHERE_R);
+        let (p2, t2) = sequential_marching_cubes(grid, vals, SPHERE_R);
+        assert_eq!(p1, p2);
+        assert_eq!(t1, t2);
+        assert!(!t1.is_empty());
+        for t in &t1 {
+            for &i in t {
+                assert!((i as usize) < p1.len());
+            }
+        }
+    }
+}

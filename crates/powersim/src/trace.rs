@@ -50,8 +50,10 @@ use crate::units::{Joules, Watts};
 /// `docs/OBSERVABILITY.md` in the same commit.
 ///
 /// v2 added the [`PolicyDecision`] event and the [`Scope::Governor`]
-/// span scope for the closed-loop power governor.
-pub const SCHEMA_VERSION: u32 = 2;
+/// span scope for the closed-loop power governor. v3 added the
+/// [`ConformanceCheck`] event and the [`Scope::Conformance`] span scope
+/// for the analytic-oracle conformance suite (`crates/conformance`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Which layer of the stack emitted a [`Span`].
 ///
@@ -85,6 +87,10 @@ pub enum Scope {
     /// executed concurrently under a node power budget
     /// (`governor::control::govern`).
     Governor,
+    /// One conformance pass over a single algorithm at one grid size
+    /// (`conformance::run_algorithm`): its child events are the
+    /// individual [`ConformanceCheck`] results.
+    Conformance,
 }
 
 impl Scope {
@@ -98,6 +104,7 @@ impl Scope {
             Scope::Timestep => "timestep",
             Scope::Action => "action",
             Scope::Governor => "governor",
+            Scope::Conformance => "conformance",
         }
     }
 
@@ -111,12 +118,13 @@ impl Scope {
             Scope::Timestep => 5,
             Scope::Action => 6,
             Scope::Governor => 7,
+            Scope::Conformance => 8,
         }
     }
 }
 
 /// All scope/track pairs, for chrome-trace thread-name metadata.
-const ALL_SCOPES: [Scope; 7] = [
+const ALL_SCOPES: [Scope; 8] = [
     Scope::Study,
     Scope::Sweep,
     Scope::Workload,
@@ -124,6 +132,7 @@ const ALL_SCOPES: [Scope; 7] = [
     Scope::Timestep,
     Scope::Action,
     Scope::Governor,
+    Scope::Conformance,
 ];
 
 /// A closed interval of journal time attributed to one named unit of
@@ -208,6 +217,35 @@ pub struct PolicyDecision {
     pub viz_llc_miss_rate: f64,
 }
 
+/// One verdict of the analytic-oracle conformance suite
+/// (`crates/conformance`): a single measured quantity compared against
+/// its closed-form or reference expectation. `pass` is recorded rather
+/// than derived so a serialized journal is self-contained evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceCheck {
+    /// Journal time of the check (seconds; conformance runs model no
+    /// time, so this is whatever the clock read).
+    pub t: f64,
+    /// Display name of the algorithm under test (`"Contour"`, ...).
+    pub algorithm: String,
+    /// Check identifier, namespaced by kind (`"oracle:sphere-area"`,
+    /// `"differential:mesh-canonical"`, `"metamorphic:clip-complement"`).
+    pub check: String,
+    /// Check family: `"oracle"`, `"differential"`, or `"metamorphic"`.
+    pub kind: String,
+    /// Grid resolution (cells per axis) the check ran at.
+    pub grid: u32,
+    /// The quantity the kernel produced.
+    pub measured: f64,
+    /// The closed-form or reference expectation.
+    pub expected: f64,
+    /// Absolute tolerance: the check passes iff
+    /// `|measured - expected| <= tolerance` (0 for exact checks).
+    pub tolerance: f64,
+    /// Whether the check passed.
+    pub pass: bool,
+}
+
 /// One journal entry. Every variant is documented in the schema table of
 /// `docs/OBSERVABILITY.md`; `cargo xtask lint` fails if a variant is
 /// added without a matching row.
@@ -221,6 +259,8 @@ pub enum Event {
     CapChange(CapChange),
     /// A governor control decision (observed ratios + chosen cap split).
     PolicyDecision(PolicyDecision),
+    /// One conformance-suite verdict (measured vs expected).
+    ConformanceCheck(ConformanceCheck),
 }
 
 /// Ring-buffered event journal with a logical clock.
@@ -513,6 +553,25 @@ fn write_jsonl_line(out: &mut String, seq: u64, event: &Event) {
             out.push_str(",\"viz_llc_miss_rate\":");
             push_f64(out, d.viz_llc_miss_rate);
         }
+        Event::ConformanceCheck(c) => {
+            out.push_str("\"ev\":\"conformance_check\",\"t\":");
+            push_f64(out, c.t);
+            out.push_str(",\"algorithm\":\"");
+            json_escape_into(out, &c.algorithm);
+            out.push_str("\",\"check\":\"");
+            json_escape_into(out, &c.check);
+            out.push_str("\",\"kind\":\"");
+            json_escape_into(out, &c.kind);
+            let _ = write!(out, "\",\"grid\":{},", c.grid);
+            out.push_str("\"measured\":");
+            push_f64(out, c.measured);
+            out.push_str(",\"expected\":");
+            push_f64(out, c.expected);
+            out.push_str(",\"tolerance\":");
+            push_f64(out, c.tolerance);
+            out.push_str(",\"pass\":");
+            out.push_str(if c.pass { "true" } else { "false" });
+        }
     }
     out.push_str("}\n");
 }
@@ -589,6 +648,32 @@ fn write_chrome_event(out: &mut String, event: &Event) {
             push_f64(out, d.sim_power_watts.value());
             out.push_str(",\"viz_power_watts\":");
             push_f64(out, d.viz_power_watts.value());
+            out.push_str("}}");
+        }
+        Event::ConformanceCheck(c) => {
+            // A global instant on the conformance track, named by the
+            // check, so failures are visible on the timeline.
+            let _ = write!(out, "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"",);
+            json_escape_into(out, &c.check);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"conformance\",\"pid\":1,\"tid\":{},\"ts\":",
+                Scope::Conformance.tid()
+            );
+            push_f64(out, c.t * 1e6);
+            out.push_str(",\"args\":{\"algorithm\":\"");
+            json_escape_into(out, &c.algorithm);
+            out.push_str("\",\"kind\":\"");
+            json_escape_into(out, &c.kind);
+            let _ = write!(out, "\",\"grid\":{},", c.grid);
+            out.push_str("\"measured\":");
+            push_f64(out, c.measured);
+            out.push_str(",\"expected\":");
+            push_f64(out, c.expected);
+            out.push_str(",\"tolerance\":");
+            push_f64(out, c.tolerance);
+            out.push_str(",\"pass\":");
+            out.push_str(if c.pass { "true" } else { "false" });
             out.push_str("}}");
         }
     }
@@ -701,17 +786,17 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"v\":2,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
+            "{\"v\":3,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
              \"requested_watts\":250,\"actual_watts\":120}"
         );
         assert_eq!(
             lines[1],
-            "{\"v\":2,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
+            "{\"v\":3,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
              \"effective_freq_ghz\":2.6,\"ipc\":1.25,\"llc_miss_rate\":0.05}"
         );
         assert_eq!(
             lines[2],
-            "{\"v\":2,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
+            "{\"v\":3,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
              \"t0\":0,\"t1\":0.1,\"joules\":8.55,\"watts\":85.5,\"args\":{\"phases\":2}}"
         );
     }
@@ -735,7 +820,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":2,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
+            "{\"v\":3,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
              \"sim_cap_watts\":110,\"viz_cap_watts\":50,\"sim_power_watts\":88.25,\
              \"viz_power_watts\":46.5,\"sim_ipc\":1.8,\"viz_ipc\":0.4,\
              \"sim_llc_miss_rate\":0.05,\"viz_llc_miss_rate\":0.9}"
@@ -746,6 +831,37 @@ mod tests {
             "{trace}"
         );
         assert!(trace.contains("\"thread_name\""), "{trace}");
+    }
+
+    #[test]
+    fn conformance_check_jsonl_shape_is_exact() {
+        let mut j = Journal::with_capacity(4);
+        j.push(Event::ConformanceCheck(ConformanceCheck {
+            t: 0.0,
+            algorithm: "Contour".into(),
+            check: "oracle:sphere-area".into(),
+            kind: "oracle".into(),
+            grid: 32,
+            measured: 1.1286,
+            expected: 1.13097,
+            tolerance: 0.0226,
+            pass: true,
+        }));
+        let jsonl = j.to_jsonl();
+        assert_eq!(
+            jsonl.trim_end(),
+            "{\"v\":3,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
+             \"algorithm\":\"Contour\",\"check\":\"oracle:sphere-area\",\
+             \"kind\":\"oracle\",\"grid\":32,\"measured\":1.1286,\
+             \"expected\":1.13097,\"tolerance\":0.0226,\"pass\":true}"
+        );
+        let trace = j.to_chrome_trace();
+        assert!(
+            trace.contains("\"ph\":\"i\",\"s\":\"t\",\"name\":\"oracle:sphere-area\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"pass\":true"), "{trace}");
+        assert!(trace.contains("\"name\":\"conformance\""), "{trace}");
     }
 
     #[test]
@@ -778,7 +894,7 @@ mod tests {
         j.push_span(Scope::Timestep, "step:1", 0.0, None, vec![("dt", 0.5)]);
         let trace = j.to_chrome_trace();
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
-        assert!(trace.contains("\"schema_version\":2"), "{trace}");
+        assert!(trace.contains("\"schema_version\":3"), "{trace}");
         assert!(trace.contains("\"thread_name\""), "{trace}");
         assert!(
             trace.contains("\"ph\":\"X\",\"name\":\"step:1\""),

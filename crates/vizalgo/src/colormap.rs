@@ -131,6 +131,37 @@ mod tests {
         let _ = ColorMap::new(vec![(0.5, [0.0; 4])]);
     }
 
+    /// Piecewise linearity is checked analytically: inside every segment
+    /// the sample must be the exact affine blend of the two surrounding
+    /// stops, for an irregularly spaced map.
+    #[test]
+    fn segments_interpolate_affinely() {
+        let stops = vec![
+            (0.0, [0.1, 0.9, 0.3, 1.0]),
+            (0.2, [0.5, 0.1, 0.7, 0.4]),
+            (0.9, [0.0, 0.6, 0.2, 0.8]),
+            (1.0, [1.0, 0.0, 0.0, 0.0]),
+        ];
+        let m = ColorMap::new(stops.clone());
+        for w in stops.windows(2) {
+            let (p0, c0) = w[0];
+            let (p1, c1) = w[1];
+            for i in 0..=10 {
+                let f = i as f64 / 10.0;
+                let t = p0 + (p1 - p0) * f;
+                let got = m.sample(t);
+                for ch in 0..4 {
+                    let want = c0[ch] + (c1[ch] - c0[ch]) * f as f32;
+                    assert!(
+                        (got[ch] - want).abs() < 1e-6,
+                        "t={t}: channel {ch} {} vs {want}",
+                        got[ch]
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn monotone_opacity_in_volume_map() {
         let m = ColorMap::volume_default();

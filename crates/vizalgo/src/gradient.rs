@@ -141,6 +141,45 @@ mod tests {
         }
     }
 
+    /// A trilinear ramp is linear along each axis separately, so both the
+    /// central and the one-sided differences are *exact* — the stencil
+    /// must reproduce the analytic gradient at every point, boundaries
+    /// included.
+    #[test]
+    fn gradient_of_trilinear_ramp_is_exact_everywhere() {
+        let (a, b, c, d) = (0.7, 1.5, -2.25, 0.5);
+        let (e, ff, g, h) = (3.0, -1.0, 0.25, 4.0);
+        let field = |p: Vec3| {
+            a + b * p.x
+                + c * p.y
+                + d * p.z
+                + e * p.x * p.y
+                + ff * p.y * p.z
+                + g * p.x * p.z
+                + h * p.x * p.y * p.z
+        };
+        let ds = dataset_with(field, 5);
+        let out = Gradient::new("f").with_vectors().execute(&ds);
+        let result = out.dataset.unwrap();
+        let grid = result.as_uniform().unwrap().clone();
+        let grads = result.point_vectors("f_grad").unwrap();
+        let mags = result.point_scalars("f_gradmag").unwrap();
+        for id in 0..grid.num_points() {
+            let p = grid.point_coord_id(id);
+            let expect = Vec3::new(
+                b + e * p.y + g * p.z + h * p.y * p.z,
+                c + e * p.x + ff * p.z + h * p.x * p.z,
+                d + ff * p.y + g * p.x + h * p.x * p.y,
+            );
+            assert!(
+                (grads[id] - expect).length() < 1e-9,
+                "point {p:?}: {:?} vs {expect:?}",
+                grads[id]
+            );
+            assert!((mags[id] - expect.length()).abs() < 1e-9);
+        }
+    }
+
     #[test]
     fn gradient_of_constant_field_is_zero() {
         let ds = dataset_with(|_| 7.0, 4);

@@ -16,6 +16,8 @@
 //!   orbit generation for image databases.
 //! * [`WorkCounters`] — the instrumentation record each kernel fills in as
 //!   it executes; consumed by the `vizpower` characterization bridge.
+//! * [`validate`] — watertightness / orientation / degenerate-cell
+//!   validators used by the conformance suite and the filter tests.
 //! * [`vtkio`] — legacy `.vtk` export so every dataset opens in
 //!   ParaView/VisIt.
 //!
@@ -31,6 +33,7 @@ pub mod dataset;
 pub mod field;
 pub mod grid;
 pub mod image;
+pub mod validate;
 pub mod vec3;
 pub mod vtkio;
 
@@ -42,5 +45,6 @@ pub use dataset::DataSet;
 pub use field::{Association, Field, FieldData};
 pub use grid::UniformGrid;
 pub use image::Image;
+pub use validate::{validate_cells, validate_surface, CellReport, SurfaceReport};
 pub use vec3::Vec3;
 pub use vtkio::{save_vtk, write_vtk};

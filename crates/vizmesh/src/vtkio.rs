@@ -190,6 +190,87 @@ mod tests {
         assert!(text.contains("SCALARS my_field double 1"));
     }
 
+    /// Golden bytes: a structured export is pinned line-for-line, so any
+    /// formatting drift (float printing, header order, grouping) fails
+    /// loudly rather than silently changing what ParaView ingests.
+    #[test]
+    fn structured_golden_bytes() {
+        let grid = UniformGrid::cube_cells(1);
+        let n = grid.num_points();
+        let vals: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let ds = DataSet::uniform(grid)
+            .with_field(Field::scalar("e", Association::Points, vals))
+            .with_field(Field::scalar("c", Association::Cells, vec![7.25]));
+        let mut out = Vec::new();
+        write_vtk(&mut out, &ds, "golden\nsecond line ignored").unwrap();
+        let expected = "\
+# vtk DataFile Version 3.0
+golden
+ASCII
+DATASET STRUCTURED_POINTS
+DIMENSIONS 2 2 2
+ORIGIN 0 0 0
+SPACING 1 1 1
+POINT_DATA 8
+SCALARS e double 1
+LOOKUP_TABLE default
+0
+0.5
+1
+1.5
+2
+2.5
+3
+3.5
+CELL_DATA 1
+SCALARS c double 1
+LOOKUP_TABLE default
+7.25
+";
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
+    /// Golden bytes for the unstructured path: points, CSR cells, cell
+    /// types, and a vector field, pinned exactly.
+    #[test]
+    fn unstructured_golden_bytes() {
+        let points = vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::new(0.25, 0.5, 1.0)];
+        let mut cells = CellSet::new();
+        cells.push(CellShape::Triangle, &[0, 1, 2]);
+        cells.push(CellShape::PolyLine, &[0, 1, 3]);
+        let ds = DataSet::explicit(points, cells).with_field(Field::vector(
+            "velocity",
+            Association::Points,
+            vec![Vec3::new(1.0, 2.0, 3.0); 4],
+        ));
+        let mut out = Vec::new();
+        write_vtk(&mut out, &ds, "golden").unwrap();
+        let expected = "\
+# vtk DataFile Version 3.0
+golden
+ASCII
+DATASET UNSTRUCTURED_GRID
+POINTS 4 double
+0 0 0
+1 0 0
+0 1 0
+0.25 0.5 1
+CELLS 2 8
+3 0 1 2
+3 0 1 3
+CELL_TYPES 2
+5
+4
+POINT_DATA 4
+VECTORS velocity double
+1 2 3
+1 2 3
+1 2 3
+1 2 3
+";
+        assert_eq!(String::from_utf8(out).unwrap(), expected);
+    }
+
     #[test]
     fn polyline_exports_with_arity() {
         let points = vec![Vec3::ZERO, Vec3::X, Vec3::new(2.0, 0.0, 0.0)];

@@ -111,7 +111,24 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
     }
     let tier1: &[(&str, &[&str], &[(&str, &str)])] = &[
         ("cargo build --release", &["build", "--release"], &[]),
-        ("cargo test -q", &["test", "-q"], &[]),
+        (
+            "cargo test --workspace -q",
+            &["test", "--workspace", "-q"],
+            &[],
+        ),
+        (
+            "reproduce conformance --quick",
+            &[
+                "run",
+                "--release",
+                "--bin",
+                "reproduce",
+                "--",
+                "conformance",
+                "--quick",
+            ],
+            &[],
+        ),
         (
             "cargo doc --no-deps (RUSTDOCFLAGS='-D warnings')",
             &["doc", "--no-deps", "--workspace"],

@@ -3,7 +3,15 @@
 
 /// Crates whose library code sits on the measurement hot path. The
 /// panic-policy and reduction-determinism lints only apply here.
-pub const HOT_PATH_CRATES: &[&str] = &["vizalgo", "cloverleaf", "powersim", "governor"];
+/// `conformance` is included so the correctness checks themselves report
+/// setup failures as failed checks instead of panicking mid-suite.
+pub const HOT_PATH_CRATES: &[&str] = &[
+    "vizalgo",
+    "cloverleaf",
+    "powersim",
+    "governor",
+    "conformance",
+];
 
 /// Kernel crates where unordered parallel float reductions would make the
 /// paper tables run-to-run irreproducible.

@@ -13,8 +13,11 @@
 //!   classification, the power advisor, and the table/figure harness).
 //! * [`governor`] — the closed-loop online power governor and its
 //!   budget-sweep study.
+//! * [`conformance`] — the analytic-oracle conformance suite verifying
+//!   the eight kernels against closed-form answers.
 
 pub use cloverleaf;
+pub use conformance;
 pub use governor;
 pub use insitu;
 pub use powersim;

@@ -1,0 +1,185 @@
+//! Golden tests for the conformance subsystem: the quick configuration
+//! must pass every check, the check table itself is pinned (so checks
+//! cannot silently disappear), and the journaled `conformance_check`
+//! events must be valid schema-v3 lines that mirror the report.
+
+use vizpower_suite::conformance::{self, CheckKind, ConformanceConfig};
+use vizpower_suite::powersim::trace::{Event, Journal};
+use vizpower_suite::vizalgo::Algorithm;
+
+/// The full check inventory of a quick run, as `(algorithm, grid,
+/// check-id)` triples. A new check extends this table; losing one is a
+/// regression.
+const EXPECTED_CHECKS: &[(&str, u32, &str)] = &[
+    ("Contour", 16, "oracle:sphere-area"),
+    ("Contour", 16, "oracle:sphere-watertight"),
+    ("Contour", 16, "oracle:sphere-orientation"),
+    ("Contour", 16, "oracle:sphere-genus"),
+    ("Contour", 16, "differential:threads"),
+    ("Contour", 16, "differential:mesh-exact"),
+    ("Threshold", 16, "oracle:kept-cells"),
+    ("Threshold", 16, "oracle:welded-points"),
+    ("Threshold", 16, "differential:threads"),
+    ("Threshold", 16, "differential:kept-count"),
+    ("Spherical Clip", 16, "oracle:kept-volume"),
+    ("Spherical Clip", 16, "oracle:outside-sphere"),
+    ("Spherical Clip", 16, "differential:threads"),
+    ("Spherical Clip", 16, "differential:whole-cells"),
+    ("Isovolume", 16, "oracle:band-volume"),
+    ("Isovolume", 16, "oracle:interior-hexes"),
+    ("Isovolume", 16, "differential:threads"),
+    ("Isovolume", 16, "differential:whole-cells"),
+    ("Slice", 16, "oracle:slice-area"),
+    ("Slice", 16, "oracle:on-plane"),
+    ("Slice", 16, "differential:threads"),
+    ("Slice", 16, "differential:mesh-exact"),
+    ("Particle Advection", 16, "oracle:planar"),
+    ("Particle Advection", 16, "oracle:radius-drift"),
+    ("Particle Advection", 16, "oracle:angular-rate"),
+    ("Particle Advection", 16, "differential:threads"),
+    ("Particle Advection", 16, "differential:streamlines-exact"),
+    ("Ray Tracing", 16, "oracle:hit-mask"),
+    ("Ray Tracing", 16, "oracle:hit-depth"),
+    ("Ray Tracing", 16, "oracle:background"),
+    ("Ray Tracing", 16, "differential:threads"),
+    ("Ray Tracing", 16, "differential:depth-brute-force"),
+    ("Volume Rendering", 16, "oracle:background"),
+    ("Volume Rendering", 16, "oracle:alpha-range"),
+    ("Volume Rendering", 16, "oracle:coverage"),
+    ("Volume Rendering", 16, "differential:threads"),
+    ("Volume Rendering", 16, "differential:pixels-exact"),
+    ("Contour", 32, "oracle:sphere-area"),
+    ("Contour", 32, "oracle:sphere-watertight"),
+    ("Contour", 32, "oracle:sphere-orientation"),
+    ("Contour", 32, "oracle:sphere-genus"),
+    ("Contour", 32, "differential:threads"),
+    ("Contour", 32, "differential:mesh-exact"),
+    ("Threshold", 32, "oracle:kept-cells"),
+    ("Threshold", 32, "oracle:welded-points"),
+    ("Threshold", 32, "differential:threads"),
+    ("Threshold", 32, "differential:kept-count"),
+    ("Spherical Clip", 32, "oracle:kept-volume"),
+    ("Spherical Clip", 32, "oracle:outside-sphere"),
+    ("Spherical Clip", 32, "differential:threads"),
+    ("Spherical Clip", 32, "differential:whole-cells"),
+    ("Isovolume", 32, "oracle:band-volume"),
+    ("Isovolume", 32, "oracle:interior-hexes"),
+    ("Isovolume", 32, "differential:threads"),
+    ("Isovolume", 32, "differential:whole-cells"),
+    ("Slice", 32, "oracle:slice-area"),
+    ("Slice", 32, "oracle:on-plane"),
+    ("Slice", 32, "differential:threads"),
+    ("Slice", 32, "differential:mesh-exact"),
+    ("Particle Advection", 32, "oracle:planar"),
+    ("Particle Advection", 32, "oracle:radius-drift"),
+    ("Particle Advection", 32, "oracle:angular-rate"),
+    ("Particle Advection", 32, "differential:threads"),
+    ("Particle Advection", 32, "differential:streamlines-exact"),
+    ("Ray Tracing", 32, "oracle:hit-mask"),
+    ("Ray Tracing", 32, "oracle:hit-depth"),
+    ("Ray Tracing", 32, "oracle:background"),
+    ("Ray Tracing", 32, "differential:threads"),
+    ("Volume Rendering", 32, "oracle:background"),
+    ("Volume Rendering", 32, "oracle:alpha-range"),
+    ("Volume Rendering", 32, "oracle:coverage"),
+    ("Volume Rendering", 32, "differential:threads"),
+    ("Volume Rendering", 32, "differential:pixels-exact"),
+    ("Spherical Clip", 32, "metamorphic:clip-complement"),
+    ("Isovolume", 32, "metamorphic:interior-threshold"),
+    ("Contour", 32, "metamorphic:isovalue-monotone"),
+    ("Contour", 64, "metamorphic:refinement-order"),
+];
+
+#[test]
+fn quick_run_passes_every_pinned_check() {
+    let report = conformance::run_all(&ConformanceConfig::quick());
+    let failures: Vec<String> = report
+        .failures()
+        .map(|c| {
+            format!(
+                "{} {} {}: measured {} expected {} tol {}",
+                c.algorithm.name(),
+                c.grid,
+                c.check,
+                c.measured,
+                c.expected,
+                c.tolerance
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "failed checks:\n{}",
+        failures.join("\n")
+    );
+
+    let got: Vec<(String, u32, String)> = report
+        .checks
+        .iter()
+        .map(|c| (c.algorithm.name().to_string(), c.grid, c.check.clone()))
+        .collect();
+    let expected: Vec<(String, u32, String)> = EXPECTED_CHECKS
+        .iter()
+        .map(|&(a, g, c)| (a.to_string(), g, c.to_string()))
+        .collect();
+    assert_eq!(got, expected, "conformance check table drifted");
+}
+
+#[test]
+fn every_algorithm_is_covered_by_every_kind() {
+    let report = conformance::run_all(&ConformanceConfig::quick());
+    for alg in Algorithm::ALL {
+        for kind in [CheckKind::Oracle, CheckKind::Differential] {
+            assert!(
+                report
+                    .checks
+                    .iter()
+                    .any(|c| c.algorithm == alg && c.kind == kind),
+                "{} has no {} check",
+                alg.name(),
+                kind.as_str()
+            );
+        }
+    }
+    assert!(report
+        .checks
+        .iter()
+        .any(|c| c.kind == CheckKind::Metamorphic));
+}
+
+#[test]
+fn journaled_checks_mirror_the_report() {
+    let mut journal = Journal::with_capacity(1 << 14);
+    let report = conformance::run_journaled(&ConformanceConfig::quick(), &mut journal);
+    assert_eq!(journal.dropped(), 0);
+
+    let events: Vec<_> = journal
+        .events()
+        .filter_map(|e| match e {
+            Event::ConformanceCheck(c) => Some(c.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(events.len(), report.checks.len());
+    for (ev, c) in events.iter().zip(&report.checks) {
+        assert_eq!(ev.algorithm, c.algorithm.name());
+        assert_eq!(ev.check, c.check);
+        assert_eq!(ev.kind, c.kind.as_str());
+        assert_eq!(ev.grid, c.grid);
+        assert!(ev.pass, "journaled failure for {}", ev.check);
+    }
+
+    // One span per group, named conformance:<algorithm>:<grid>.
+    let spans = journal
+        .events()
+        .filter(|e| {
+            matches!(e, Event::Span(s) if s.scope == vizpower_suite::powersim::trace::Scope::Conformance)
+        })
+        .count();
+    assert_eq!(spans, 2 * 8 + 4, "one span per algorithm-grid group");
+
+    for line in journal.to_jsonl().lines().take(4) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+        assert_eq!(v["v"], 3);
+    }
+}

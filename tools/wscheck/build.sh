@@ -17,6 +17,7 @@ echo "=== stub deps ==="
 rustc --edition 2021 -O --crate-type rlib --crate-name rayon "$S/rayon.rs" -o out/librayon.rlib
 rustc --edition 2021 -O --crate-type rlib --crate-name serde_json "$S/serde_json.rs" -o out/libserde_json.rlib
 rustc --edition 2021 -O --crate-type rlib --crate-name rand "$S/rand.rs" -o out/librand.rlib
+rustc --edition 2021 -O --crate-type rlib --crate-name proptest "$S/proptest.rs" -o out/libproptest.rlib
 
 # Copy a crate's src tree with serde derives stripped.
 copysrc() { # $1 = repo-relative src dir, $2 = dest name
@@ -40,6 +41,7 @@ copysrc crates/cloverleaf/src cloverleaf
 copysrc crates/insitu/src insitu
 copysrc crates/core/src vizpower
 copysrc crates/governor/src governor
+copysrc crates/conformance/src conformance
 copysrc crates/bench/src bench
 copysrc src suite
 
@@ -71,6 +73,10 @@ X governor  --crate-type rlib --crate-name governor src/governor/lib.rs \
   --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizpower=out/libvizpower.rlib \
   -o out/libgovernor.rlib
+X conformance --crate-type rlib --crate-name conformance src/conformance/lib.rs \
+  --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
+  --extern powersim=out/libpowersim.rlib --extern rayon=out/librayon.rlib \
+  --extern rand=out/librand.rlib -o out/libconformance.rlib
 X vizpower_bench --crate-type rlib --crate-name vizpower_bench src/bench/lib.rs \
   --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
@@ -79,7 +85,7 @@ X vizpower_bench --crate-type rlib --crate-name vizpower_bench src/bench/lib.rs 
 X reproduce-bin --crate-name reproduce src/bench/bin/reproduce.rs \
   --extern vizpower_bench=out/libvizpower_bench.rlib \
   --extern vizpower=out/libvizpower.rlib --extern powersim=out/libpowersim.rlib \
-  --extern governor=out/libgovernor.rlib \
+  --extern governor=out/libgovernor.rlib --extern conformance=out/libconformance.rlib \
   --extern cloverleaf=out/libcloverleaf.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizmesh=out/libvizmesh.rlib \
   --extern serde_json=out/libserde_json.rlib -o out/reproduce
@@ -87,7 +93,7 @@ X vizpower_suite --crate-type rlib --crate-name vizpower_suite src/suite/lib.rs 
   --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizpower=out/libvizpower.rlib \
-  --extern governor=out/libgovernor.rlib \
+  --extern governor=out/libgovernor.rlib --extern conformance=out/libconformance.rlib \
   --extern rayon=out/librayon.rlib --extern serde_json=out/libserde_json.rlib \
   -o out/libvizpower_suite.rlib
 

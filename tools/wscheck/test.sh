@@ -1,9 +1,9 @@
 #!/bin/bash
 # Build + run unit tests (lib --test) for the hot-path crates, the
-# integration/golden tests from tests/, and a reproduce smoke run, under
-# the stub deps compiled by build.sh (run that first). Proptest suites in
-# crates/*/tests/ need the real proptest crate and are skipped here —
-# tier-1 CI runs them.
+# integration/golden tests from tests/, the property suites under the
+# stub proptest (deterministic seeds, no shrinking), and reproduce smoke
+# runs, under the stub deps compiled by build.sh (run that first).
+# Tier-1 CI reruns everything with the real crates.io dependencies.
 set -e
 R="$(cd "$(dirname "$0")/../.." && pwd)"
 W="${WSCHECK_DIR:-/tmp/wscheck-run}"
@@ -12,13 +12,15 @@ E="--edition 2021 -O -L dependency=out"
 EXT="--extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
  --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
  --extern insitu=out/libinsitu.rlib --extern vizpower=out/libvizpower.rlib \
- --extern governor=out/libgovernor.rlib \
+ --extern governor=out/libgovernor.rlib --extern conformance=out/libconformance.rlib \
  --extern rayon=out/librayon.rlib --extern serde_json=out/libserde_json.rlib \
  --extern rand=out/librand.rlib"
 
 T() { name=$1; src=$2; echo "=== unit: $name ==="; \
   rustc $E --test --crate-name ${name}_t $src $EXT -o out/${name}_t && out/${name}_t -q; }
 
+T vizmesh src/vizmesh/lib.rs
+T vizalgo src/vizalgo/lib.rs
 T powersim src/powersim/lib.rs
 T cloverleaf src/cloverleaf/lib.rs
 echo "=== unit: insitu (serde round-trips skipped under stub) ==="
@@ -26,6 +28,7 @@ rustc $E --test --crate-name insitu_t src/insitu/lib.rs $EXT -o out/insitu_t
 out/insitu_t -q --skip json_round_trip --skip parses_handwritten_json --skip serde_round_trip
 T vizpower src/vizpower/lib.rs
 T governor src/governor/lib.rs
+T conformance src/conformance/lib.rs
 T vizpower_bench src/bench/lib.rs
 
 I() { name=$1; echo "=== integration: $name ==="; \
@@ -36,7 +39,27 @@ I() { name=$1; echo "=== integration: $name ==="; \
 I journal_golden
 I experiments_smoke
 I governor_golden
+I conformance_golden
+
+# Property suites from crates/*/tests/, compiled and run against the
+# stub proptest (fixed per-test seeds, no shrinking or regression-seed
+# replay). insitu's actions_json_round_trip needs real serde and is
+# compile-checked but skipped at runtime.
+P() { crate=$1; name=$2; skip=$3; echo "=== proptest: $crate/$name ==="; \
+  mkdir -p src/proptests; cp "$R/crates/$crate/tests/$name.rs" src/proptests/${crate}_$name.rs; \
+  rustc $E --test --crate-name ${crate}_$name src/proptests/${crate}_$name.rs \
+    --extern proptest=out/libproptest.rlib $EXT -o out/${crate}_$name && \
+  out/${crate}_$name -q $skip; }
+
+P vizmesh proptests
+P vizalgo proptests
+P cloverleaf proptests
+P powersim proptests
+P insitu proptests "--skip actions_json_round_trip"
+P governor invariants
 
 echo "=== smoke: reproduce governor --budget-sweep --quick ==="
 out/reproduce governor --budget-sweep --quick
+echo "=== smoke: reproduce conformance --quick ==="
+out/reproduce conformance --quick
 echo "=== ALL TESTS PASSED ==="
