@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powersim::Watts;
 use std::hint::black_box;
 use vizalgo::Algorithm;
-use vizpower::study::{build_filter, dataset_for, StudyConfig};
+use vizpower::study::{dataset_for, StudyConfig};
 
 fn bench_algorithms(c: &mut Criterion) {
     let config = StudyConfig {
@@ -26,7 +26,7 @@ fn bench_algorithms(c: &mut Criterion) {
             &algorithm,
             |b, &alg| {
                 b.iter(|| {
-                    let filter = build_filter(&config, alg, &ds);
+                    let filter = config.spec(alg).build(&ds);
                     black_box(filter.execute(&ds))
                 })
             },

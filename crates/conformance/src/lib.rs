@@ -21,8 +21,9 @@
 //!
 //! Every check reduces to one [`CheckResult`] — `|measured − expected| ≤
 //! tolerance` — so the whole suite serializes into the run journal as
-//! schema-v3 `conformance_check` events (see docs/OBSERVABILITY.md and
-//! docs/CONFORMANCE.md).
+//! `conformance_check` events, and every group span carries the
+//! fingerprint of the exact [`AlgorithmSpec`] it checked (schema v4; see
+//! docs/OBSERVABILITY.md and docs/CONFORMANCE.md).
 
 pub mod fields;
 pub mod metamorphic;
@@ -31,10 +32,7 @@ pub mod reference;
 
 use powersim::trace::{ConformanceCheck, Event, Journal, Scope};
 use std::fmt::Write as _;
-use vizalgo::{
-    Algorithm, Contour, Filter, Isovolume, ParticleAdvection, RayTracer, SphericalClip, ThreeSlice,
-    Threshold, VolumeRenderer,
-};
+use vizalgo::{Algorithm, AlgorithmSpec, Filter, IsoValues, ScalarBand, SphereSpec};
 use vizmesh::dataset::Geometry;
 use vizmesh::{CellSet, CellShape, DataSet, Vec3};
 
@@ -179,27 +177,69 @@ pub fn build_input(alg: Algorithm, n: usize) -> DataSet {
     }
 }
 
-/// Build the filter configuration each algorithm is checked under.
-pub fn build_filter(alg: Algorithm, cfg: &ConformanceConfig, input: &DataSet) -> Box<dyn Filter> {
+/// The canonical [`AlgorithmSpec`] each algorithm is checked under: the
+/// analytic constants above bound to this config's size knobs. All
+/// conformance filters are built from these specs (the sequential
+/// re-implementations in [`reference`] are intentionally independent).
+pub fn spec_for(alg: Algorithm, cfg: &ConformanceConfig) -> AlgorithmSpec {
     let px = cfg.render_px;
     match alg {
-        Algorithm::Contour => Box::new(Contour::new(fields::FIELD, vec![SPHERE_R])),
-        Algorithm::Threshold => Box::new(Threshold::new(fields::FIELD, THRESH_LO, THRESH_HI)),
-        Algorithm::SphericalClip => Box::new(SphericalClip::new(fields::CENTER, SPHERE_R)),
-        Algorithm::Isovolume => Box::new(Isovolume::new(fields::FIELD, ISO_LO, ISO_HI)),
-        Algorithm::Slice => Box::new(ThreeSlice::centered(input, fields::FIELD)),
-        Algorithm::ParticleAdvection => Box::new(ParticleAdvection::new(
-            fields::VELOCITY,
-            cfg.particles,
-            cfg.advect_steps,
-            cfg.step_fraction,
-            cfg.seed,
-        )),
-        Algorithm::RayTracing => Box::new(RayTracer::new(fields::FIELD, px, px, cfg.cameras)),
-        Algorithm::VolumeRendering => {
-            Box::new(VolumeRenderer::new(fields::FIELD, px, px, cfg.cameras))
-        }
+        Algorithm::Contour => AlgorithmSpec::Contour {
+            field: fields::FIELD.into(),
+            isovalues: IsoValues::Explicit(vec![SPHERE_R]),
+        },
+        Algorithm::Threshold => AlgorithmSpec::Threshold {
+            field: fields::FIELD.into(),
+            band: ScalarBand::Range {
+                min: THRESH_LO,
+                max: THRESH_HI,
+            },
+        },
+        // The clip input carries its scalar as "energy" (the study field
+        // name), matching the filter's carry-through field.
+        Algorithm::SphericalClip => AlgorithmSpec::SphericalClip {
+            field: "energy".into(),
+            sphere: SphereSpec::Explicit {
+                center: fields::CENTER,
+                radius: SPHERE_R,
+            },
+        },
+        Algorithm::Isovolume => AlgorithmSpec::Isovolume {
+            field: fields::FIELD.into(),
+            band: ScalarBand::Range {
+                min: ISO_LO,
+                max: ISO_HI,
+            },
+        },
+        Algorithm::Slice => AlgorithmSpec::Slice {
+            field: fields::FIELD.into(),
+        },
+        Algorithm::ParticleAdvection => AlgorithmSpec::ParticleAdvection {
+            field: fields::VELOCITY.into(),
+            particles: cfg.particles,
+            steps: cfg.advect_steps,
+            step_fraction: cfg.step_fraction,
+            seed: cfg.seed,
+        },
+        Algorithm::RayTracing => AlgorithmSpec::RayTracing {
+            field: fields::FIELD.into(),
+            width: px,
+            height: px,
+            images: cfg.cameras,
+        },
+        Algorithm::VolumeRendering => AlgorithmSpec::VolumeRendering {
+            field: fields::FIELD.into(),
+            width: px,
+            height: px,
+            images: cfg.cameras,
+        },
     }
+}
+
+/// Build the filter each algorithm is checked under (the [`spec_for`]
+/// plan instantiated against `input`).
+pub fn build_filter(alg: Algorithm, cfg: &ConformanceConfig, input: &DataSet) -> Box<dyn Filter> {
+    spec_for(alg, cfg).build(input)
 }
 
 /// The explicit points + cells of an unstructured output, if present.
@@ -281,7 +321,8 @@ pub fn run_all(cfg: &ConformanceConfig) -> ConformanceReport {
 }
 
 /// Run every check, journaling one `conformance_check` event per check
-/// plus one zero-width `Scope::Conformance` span per group (see
+/// plus one zero-width `Scope::Conformance` span per group carrying the
+/// fingerprint of the canonical spec the group checked (see
 /// docs/OBSERVABILITY.md).
 pub fn run_journaled(cfg: &ConformanceConfig, journal: &mut Journal) -> ConformanceReport {
     let mut all = Vec::new();
@@ -310,6 +351,7 @@ pub fn run_journaled(cfg: &ConformanceConfig, journal: &mut Journal) -> Conforma
                 ("grid", f64::from(grid)),
                 ("checks", checks.len() as f64),
                 ("failures", failures as f64),
+                ("spec_fp", spec_for(alg, cfg).fingerprint() as f64),
             ],
         );
         all.extend(checks);

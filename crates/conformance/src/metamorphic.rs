@@ -18,7 +18,7 @@ use crate::{
     ISO_LO, SPHERE_R,
 };
 use std::f64::consts::PI;
-use vizalgo::{Algorithm, Contour, Filter, Isovolume, SphericalClip, Threshold};
+use vizalgo::{Algorithm, AlgorithmSpec, IsoValues, ScalarBand, SphereSpec};
 use vizmesh::{validate_cells, CellShape};
 
 const KIND: CheckKind = CheckKind::Metamorphic;
@@ -51,9 +51,25 @@ fn clip_complement(n: usize) -> CheckResult {
     let alg = Algorithm::SphericalClip;
     let check = "clip-complement";
     let clip_in = fields::energy_dataset(n);
-    let outside = SphericalClip::new(CENTER, SPHERE_R).execute(&clip_in);
+    let outside = AlgorithmSpec::SphericalClip {
+        field: "energy".into(),
+        sphere: SphereSpec::Explicit {
+            center: CENTER,
+            radius: SPHERE_R,
+        },
+    }
+    .build(&clip_in)
+    .execute(&clip_in);
     let ball_in = fields::sphere_dataset(n);
-    let inside = Isovolume::new(FIELD, -1.0, SPHERE_R).execute(&ball_in);
+    let inside = AlgorithmSpec::Isovolume {
+        field: FIELD.into(),
+        band: ScalarBand::Range {
+            min: -1.0,
+            max: SPHERE_R,
+        },
+    }
+    .build(&ball_in)
+    .execute(&ball_in);
     let (Some(v_out), Some(v_in)) = (volume_of(&outside), volume_of(&inside)) else {
         return CheckResult::setup_failure(alg, KIND, check, n);
     };
@@ -66,8 +82,22 @@ fn interior_threshold(n: usize) -> CheckResult {
     let alg = Algorithm::Isovolume;
     let check = "interior-threshold";
     let input = fields::xramp_dataset(n);
-    let thresh = Threshold::new(FIELD, ISO_LO, ISO_HI).execute(&input);
-    let iso = Isovolume::new(FIELD, ISO_LO, ISO_HI).execute(&input);
+    let band = ScalarBand::Range {
+        min: ISO_LO,
+        max: ISO_HI,
+    };
+    let thresh = AlgorithmSpec::Threshold {
+        field: FIELD.into(),
+        band: band.clone(),
+    }
+    .build(&input)
+    .execute(&input);
+    let iso = AlgorithmSpec::Isovolume {
+        field: FIELD.into(),
+        band,
+    }
+    .build(&input)
+    .execute(&input);
     let count = |out: &vizalgo::FilterOutput| {
         out.dataset
             .as_ref()
@@ -83,7 +113,12 @@ fn interior_threshold(n: usize) -> CheckResult {
 /// Contour area of the distance field at one isovalue.
 fn sphere_area(n: usize, iso: f64) -> Option<f64> {
     let input = fields::sphere_dataset(n);
-    let out = Contour::new(FIELD, vec![iso]).execute(&input);
+    let out = AlgorithmSpec::Contour {
+        field: FIELD.into(),
+        isovalues: IsoValues::Explicit(vec![iso]),
+    }
+    .build(&input)
+    .execute(&input);
     let ds = out.dataset?;
     let (points, cells) = explicit_parts(&ds)?;
     Some(surface_area(points, cells))

@@ -26,9 +26,12 @@ pub struct EnergyRow {
     pub edp_ratio: f64,
 }
 
-/// Per-cap energy metrics for a sweep.
+/// Per-cap energy metrics for a sweep. An empty sweep has no baseline
+/// to normalize against and yields no rows.
 pub fn energy_rows(sweep: &CapSweep) -> Vec<EnergyRow> {
-    let base = sweep.baseline();
+    let Some(base) = sweep.baseline() else {
+        return Vec::new();
+    };
     assert!(base.energy_joules > 0.0 && base.seconds > 0.0);
     let base_edp = base.energy_joules.value() * base.seconds;
     sweep
@@ -43,14 +46,14 @@ pub fn energy_rows(sweep: &CapSweep) -> Vec<EnergyRow> {
         .collect()
 }
 
-/// The cap minimizing energy-to-solution, with its saving vs default.
-pub fn best_energy_cap(sweep: &CapSweep) -> (Watts, f64) {
+/// The cap minimizing energy-to-solution, with its saving vs default;
+/// `None` for an empty sweep.
+pub fn best_energy_cap(sweep: &CapSweep) -> Option<(Watts, f64)> {
     let rows = energy_rows(sweep);
     let best = rows
         .iter()
-        .min_by(|a, b| a.energy_joules.total_cmp(&b.energy_joules))
-        .expect("non-empty sweep");
-    (best.cap_watts, 1.0 - best.eratio)
+        .min_by(|a, b| a.energy_joules.total_cmp(&b.energy_joules))?;
+    Some((best.cap_watts, 1.0 - best.eratio))
 }
 
 #[cfg(test)]
@@ -99,7 +102,7 @@ mod tests {
             }
         }
         // Severe caps cost energy: static power over a longer runtime.
-        let (best_cap, saving) = best_energy_cap(&sweep);
+        let (best_cap, saving) = best_energy_cap(&sweep).expect("non-empty sweep");
         assert!(saving.abs() < 0.05, "saving {saving} at {best_cap} W");
     }
 

@@ -104,7 +104,13 @@ pub fn render_series(title: &str, series: &[FigSeries]) -> String {
 /// Summarize the Ratios rows of one sweep as a compact one-liner.
 pub fn summarize(sweep: &CapSweep) -> String {
     let ratios = sweep.ratios();
-    let last = ratios.last().expect("non-empty sweep");
+    let Some(last) = ratios.last() else {
+        return format!(
+            "{:<20} {}³  (empty sweep)",
+            sweep.algorithm.name(),
+            sweep.size
+        );
+    };
     format!(
         "{:<20} {}³  Tratio(40W) = {:.2}X  Fratio(40W) = {:.2}X  first 10% slowdown at {}",
         sweep.algorithm.name(),

@@ -13,10 +13,9 @@ use cloverleaf::{Problem, SimConfig, Simulation};
 use powersim::trace::{Journal, Scope};
 use powersim::{CpuSpec, ExecResult, Joules, Package, Watts, Workload};
 use serde::{Deserialize, Serialize};
-use vizalgo::{
-    Algorithm, Contour, Filter, Isovolume, KernelReport, ParticleAdvection, RayTracer,
-    SphericalClip, ThreeSlice, Threshold, VolumeRenderer,
-};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vizalgo::{Algorithm, AlgorithmSpec, Filter, IsoValues, KernelReport, ScalarBand, SphereSpec};
 use vizmesh::DataSet;
 
 /// The paper's nine processor power caps (W).
@@ -75,6 +74,53 @@ impl StudyConfig {
             cameras: 4,
             particles: 120,
             advect_steps: 150,
+        }
+    }
+
+    /// The canonical [`AlgorithmSpec`] this configuration runs for an
+    /// algorithm: the paper's §IV parameterization with this config's
+    /// size knobs substituted in. All study filters are built from
+    /// these specs via [`AlgorithmSpec::build`].
+    pub fn spec(&self, algorithm: Algorithm) -> AlgorithmSpec {
+        match algorithm {
+            Algorithm::Contour => AlgorithmSpec::Contour {
+                field: "energy".into(),
+                isovalues: IsoValues::Spanning(self.isovalues),
+            },
+            Algorithm::Threshold => AlgorithmSpec::Threshold {
+                field: "energy".into(),
+                band: ScalarBand::UpperFraction(0.5),
+            },
+            Algorithm::SphericalClip => AlgorithmSpec::SphericalClip {
+                field: "energy".into(),
+                sphere: SphereSpec::RadiusFraction(0.3),
+            },
+            Algorithm::Isovolume => AlgorithmSpec::Isovolume {
+                field: "energy".into(),
+                band: ScalarBand::MiddleBand(0.5),
+            },
+            Algorithm::Slice => AlgorithmSpec::Slice {
+                field: "energy".into(),
+            },
+            Algorithm::ParticleAdvection => AlgorithmSpec::ParticleAdvection {
+                field: "velocity".into(),
+                particles: self.particles,
+                steps: self.advect_steps,
+                step_fraction: 5e-4,
+                seed: 0x5eed_1234,
+            },
+            Algorithm::RayTracing => AlgorithmSpec::RayTracing {
+                field: "energy".into(),
+                width: self.render_px,
+                height: self.render_px,
+                images: self.cameras,
+            },
+            Algorithm::VolumeRendering => AlgorithmSpec::VolumeRendering {
+                field: "energy".into(),
+                width: self.render_px,
+                height: self.render_px,
+                images: self.cameras,
+            },
         }
     }
 }
@@ -164,40 +210,6 @@ pub fn upsample(base: &DataSet, n: usize) -> DataSet {
     ds
 }
 
-/// Build the paper-configured filter for an algorithm against a dataset.
-pub fn build_filter(
-    config: &StudyConfig,
-    algorithm: Algorithm,
-    input: &DataSet,
-) -> Box<dyn Filter> {
-    match algorithm {
-        Algorithm::Contour => Box::new(Contour::spanning("energy", input, config.isovalues)),
-        Algorithm::Threshold => Box::new(Threshold::upper_fraction("energy", input, 0.5)),
-        Algorithm::SphericalClip => Box::new(SphericalClip::framing(input)),
-        Algorithm::Isovolume => Box::new(Isovolume::middle_band("energy", input, 0.5)),
-        Algorithm::Slice => Box::new(ThreeSlice::centered(input, "energy")),
-        Algorithm::ParticleAdvection => Box::new(ParticleAdvection::new(
-            "velocity",
-            config.particles,
-            config.advect_steps,
-            5e-4,
-            0x5eed_1234,
-        )),
-        Algorithm::RayTracing => Box::new(RayTracer::new(
-            "energy",
-            config.render_px,
-            config.render_px,
-            config.cameras,
-        )),
-        Algorithm::VolumeRendering => Box::new(VolumeRenderer::new(
-            "energy",
-            config.render_px,
-            config.render_px,
-            config.cameras,
-        )),
-    }
-}
-
 /// One native (really-executed) instrumented run.
 #[derive(Debug, Clone)]
 pub struct AlgorithmRun {
@@ -205,6 +217,10 @@ pub struct AlgorithmRun {
     pub size: usize,
     /// Cells in the input dataset (for the Fig. 3 rate).
     pub input_cells: usize,
+    /// The exact plan the run executed (its
+    /// [`fingerprint`](AlgorithmSpec::fingerprint) rides in every
+    /// journal span derived from this run).
+    pub spec: AlgorithmSpec,
     pub reports: Vec<KernelReport>,
 }
 
@@ -215,12 +231,14 @@ pub fn native_run(
     size: usize,
     input: &DataSet,
 ) -> AlgorithmRun {
-    let filter = build_filter(config, algorithm, input);
+    let spec = config.spec(algorithm);
+    let filter: Box<dyn Filter> = spec.build(input);
     let out = filter.execute(input);
     AlgorithmRun {
         algorithm,
         size,
         input_cells: input.num_cells(),
+        spec,
         reports: out.kernels,
     }
 }
@@ -237,8 +255,11 @@ pub struct CapSweep {
 
 impl CapSweep {
     /// §V-A ratios of every row against the first (default-power) row.
+    /// An empty sweep has no baseline and yields no ratios.
     pub fn ratios(&self) -> Vec<Ratios> {
-        let base = &self.rows[0];
+        let Some(base) = self.rows.first() else {
+            return Vec::new();
+        };
         self.rows
             .iter()
             .map(|r| {
@@ -254,9 +275,10 @@ impl CapSweep {
             .collect()
     }
 
-    /// The default-power (first-row) execution.
-    pub fn baseline(&self) -> &ExecResult {
-        &self.rows[0]
+    /// The default-power (first-row) execution, if the sweep ran any
+    /// caps at all.
+    pub fn baseline(&self) -> Option<&ExecResult> {
+        self.rows.first()
     }
 
     /// Row at a specific cap.
@@ -285,6 +307,7 @@ pub fn sweep_journaled(
         "{} produced an empty workload",
         run.algorithm
     );
+    let spec_fp = run.spec.fingerprint() as f64;
     let rows = caps
         .iter()
         .map(|&cap| {
@@ -297,7 +320,11 @@ pub fn sweep_journaled(
                     format!("cap:{:.0}W", cap.value()),
                     t0,
                     Some(row.energy_joules),
-                    vec![("cap_watts", cap.value()), ("seconds", row.seconds)],
+                    vec![
+                        ("cap_watts", cap.value()),
+                        ("seconds", row.seconds),
+                        ("spec_fp", spec_fp),
+                    ],
                 );
             }
             row
@@ -315,6 +342,11 @@ pub fn sweep_journaled(
 /// repeats an expensive native execution. The hydro base solve is cached
 /// separately so every size above [`HYDRO_BASE_MAX`] reuses it.
 ///
+/// Entries are keyed maps of shared [`Arc`]s: a cache hit hands back
+/// another handle to the same allocation, never a deep clone of a
+/// dataset or report vector, so the governor/insitu consumers can hold
+/// the same data the study drivers use.
+///
 /// The context owns the study's run [`Journal`] (disabled by default;
 /// see [`StudyContext::enable_journal`]): dataset builds, native runs,
 /// sweeps, and experiment phases all record into it.
@@ -323,9 +355,9 @@ pub struct StudyContext {
     pub config: Option<StudyConfig>,
     /// The study-wide run journal (disabled unless enabled explicitly).
     pub journal: Journal,
-    base_datasets: Vec<(usize, DataSet)>,
-    datasets: Vec<(usize, DataSet)>,
-    runs: Vec<AlgorithmRun>,
+    base_datasets: BTreeMap<usize, Arc<DataSet>>,
+    datasets: BTreeMap<usize, Arc<DataSet>>,
+    runs: BTreeMap<(Algorithm, usize), Arc<AlgorithmRun>>,
 }
 
 impl StudyContext {
@@ -333,9 +365,9 @@ impl StudyContext {
         StudyContext {
             config: Some(config),
             journal: Journal::off(),
-            base_datasets: Vec::new(),
-            datasets: Vec::new(),
-            runs: Vec::new(),
+            base_datasets: BTreeMap::new(),
+            datasets: BTreeMap::new(),
+            runs: BTreeMap::new(),
         }
     }
 
@@ -348,13 +380,19 @@ impl StudyContext {
         self.config.clone().unwrap_or_else(StudyConfig::paper)
     }
 
-    /// Dataset at `size`, computed once; the hydro base is shared.
-    pub fn dataset(&mut self, size: usize) -> &DataSet {
-        if let Some(idx) = self.datasets.iter().position(|(s, _)| *s == size) {
-            return &self.datasets[idx].1;
+    /// Number of distinct native runs computed so far.
+    pub fn cached_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Dataset at `size`, computed once; the hydro base is shared, and a
+    /// hit returns another handle to the cached allocation.
+    pub fn dataset(&mut self, size: usize) -> Arc<DataSet> {
+        if let Some(ds) = self.datasets.get(&size) {
+            return Arc::clone(ds);
         }
         let base_n = size.min(HYDRO_BASE_MAX);
-        if !self.base_datasets.iter().any(|(s, _)| *s == base_n) {
+        if !self.base_datasets.contains_key(&base_n) {
             let t0 = self.journal.now();
             let mut sim = Simulation::new(Problem::TwoState, base_n, SimConfig::default());
             while sim.time() < HYDRO_T_END {
@@ -372,43 +410,28 @@ impl StudyContext {
                     ],
                 );
             }
-            self.base_datasets.push((base_n, sim.dataset()));
+            self.base_datasets.insert(base_n, Arc::new(sim.dataset()));
         }
-        let base = &self
-            .base_datasets
-            .iter()
-            .find(|(s, _)| *s == base_n)
-            .unwrap()
-            .1;
+        let base = Arc::clone(&self.base_datasets[&base_n]);
         let ds = if base_n == size {
-            base.clone()
+            base
         } else {
-            upsample(base, size)
+            Arc::new(upsample(&base, size))
         };
-        self.datasets.push((size, ds));
-        &self.datasets.last().unwrap().1
+        self.datasets.insert(size, Arc::clone(&ds));
+        ds
     }
 
-    /// Native run for (algorithm, size), computed once.
-    pub fn run(&mut self, algorithm: Algorithm, size: usize) -> AlgorithmRun {
-        if let Some(r) = self
-            .runs
-            .iter()
-            .find(|r| r.algorithm == algorithm && r.size == size)
-        {
-            return r.clone();
+    /// Native run for (algorithm, size), computed once; a hit returns
+    /// another handle to the cached run, reports and all.
+    pub fn run(&mut self, algorithm: Algorithm, size: usize) -> Arc<AlgorithmRun> {
+        if let Some(r) = self.runs.get(&(algorithm, size)) {
+            return Arc::clone(r);
         }
         let config = self.config();
-        // Split borrows: compute the dataset first.
-        self.dataset(size);
-        let ds = &self
-            .datasets
-            .iter()
-            .find(|(s, _)| *s == size)
-            .expect("dataset just inserted")
-            .1;
+        let ds = self.dataset(size);
         let t0 = self.journal.now();
-        let run = native_run(&config, algorithm, size, ds);
+        let run = Arc::new(native_run(&config, algorithm, size, &ds));
         if self.journal.is_enabled() {
             let instructions: u64 = run.reports.iter().map(|r| r.work.instructions).sum();
             self.journal.push_span(
@@ -419,10 +442,11 @@ impl StudyContext {
                 vec![
                     ("kernels", run.reports.len() as f64),
                     ("instructions", instructions as f64),
+                    ("spec_fp", run.spec.fingerprint() as f64),
                 ],
             );
         }
-        self.runs.push(run.clone());
+        self.runs.insert((algorithm, size), Arc::clone(&run));
         run
     }
 
@@ -446,7 +470,10 @@ impl StudyContext {
                 format!("sweep:{}:{size}", algorithm.name()),
                 t0,
                 Some(joules),
-                vec![("caps", sweep.rows.len() as f64)],
+                vec![
+                    ("caps", sweep.rows.len() as f64),
+                    ("spec_fp", run.spec.fingerprint() as f64),
+                ],
             );
         }
         sweep
@@ -535,6 +562,49 @@ mod tests {
     }
 
     #[test]
+    fn context_cache_hits_share_allocations() {
+        let mut ctx = StudyContext::new(tiny_config());
+        // Dataset hits hand back the same allocation, not a deep clone.
+        let d1 = ctx.dataset(8);
+        let d2 = ctx.dataset(8);
+        assert!(Arc::ptr_eq(&d1, &d2), "dataset cache hit must share");
+        // Run hits likewise share the run (and its report vector).
+        let r1 = ctx.run(Algorithm::Threshold, 8);
+        let r2 = ctx.run(Algorithm::Threshold, 8);
+        assert!(Arc::ptr_eq(&r1, &r2), "run cache hit must share");
+        // Two caller handles + the cache entry, no hidden copies.
+        assert_eq!(Arc::strong_count(&r1), 3);
+        // Distinct keys are distinct entries.
+        let r3 = ctx.run(Algorithm::Slice, 8);
+        assert!(!Arc::ptr_eq(&r1, &r3));
+    }
+
+    #[test]
+    fn native_runs_carry_their_spec() {
+        let mut ctx = StudyContext::new(tiny_config());
+        let run = ctx.run(Algorithm::Contour, 8);
+        assert_eq!(run.spec.algorithm(), Algorithm::Contour);
+        assert_eq!(run.spec, tiny_config().spec(Algorithm::Contour));
+        assert_eq!(
+            run.spec.fingerprint(),
+            tiny_config().spec(Algorithm::Contour).fingerprint()
+        );
+    }
+
+    #[test]
+    fn empty_sweep_is_safe() {
+        let sweep = CapSweep {
+            algorithm: Algorithm::Contour,
+            size: 8,
+            input_cells: 512,
+            rows: Vec::new(),
+        };
+        assert!(sweep.baseline().is_none());
+        assert!(sweep.ratios().is_empty());
+        assert!(sweep.at_cap(Watts(120.0)).is_none());
+    }
+
+    #[test]
     fn journal_attributes_sweep_energy_exactly() {
         use powersim::trace::Event;
         let mut ctx = StudyContext::new(tiny_config());
@@ -564,6 +634,18 @@ mod tests {
             .find(|s| s.scope == Scope::Study && s.name.starts_with("sweep:"))
             .expect("study sweep span present");
         assert_eq!(study.joules, Some(total));
+        // v4: every sweep-derived span carries the spec fingerprint.
+        let fp = tiny_config().spec(Algorithm::Threshold).fingerprint() as f64;
+        assert_eq!(
+            study.args.iter().find(|(k, _)| *k == "spec_fp"),
+            Some(&("spec_fp", fp))
+        );
+        for s in spans.iter().filter(|s| s.scope == Scope::Sweep) {
+            assert_eq!(
+                s.args.iter().find(|(k, _)| *k == "spec_fp"),
+                Some(&("spec_fp", fp))
+            );
+        }
     }
 
     #[test]
@@ -571,7 +653,7 @@ mod tests {
         let mut ctx = StudyContext::new(tiny_config());
         for algorithm in [Algorithm::Contour, Algorithm::ParticleAdvection] {
             let sweep = ctx.sweep(algorithm, 10);
-            let base = sweep.baseline().seconds;
+            let base = sweep.baseline().expect("non-empty sweep").seconds;
             for row in &sweep.rows {
                 assert!(
                     row.seconds >= base * 0.999,

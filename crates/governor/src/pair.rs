@@ -13,7 +13,7 @@
 use cloverleaf::Problem;
 use insitu::{Action, ActionList, FilterSpec, InSituRuntime, RendererSpec, RuntimeConfig, Trigger};
 use powersim::{CpuSpec, KernelPhase, Package, Workload};
-use vizalgo::KernelReport;
+use vizalgo::{IsoValues, KernelReport};
 use vizpower::characterize::characterize;
 
 /// Uncapped duration the simulation side is scaled to (seconds).
@@ -99,7 +99,7 @@ pub fn coupled_pair(grid_cells: usize, spec: &CpuSpec) -> WorkloadPair {
             name: "contour".into(),
             filters: vec![FilterSpec::Contour {
                 field: "energy".into(),
-                isovalues: 3,
+                isovalues: IsoValues::Spanning(3),
             }],
         },
         Action::AddScene {

@@ -1,160 +1,27 @@
 //! Declarative actions, JSON-compatible in the spirit of Ascent's
 //! `ascent_actions.json`.
+//!
+//! The filter and renderer declarations *are* the workspace's canonical
+//! [`AlgorithmSpec`] (see `vizalgo::spec` and docs/REGISTRY.md):
+//! [`FilterSpec`] and [`RendererSpec`] are aliases of it, so an action
+//! list can now declare any of the eight algorithms in a pipeline — the
+//! two renderers included, which the old insitu-private spec could not
+//! express — and every build goes through the one registry-sanctioned
+//! construction site, [`AlgorithmSpec::build`].
 
 use serde::{Deserialize, Serialize};
-use vizalgo::{
-    Contour, Filter, Isovolume, ParticleAdvection, RayTracer, SphericalClip, ThreeSlice, Threshold,
-    VolumeRenderer,
-};
-use vizmesh::DataSet;
+pub use vizalgo::spec::{AlgorithmSpec, IsoValues, ScalarBand, SphereSpec};
 
-/// A filter declaration inside a pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "type", rename_all = "snake_case")]
-pub enum FilterSpec {
-    Contour {
-        field: String,
-        /// Number of evenly spaced isovalues (the paper uses 10).
-        isovalues: usize,
-    },
-    Threshold {
-        field: String,
-        /// Keep the upper fraction of the field range.
-        upper_fraction: f64,
-    },
-    SphericalClip {
-        field: String,
-        /// Radius as a fraction of the dataset diagonal.
-        radius_fraction: f64,
-    },
-    Isovolume {
-        field: String,
-        /// Width of the middle band, as a fraction of the field range.
-        band_fraction: f64,
-    },
-    Slice {
-        field: String,
-    },
-    ParticleAdvection {
-        field: String,
-        particles: usize,
-        steps: usize,
-    },
-}
+/// A filter declaration inside a pipeline: the canonical
+/// [`AlgorithmSpec`], JSON-tagged by algorithm (`{"type": "contour",
+/// ...}`).
+pub type FilterSpec = AlgorithmSpec;
 
-impl FilterSpec {
-    /// Instantiate the filter against a concrete dataset (ranges and
-    /// bounds are data dependent).
-    pub fn build(&self, input: &DataSet) -> Box<dyn Filter> {
-        match self {
-            FilterSpec::Contour { field, isovalues } => {
-                Box::new(Contour::spanning(field.clone(), input, *isovalues))
-            }
-            FilterSpec::Threshold {
-                field,
-                upper_fraction,
-            } => Box::new(Threshold::upper_fraction(
-                field.clone(),
-                input,
-                *upper_fraction,
-            )),
-            FilterSpec::SphericalClip {
-                field,
-                radius_fraction,
-            } => {
-                let b = input.bounds();
-                let mut clip =
-                    SphericalClip::new(b.center(), b.diagonal() * radius_fraction.max(1e-6));
-                clip.carry_field = field.clone();
-                Box::new(clip)
-            }
-            FilterSpec::Isovolume {
-                field,
-                band_fraction,
-            } => Box::new(Isovolume::middle_band(field.clone(), input, *band_fraction)),
-            FilterSpec::Slice { field } => Box::new(ThreeSlice::centered(input, field.clone())),
-            FilterSpec::ParticleAdvection {
-                field,
-                particles,
-                steps,
-            } => Box::new(ParticleAdvection::new(
-                field.clone(),
-                *particles,
-                *steps,
-                5e-4,
-                0x5eed_1234,
-            )),
-        }
-    }
-
-    /// A paper-default spec for each of the six data-producing algorithms.
-    pub fn paper_default(name: &str) -> Option<FilterSpec> {
-        Some(match name {
-            "contour" => FilterSpec::Contour {
-                field: "energy".into(),
-                isovalues: 10,
-            },
-            "threshold" => FilterSpec::Threshold {
-                field: "energy".into(),
-                upper_fraction: 0.5,
-            },
-            "spherical_clip" => FilterSpec::SphericalClip {
-                field: "energy".into(),
-                radius_fraction: 0.3,
-            },
-            "isovolume" => FilterSpec::Isovolume {
-                field: "energy".into(),
-                band_fraction: 0.5,
-            },
-            "slice" => FilterSpec::Slice {
-                field: "energy".into(),
-            },
-            "particle_advection" => FilterSpec::ParticleAdvection {
-                field: "velocity".into(),
-                particles: 1000,
-                steps: 1000,
-            },
-            _ => return None,
-        })
-    }
-}
-
-/// A renderer declaration inside a scene.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "type", rename_all = "snake_case")]
-pub enum RendererSpec {
-    RayTracing {
-        field: String,
-        width: usize,
-        height: usize,
-        images: usize,
-    },
-    VolumeRendering {
-        field: String,
-        width: usize,
-        height: usize,
-        images: usize,
-    },
-}
-
-impl RendererSpec {
-    pub fn build(&self) -> Box<dyn Filter> {
-        match self {
-            RendererSpec::RayTracing {
-                field,
-                width,
-                height,
-                images,
-            } => Box::new(RayTracer::new(field.clone(), *width, *height, *images)),
-            RendererSpec::VolumeRendering {
-                field,
-                width,
-                height,
-                images,
-            } => Box::new(VolumeRenderer::new(field.clone(), *width, *height, *images)),
-        }
-    }
-}
+/// A renderer declaration inside a scene — the same canonical spec; the
+/// wire shape of the two renderer variants (`{"type": "ray_tracing",
+/// "field": ..., "width": ..., "height": ..., "images": ...}`) is
+/// unchanged from the pre-registry insitu format.
+pub type RendererSpec = AlgorithmSpec;
 
 /// One action in the list.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -202,7 +69,8 @@ impl ActionList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vizmesh::{Association, Field, UniformGrid, Vec3};
+    use vizalgo::Filter as _;
+    use vizmesh::{Association, DataSet, Field, UniformGrid, Vec3};
 
     fn dataset() -> DataSet {
         let grid = UniformGrid::cube_cells(6);
@@ -224,7 +92,7 @@ mod tests {
                 name: "pl1".into(),
                 filters: vec![FilterSpec::Contour {
                     field: "energy".into(),
-                    isovalues: 10,
+                    isovalues: IsoValues::Spanning(10),
                 }],
             },
             Action::AddScene {
@@ -259,6 +127,9 @@ mod tests {
     #[test]
     fn every_filter_spec_builds_and_runs() {
         let ds = dataset();
+        // The canonical spec covers all eight algorithms — including the
+        // two renderers the old insitu-private spec could not declare in
+        // a pipeline.
         for name in [
             "contour",
             "threshold",
@@ -266,6 +137,8 @@ mod tests {
             "isovolume",
             "slice",
             "particle_advection",
+            "ray_tracing",
+            "volume_rendering",
         ] {
             let spec = FilterSpec::paper_default(name).unwrap();
             let filter = spec.build(&ds);
@@ -292,7 +165,7 @@ mod tests {
                 images: 2,
             },
         ] {
-            let out = spec.build().execute(&ds);
+            let out = spec.build(&ds).execute(&ds);
             assert_eq!(out.images.len(), 2);
         }
     }

@@ -16,7 +16,9 @@ pub mod runtime;
 pub mod scene;
 pub mod trigger;
 
-pub use actions::{Action, ActionList, FilterSpec, RendererSpec};
+pub use actions::{
+    Action, ActionList, FilterSpec, IsoValues, RendererSpec, ScalarBand, SphereSpec,
+};
 pub use runtime::{CoupledRun, CycleRecord, InSituRuntime, RuntimeConfig};
 pub use scene::Scene;
 pub use trigger::Trigger;

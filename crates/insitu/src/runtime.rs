@@ -227,7 +227,7 @@ fn kernel_instructions(kernels: &[KernelReport]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::actions::{Action, FilterSpec, RendererSpec};
+    use crate::actions::{Action, FilterSpec, IsoValues, RendererSpec};
 
     fn actions() -> ActionList {
         ActionList(vec![
@@ -235,7 +235,7 @@ mod tests {
                 name: "pl".into(),
                 filters: vec![FilterSpec::Contour {
                     field: "energy".into(),
-                    isovalues: 3,
+                    isovalues: IsoValues::Spanning(3),
                 }],
             },
             Action::AddScene {

@@ -32,7 +32,7 @@ impl Scene {
 
     /// Render the scene against `data` for visualization cycle `cycle`.
     pub fn render(&self, data: &DataSet, cycle: u64) -> io::Result<FilterOutput> {
-        let out = self.renderer.build().execute(data);
+        let out = self.renderer.build(data).execute(data);
         if let Some(dir) = &self.output_dir {
             std::fs::create_dir_all(dir)?;
             for (i, img) in out.images.iter().enumerate() {

@@ -1,28 +1,30 @@
 //! Property-based tests for the in situ action/trigger layer.
 
-use insitu::{Action, ActionList, FilterSpec, RendererSpec, Trigger};
+use insitu::{
+    Action, ActionList, FilterSpec, IsoValues, RendererSpec, ScalarBand, SphereSpec, Trigger,
+};
 use proptest::prelude::*;
 use vizmesh::{Association, DataSet, Field, UniformGrid};
 
 fn filter_spec_strategy() -> impl Strategy<Value = FilterSpec> {
     prop_oneof![
-        (1usize..20).prop_map(|isovalues| FilterSpec::Contour {
+        (1usize..20).prop_map(|n| FilterSpec::Contour {
             field: "energy".into(),
-            isovalues,
+            isovalues: IsoValues::Spanning(n),
         }),
         // Fractions are quantized to 1/1000 so the JSON round trip is
         // bitwise (serde_json's float parsing is not exact to the ULP).
         (0u32..1000).prop_map(|q| FilterSpec::Threshold {
             field: "energy".into(),
-            upper_fraction: q as f64 / 1000.0,
+            band: ScalarBand::UpperFraction(q as f64 / 1000.0),
         }),
         (50u32..500).prop_map(|q| FilterSpec::SphericalClip {
             field: "energy".into(),
-            radius_fraction: q as f64 / 1000.0,
+            sphere: SphereSpec::RadiusFraction(q as f64 / 1000.0),
         }),
         (100u32..900).prop_map(|q| FilterSpec::Isovolume {
             field: "energy".into(),
-            band_fraction: q as f64 / 1000.0,
+            band: ScalarBand::MiddleBand(q as f64 / 1000.0),
         }),
         Just(FilterSpec::Slice {
             field: "energy".into()
@@ -32,6 +34,8 @@ fn filter_spec_strategy() -> impl Strategy<Value = FilterSpec> {
                 field: "velocity".into(),
                 particles,
                 steps,
+                step_fraction: 5e-4,
+                seed: 0x5eed_1234,
             }
         }),
     ]

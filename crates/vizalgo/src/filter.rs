@@ -111,7 +111,13 @@ pub trait Filter {
 
 /// The paper's eight algorithms, as an enumerable id used by the study
 /// drivers and the reproduction harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Everything descriptive about an algorithm — display name, CLI
+/// aliases, kernel taxonomy, cell-centeredness — lives in one registry
+/// row (see [`crate::registry`]); the methods and tables here are views
+/// of it. The paper parameterization lives in
+/// [`default_spec`](Algorithm::default_spec) (see [`crate::spec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     Contour,
     Threshold,
@@ -124,59 +130,36 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All eight, in the paper's presentation order (Fig. 1).
-    pub const ALL: [Algorithm; 8] = [
-        Algorithm::Contour,
-        Algorithm::Threshold,
-        Algorithm::SphericalClip,
-        Algorithm::Isovolume,
-        Algorithm::Slice,
-        Algorithm::ParticleAdvection,
-        Algorithm::RayTracing,
-        Algorithm::VolumeRendering,
-    ];
+    /// All eight, in the paper's presentation order (Fig. 1); derived
+    /// from the registry row order.
+    pub const ALL: [Algorithm; 8] = crate::registry::ALL;
 
     /// The cell-centered algorithms compared by the paper's elements/sec
-    /// rate (Fig. 3): those that iterate over every input cell.
-    pub const CELL_CENTERED: [Algorithm; 5] = [
-        Algorithm::Contour,
-        Algorithm::Isovolume,
-        Algorithm::Slice,
-        Algorithm::SphericalClip,
-        Algorithm::Threshold,
-    ];
+    /// rate (Fig. 3): those that iterate over every input cell. Derived
+    /// from the registry flags, sorted by display name.
+    pub const CELL_CENTERED: [Algorithm; 5] = crate::registry::CELL_CENTERED;
 
+    /// Display name, from the registry ("Contour", "Spherical Clip", ...).
     pub fn name(self) -> &'static str {
-        match self {
-            Algorithm::Contour => "Contour",
-            Algorithm::Threshold => "Threshold",
-            Algorithm::SphericalClip => "Spherical Clip",
-            Algorithm::Isovolume => "Isovolume",
-            Algorithm::Slice => "Slice",
-            Algorithm::ParticleAdvection => "Particle Advection",
-            Algorithm::RayTracing => "Ray Tracing",
-            Algorithm::VolumeRendering => "Volume Rendering",
-        }
+        crate::registry::entry(self).name
     }
 
-    /// Parse a CLI-style name (case/space/underscore insensitive).
+    /// Kernel taxonomy, from the registry: the [`KernelClass`]es this
+    /// algorithm's filter emits, in execution order.
+    pub fn kernel_classes(self) -> &'static [KernelClass] {
+        crate::registry::entry(self).classes
+    }
+
+    /// Whether the algorithm iterates over every input cell (registry
+    /// flag backing [`Algorithm::CELL_CENTERED`]).
+    pub fn is_cell_centered(self) -> bool {
+        crate::registry::entry(self).cell_centered
+    }
+
+    /// Parse a CLI-style name (case/space/underscore insensitive),
+    /// against the registry alias tables.
     pub fn parse(s: &str) -> Option<Algorithm> {
-        let norm: String = s
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric())
-            .collect::<String>()
-            .to_ascii_lowercase();
-        Some(match norm.as_str() {
-            "contour" | "isosurface" | "marchingcubes" => Algorithm::Contour,
-            "threshold" => Algorithm::Threshold,
-            "sphericalclip" | "clip" => Algorithm::SphericalClip,
-            "isovolume" => Algorithm::Isovolume,
-            "slice" | "threeslice" | "3slice" => Algorithm::Slice,
-            "particleadvection" | "advection" | "streamlines" => Algorithm::ParticleAdvection,
-            "raytracing" | "raytrace" => Algorithm::RayTracing,
-            "volumerendering" | "volren" => Algorithm::VolumeRendering,
-            _ => return None,
-        })
+        crate::registry::parse(s)
     }
 }
 

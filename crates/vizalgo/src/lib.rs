@@ -25,6 +25,14 @@
 //! [`marching_tetra`] is an independent isosurface implementation used as
 //! a cross-check oracle in property tests, and [`tetclip`] is the shared
 //! tetrahedral clipping engine behind `clip` and `isovolume`.
+//!
+//! The [`registry`] module is the single source of truth describing the
+//! eight algorithms (names, aliases, kernel taxonomy, cell-centered
+//! flags), and [`spec`] carries the canonical serializable
+//! [`AlgorithmSpec`](spec::AlgorithmSpec) plan layer —
+//! [`AlgorithmSpec::build`](spec::AlgorithmSpec::build) is the
+//! workspace's one sanctioned filter-construction site (enforced by the
+//! `registry-dispatch` xtask lint; see docs/REGISTRY.md).
 
 pub mod advection;
 pub mod clip;
@@ -35,7 +43,9 @@ pub mod gradient;
 pub mod isovolume;
 pub mod marching_tetra;
 pub mod raytrace;
+pub mod registry;
 pub mod slice;
+pub mod spec;
 pub mod tetclip;
 pub mod threshold;
 pub mod volren;
@@ -47,6 +57,8 @@ pub use filter::{Algorithm, Filter, FilterOutput, KernelClass, KernelReport};
 pub use gradient::Gradient;
 pub use isovolume::Isovolume;
 pub use raytrace::RayTracer;
+pub use registry::{RegistryEntry, REGISTRY};
 pub use slice::ThreeSlice;
+pub use spec::{AlgorithmSpec, IsoValues, ScalarBand, SphereSpec};
 pub use threshold::Threshold;
 pub use volren::VolumeRenderer;

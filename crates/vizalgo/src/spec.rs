@@ -1,0 +1,571 @@
+//! The canonical, serializable algorithm plan: one [`AlgorithmSpec`]
+//! per algorithm, the *only* sanctioned way to construct a filter.
+//!
+//! The paper's premise is that the same eight algorithms are driven
+//! identically across every configuration of the study (§IV). Before
+//! this module existed the workspace constructed filters in four
+//! independently drifting places (the study driver, the in situ action
+//! layer, the conformance suite, and the bench CLIs); now every
+//! consumer describes *what* to run as a spec and [`AlgorithmSpec::build`]
+//! is the single construction site (enforced by the `registry-dispatch`
+//! xtask lint; the sequential re-implementations in
+//! `conformance::reference` are the one allowlisted exception).
+//!
+//! Specs are serializable (the in situ `ascent_actions.json`-style
+//! interface re-exports [`AlgorithmSpec`] as its `FilterSpec`) and carry
+//! a deterministic [`fingerprint`](AlgorithmSpec::fingerprint) derived
+//! from a serde-independent canonical encoding, so every journal span a
+//! study/sweep/conformance run emits is attributable to an exact
+//! parameterization (see docs/REGISTRY.md and docs/OBSERVABILITY.md).
+
+use crate::advection::ParticleAdvection;
+use crate::clip::SphericalClip;
+use crate::contour::Contour;
+use crate::filter::{Algorithm, Filter};
+use crate::isovolume::Isovolume;
+use crate::raytrace::RayTracer;
+use crate::slice::ThreeSlice;
+use crate::threshold::Threshold;
+use crate::volren::VolumeRenderer;
+use serde::{Deserialize, Serialize};
+use vizmesh::{DataSet, Vec3};
+
+/// How a contour picks its isovalues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum IsoValues {
+    /// `n` evenly spaced isovalues spanning the interior of the field
+    /// range (the paper runs 10 per cycle).
+    Spanning(usize),
+    /// Explicit isovalues, in order.
+    Explicit(Vec<f64>),
+}
+
+/// A scalar band, resolved against the data's field range at build time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScalarBand {
+    /// Keep the upper `frac` fraction of the field range (the paper's
+    /// energy threshold uses 0.5).
+    UpperFraction(f64),
+    /// The middle `frac` band of the field range (the paper's isovolume
+    /// uses 0.5).
+    MiddleBand(f64),
+    /// An explicit `[min, max]` range, data independent.
+    Range { min: f64, max: f64 },
+}
+
+/// A clip sphere, resolved against the data's bounds at build time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SphereSpec {
+    /// Radius as a fraction of the dataset diagonal, centered in the
+    /// bounds (the paper's framing sphere uses 0.3).
+    RadiusFraction(f64),
+    /// An explicit center and radius, data independent.
+    Explicit { center: Vec3, radius: f64 },
+}
+
+/// The canonical plan for one of the paper's eight algorithms.
+///
+/// Data-dependent parameters (field ranges, dataset bounds) stay
+/// symbolic ([`IsoValues::Spanning`], [`ScalarBand::UpperFraction`],
+/// [`SphereSpec::RadiusFraction`], ...) and are resolved by
+/// [`build`](AlgorithmSpec::build) against a concrete dataset, exactly
+/// as the paper parameterizes its study (§IV).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum AlgorithmSpec {
+    /// Marching-cubes isosurface (§III-B1).
+    Contour {
+        /// Point scalar field to contour.
+        field: String,
+        /// Isovalue selection.
+        isovalues: IsoValues,
+    },
+    /// Cell filtering by scalar range (§III-B2).
+    Threshold {
+        /// Scalar field the range applies to.
+        field: String,
+        /// The kept band.
+        band: ScalarBand,
+    },
+    /// Spherical clip with cell subdivision (§III-B3).
+    SphericalClip {
+        /// Point field carried through to the output.
+        field: String,
+        /// The clip sphere.
+        sphere: SphereSpec,
+    },
+    /// Scalar-range volume extraction (§III-B4).
+    Isovolume {
+        /// Point scalar field the band applies to.
+        field: String,
+        /// The extracted band.
+        band: ScalarBand,
+    },
+    /// Three centered axis-aligned slices (§III-B5).
+    Slice {
+        /// Point scalar field interpolated onto the slices.
+        field: String,
+    },
+    /// RK4 particle advection → streamlines (§III-B6).
+    ParticleAdvection {
+        /// Point vector field to advect through.
+        field: String,
+        /// Number of seed particles.
+        particles: usize,
+        /// RK4 steps per particle.
+        steps: usize,
+        /// Step length in fractions of the domain diagonal.
+        #[serde(default = "default_step_fraction")]
+        step_fraction: f64,
+        /// Seed for the particle placement.
+        #[serde(default = "default_seed")]
+        seed: u64,
+    },
+    /// External-face ray tracing with a BVH (§III-B7).
+    RayTracing {
+        /// Scalar field colored onto the faces.
+        field: String,
+        /// Image width (pixels).
+        width: usize,
+        /// Image height (pixels).
+        height: usize,
+        /// Images (camera positions) per cycle; the paper renders 50.
+        images: usize,
+    },
+    /// Volume rendering by ray marching (§III-B8).
+    VolumeRendering {
+        /// Scalar field sampled along the rays.
+        field: String,
+        /// Image width (pixels).
+        width: usize,
+        /// Image height (pixels).
+        height: usize,
+        /// Images (camera positions) per cycle; the paper renders 50.
+        images: usize,
+    },
+}
+
+/// The paper's RK4 step length (fractions of the domain diagonal).
+fn default_step_fraction() -> f64 {
+    5e-4
+}
+
+/// The paper-style advection seed.
+fn default_seed() -> u64 {
+    0x5eed_1234
+}
+
+impl AlgorithmSpec {
+    /// Which of the eight algorithms this spec parameterizes.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            AlgorithmSpec::Contour { .. } => Algorithm::Contour,
+            AlgorithmSpec::Threshold { .. } => Algorithm::Threshold,
+            AlgorithmSpec::SphericalClip { .. } => Algorithm::SphericalClip,
+            AlgorithmSpec::Isovolume { .. } => Algorithm::Isovolume,
+            AlgorithmSpec::Slice { .. } => Algorithm::Slice,
+            AlgorithmSpec::ParticleAdvection { .. } => Algorithm::ParticleAdvection,
+            AlgorithmSpec::RayTracing { .. } => Algorithm::RayTracing,
+            AlgorithmSpec::VolumeRendering { .. } => Algorithm::VolumeRendering,
+        }
+    }
+
+    /// Instantiate the filter against a concrete dataset, resolving the
+    /// data-dependent parameters (field ranges, bounds).
+    ///
+    /// This is the workspace's single filter-construction site; every
+    /// driver (study, in situ, conformance, bench) goes through it.
+    pub fn build(&self, input: &DataSet) -> Box<dyn Filter> {
+        match self {
+            AlgorithmSpec::Contour { field, isovalues } => match isovalues {
+                IsoValues::Spanning(n) => Box::new(Contour::spanning(field.clone(), input, *n)),
+                IsoValues::Explicit(values) => {
+                    Box::new(Contour::new(field.clone(), values.clone()))
+                }
+            },
+            AlgorithmSpec::Threshold { field, band } => match band {
+                ScalarBand::UpperFraction(frac) => {
+                    Box::new(Threshold::upper_fraction(field.clone(), input, *frac))
+                }
+                ScalarBand::MiddleBand(frac) => {
+                    let (lo, hi) = middle_band(any_range(input, field), *frac);
+                    Box::new(Threshold::new(field.clone(), lo, hi))
+                }
+                ScalarBand::Range { min, max } => {
+                    Box::new(Threshold::new(field.clone(), *min, *max))
+                }
+            },
+            AlgorithmSpec::SphericalClip { field, sphere } => {
+                let mut clip = match sphere {
+                    SphereSpec::RadiusFraction(frac) => {
+                        let b = input.bounds();
+                        SphericalClip::new(b.center(), b.diagonal() * frac.max(1e-6))
+                    }
+                    SphereSpec::Explicit { center, radius } => SphericalClip::new(*center, *radius),
+                };
+                clip.carry_field = field.clone();
+                Box::new(clip)
+            }
+            AlgorithmSpec::Isovolume { field, band } => match band {
+                ScalarBand::MiddleBand(frac) => {
+                    Box::new(Isovolume::middle_band(field.clone(), input, *frac))
+                }
+                ScalarBand::UpperFraction(frac) => {
+                    let (lo, hi) = point_range(input, field);
+                    let cut = hi - (hi - lo) * frac.clamp(0.0, 1.0);
+                    Box::new(Isovolume::new(field.clone(), cut, hi))
+                }
+                ScalarBand::Range { min, max } => {
+                    Box::new(Isovolume::new(field.clone(), *min, *max))
+                }
+            },
+            AlgorithmSpec::Slice { field } => Box::new(ThreeSlice::centered(input, field.clone())),
+            AlgorithmSpec::ParticleAdvection {
+                field,
+                particles,
+                steps,
+                step_fraction,
+                seed,
+            } => Box::new(ParticleAdvection::new(
+                field.clone(),
+                *particles,
+                *steps,
+                *step_fraction,
+                *seed,
+            )),
+            AlgorithmSpec::RayTracing {
+                field,
+                width,
+                height,
+                images,
+            } => Box::new(RayTracer::new(field.clone(), *width, *height, *images)),
+            AlgorithmSpec::VolumeRendering {
+                field,
+                width,
+                height,
+                images,
+            } => Box::new(VolumeRenderer::new(field.clone(), *width, *height, *images)),
+        }
+    }
+
+    /// The paper-default spec for a CLI-style algorithm name (any alias
+    /// [`Algorithm::parse`] accepts); `None` for unknown names.
+    pub fn paper_default(name: &str) -> Option<AlgorithmSpec> {
+        Algorithm::parse(name).map(Algorithm::default_spec)
+    }
+
+    /// A canonical, serde-independent encoding of the spec: stable
+    /// across runs, platforms, and serializer changes. Floats are
+    /// encoded by their IEEE-754 bit patterns, so the encoding is total
+    /// and exact. This string — not the JSON form — defines the
+    /// [`fingerprint`](AlgorithmSpec::fingerprint).
+    pub fn canonical(&self) -> String {
+        match self {
+            AlgorithmSpec::Contour { field, isovalues } => {
+                let iso = match isovalues {
+                    IsoValues::Spanning(n) => format!("spanning:{n}"),
+                    IsoValues::Explicit(values) => {
+                        let hex: Vec<String> = values.iter().map(|v| f64_hex(*v)).collect();
+                        format!("explicit:{}", hex.join(","))
+                    }
+                };
+                format!("contour(field={field},isovalues={iso})")
+            }
+            AlgorithmSpec::Threshold { field, band } => {
+                format!("threshold(field={field},band={})", band_canonical(band))
+            }
+            AlgorithmSpec::SphericalClip { field, sphere } => {
+                let s = match sphere {
+                    SphereSpec::RadiusFraction(frac) => {
+                        format!("radius_fraction:{}", f64_hex(*frac))
+                    }
+                    SphereSpec::Explicit { center, radius } => format!(
+                        "explicit:{},{},{},{}",
+                        f64_hex(center.x),
+                        f64_hex(center.y),
+                        f64_hex(center.z),
+                        f64_hex(*radius)
+                    ),
+                };
+                format!("spherical_clip(field={field},sphere={s})")
+            }
+            AlgorithmSpec::Isovolume { field, band } => {
+                format!("isovolume(field={field},band={})", band_canonical(band))
+            }
+            AlgorithmSpec::Slice { field } => format!("slice(field={field})"),
+            AlgorithmSpec::ParticleAdvection {
+                field,
+                particles,
+                steps,
+                step_fraction,
+                seed,
+            } => format!(
+                "particle_advection(field={field},particles={particles},steps={steps},\
+                 step_fraction={},seed={seed})",
+                f64_hex(*step_fraction)
+            ),
+            AlgorithmSpec::RayTracing {
+                field,
+                width,
+                height,
+                images,
+            } => {
+                format!("ray_tracing(field={field},width={width},height={height},images={images})")
+            }
+            AlgorithmSpec::VolumeRendering {
+                field,
+                width,
+                height,
+                images,
+            } => format!(
+                "volume_rendering(field={field},width={width},height={height},images={images})"
+            ),
+        }
+    }
+
+    /// Deterministic spec fingerprint: 48-bit FNV-1a over
+    /// [`canonical`](AlgorithmSpec::canonical). 48 bits keep the value
+    /// exactly representable as an `f64`, which is how it rides in
+    /// journal span args (`spec_fp`, schema v4 — docs/OBSERVABILITY.md).
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes()) & 0xFFFF_FFFF_FFFF
+    }
+}
+
+impl Algorithm {
+    /// The paper-default [`AlgorithmSpec`] for this algorithm: the §IV
+    /// parameterization against the CloverLeaf fields (`energy` /
+    /// `velocity`), 10 isovalues, 0.5 bands, a 0.3-diagonal framing
+    /// sphere, 1000 × 1000 advection, and 128² × 50-image renders.
+    pub fn default_spec(self) -> AlgorithmSpec {
+        match self {
+            Algorithm::Contour => AlgorithmSpec::Contour {
+                field: "energy".into(),
+                isovalues: IsoValues::Spanning(10),
+            },
+            Algorithm::Threshold => AlgorithmSpec::Threshold {
+                field: "energy".into(),
+                band: ScalarBand::UpperFraction(0.5),
+            },
+            Algorithm::SphericalClip => AlgorithmSpec::SphericalClip {
+                field: "energy".into(),
+                sphere: SphereSpec::RadiusFraction(0.3),
+            },
+            Algorithm::Isovolume => AlgorithmSpec::Isovolume {
+                field: "energy".into(),
+                band: ScalarBand::MiddleBand(0.5),
+            },
+            Algorithm::Slice => AlgorithmSpec::Slice {
+                field: "energy".into(),
+            },
+            Algorithm::ParticleAdvection => AlgorithmSpec::ParticleAdvection {
+                field: "velocity".into(),
+                particles: 1000,
+                steps: 1000,
+                step_fraction: default_step_fraction(),
+                seed: default_seed(),
+            },
+            Algorithm::RayTracing => AlgorithmSpec::RayTracing {
+                field: "energy".into(),
+                width: 128,
+                height: 128,
+                images: 50,
+            },
+            Algorithm::VolumeRendering => AlgorithmSpec::VolumeRendering {
+                field: "energy".into(),
+                width: 128,
+                height: 128,
+                images: 50,
+            },
+        }
+    }
+}
+
+/// Canonical encoding of a [`ScalarBand`].
+fn band_canonical(band: &ScalarBand) -> String {
+    match band {
+        ScalarBand::UpperFraction(frac) => format!("upper_fraction:{}", f64_hex(*frac)),
+        ScalarBand::MiddleBand(frac) => format!("middle_band:{}", f64_hex(*frac)),
+        ScalarBand::Range { min, max } => format!("range:{},{}", f64_hex(*min), f64_hex(*max)),
+    }
+}
+
+/// IEEE-754 bit pattern of a float, as fixed-width hex.
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Scalar range of a field under any association (the lookup
+/// [`Threshold::upper_fraction`] uses), defaulting to `[0, 1]`.
+fn any_range(input: &DataSet, field: &str) -> (f64, f64) {
+    input
+        .field(field)
+        .and_then(|f| f.scalar_range())
+        .unwrap_or((0.0, 1.0))
+}
+
+/// Point-association scalar range (the lookup
+/// [`Isovolume::middle_band`] uses), defaulting to `[0, 1]`.
+fn point_range(input: &DataSet, field: &str) -> (f64, f64) {
+    input
+        .field_with(field, vizmesh::Association::Points)
+        .and_then(|f| f.scalar_range())
+        .unwrap_or((0.0, 1.0))
+}
+
+/// The middle `frac` band of a range.
+fn middle_band((lo, hi): (f64, f64), frac: f64) -> (f64, f64) {
+    let mid = (lo + hi) * 0.5;
+    let half = (hi - lo) * frac.clamp(0.0, 1.0) * 0.5;
+    (mid - half, mid + half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizmesh::{Association, Field, UniformGrid};
+
+    fn dataset() -> DataSet {
+        let grid = UniformGrid::cube_cells(6);
+        let np = grid.num_points();
+        let vals: Vec<f64> = (0..np).map(|p| grid.point_coord_id(p).x).collect();
+        DataSet::uniform(grid)
+            .with_field(Field::scalar("energy", Association::Points, vals))
+            .with_field(Field::vector(
+                "velocity",
+                Association::Points,
+                vec![Vec3::X; np],
+            ))
+    }
+
+    /// One spec per variant, exercising the data-independent arms too.
+    fn every_variant() -> Vec<AlgorithmSpec> {
+        let mut specs: Vec<AlgorithmSpec> =
+            Algorithm::ALL.iter().map(|a| a.default_spec()).collect();
+        specs.push(AlgorithmSpec::Contour {
+            field: "energy".into(),
+            isovalues: IsoValues::Explicit(vec![0.25, 0.5]),
+        });
+        specs.push(AlgorithmSpec::Threshold {
+            field: "energy".into(),
+            band: ScalarBand::Range { min: 0.2, max: 0.8 },
+        });
+        specs.push(AlgorithmSpec::SphericalClip {
+            field: "energy".into(),
+            sphere: SphereSpec::Explicit {
+                center: Vec3::splat(0.5),
+                radius: 0.3,
+            },
+        });
+        specs.push(AlgorithmSpec::Isovolume {
+            field: "energy".into(),
+            band: ScalarBand::Range { min: 0.3, max: 0.6 },
+        });
+        specs
+    }
+
+    #[test]
+    fn every_spec_builds_and_runs() {
+        let ds = dataset();
+        for spec in every_variant() {
+            let filter = spec.build(&ds);
+            assert_eq!(filter.name(), spec.algorithm().name());
+            let out = filter.execute(&ds);
+            assert!(
+                !out.kernels.is_empty(),
+                "{} produced no kernels",
+                spec.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let specs = every_variant();
+        for spec in &specs {
+            assert_eq!(spec.fingerprint(), spec.clone().fingerprint());
+            assert!(spec.fingerprint() <= 0xFFFF_FFFF_FFFF, "fits in 48 bits");
+            let as_f64 = spec.fingerprint() as f64;
+            assert_eq!(as_f64 as u64, spec.fingerprint(), "exact through f64");
+        }
+        let mut fps: Vec<u64> = specs.iter().map(AlgorithmSpec::fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), specs.len(), "no collisions across variants");
+    }
+
+    #[test]
+    fn fingerprint_tracks_parameters() {
+        let a = AlgorithmSpec::Contour {
+            field: "energy".into(),
+            isovalues: IsoValues::Spanning(10),
+        };
+        let b = AlgorithmSpec::Contour {
+            field: "energy".into(),
+            isovalues: IsoValues::Spanning(11),
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn paper_default_accepts_aliases_and_rejects_unknown() {
+        for (alias, algorithm) in [
+            ("contour", Algorithm::Contour),
+            ("spherical_clip", Algorithm::SphericalClip),
+            ("volren", Algorithm::VolumeRendering),
+            ("Particle Advection", Algorithm::ParticleAdvection),
+        ] {
+            let spec = AlgorithmSpec::paper_default(alias).unwrap();
+            assert_eq!(spec.algorithm(), algorithm, "{alias}");
+        }
+        assert!(AlgorithmSpec::paper_default("bogus").is_none());
+    }
+
+    #[test]
+    fn default_spec_matches_its_algorithm() {
+        for a in Algorithm::ALL {
+            assert_eq!(a.default_spec().algorithm(), a);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_every_variant() {
+        for spec in every_variant() {
+            let json = serde_json::to_string(&spec).expect("spec serializes");
+            let back: AlgorithmSpec = serde_json::from_str(&json).expect("spec parses");
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_defaults_fill_advection() {
+        // Old-style JSON without step_fraction/seed parses with the
+        // paper defaults (wire compatibility with the pre-registry
+        // in situ FilterSpec).
+        let json = r#"{"type":"particle_advection","field":"velocity","particles":7,"steps":9}"#;
+        let spec: AlgorithmSpec = serde_json::from_str(json).expect("defaults fill");
+        assert_eq!(
+            spec,
+            AlgorithmSpec::ParticleAdvection {
+                field: "velocity".into(),
+                particles: 7,
+                steps: 9,
+                step_fraction: 5e-4,
+                seed: 0x5eed_1234,
+            }
+        );
+    }
+}

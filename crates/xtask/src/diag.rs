@@ -7,6 +7,7 @@ pub const PANIC_POLICY: &str = "panic-policy";
 pub const UNIT_SAFETY: &str = "unit-safety";
 pub const REDUCTION_DETERMINISM: &str = "reduction-determinism";
 pub const SCHEMA_DOCS: &str = "schema-docs";
+pub const REGISTRY_DISPATCH: &str = "registry-dispatch";
 pub const ALLOWLIST: &str = "allowlist";
 
 /// One finding, anchored to a file and line.

@@ -1,9 +1,10 @@
 //! `xtask` — workspace automation for the vizpower reproduction.
 //!
 //! The library half hosts the static analyzer behind `cargo xtask lint`:
-//! three repo-specific policies that clippy cannot express, built on a
-//! lexical scanner so the crate stays dependency-free (it must compile
-//! before anything else does). See DESIGN.md "Static analysis &
+//! repo-specific policies that clippy cannot express (panic-policy,
+//! unit-safety, reduction-determinism, schema-docs, registry-dispatch),
+//! built on a lexical scanner so the crate stays dependency-free (it must
+//! compile before anything else does). See DESIGN.md "Static analysis &
 //! correctness policy" for the rationale of each lint.
 
 pub mod allow;
@@ -18,8 +19,8 @@ use std::path::Path;
 use allow::{Allowlist, PANICS_ALLOW, REDUCTIONS_ALLOW};
 use diag::{Diagnostic, ALLOWLIST};
 use policy::{
-    is_lib_code_of, HOT_PATH_CRATES, KERNEL_CRATES, OBSERVABILITY_DOC, TRACE_SOURCE,
-    UNIT_EXEMPT_FILES,
+    is_lib_code_of, HOT_PATH_CRATES, KERNEL_CRATES, OBSERVABILITY_DOC, REGISTRY_CRATE,
+    REGISTRY_DISPATCH_EXEMPT_FILES, TRACE_SOURCE, UNIT_EXEMPT_FILES,
 };
 use scan::SourceFile;
 
@@ -109,6 +110,11 @@ pub fn lint_file(
     }
     if is_lib_code_of(&file.rel_path, KERNEL_CRATES) {
         lints::reduction_determinism(file, reductions_allow, reductions_used, out);
+    }
+    if policy::crate_of(&file.rel_path) != Some(REGISTRY_CRATE)
+        && !REGISTRY_DISPATCH_EXEMPT_FILES.contains(&file.rel_path.as_str())
+    {
+        lints::registry_dispatch(file, out);
     }
 }
 

@@ -4,10 +4,12 @@
 //! [`crate::policy`].
 
 use crate::allow::{Allowlist, INFALLIBLE_MARKER, PANICS_ALLOW, REDUCTIONS_ALLOW};
-use crate::diag::{Diagnostic, PANIC_POLICY, REDUCTION_DETERMINISM, SCHEMA_DOCS, UNIT_SAFETY};
+use crate::diag::{
+    Diagnostic, PANIC_POLICY, REDUCTION_DETERMINISM, REGISTRY_DISPATCH, SCHEMA_DOCS, UNIT_SAFETY,
+};
 use crate::policy::{
-    unit_family, UnitFamily, OBSERVABILITY_DOC, SCHEMA_ENUMS, SCHEMA_TABLE_BEGIN, SCHEMA_TABLE_END,
-    UNIT_BOUNDARY_FILES,
+    unit_family, UnitFamily, FILTER_CONSTRUCTORS, OBSERVABILITY_DOC, SCHEMA_ENUMS,
+    SCHEMA_TABLE_BEGIN, SCHEMA_TABLE_END, UNIT_BOUNDARY_FILES,
 };
 use crate::scan::SourceFile;
 
@@ -404,6 +406,57 @@ fn has_unordered_float_reduction(statement: &str) -> bool {
             if ty.starts_with('f') {
                 return true;
             }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Registry dispatch
+// ---------------------------------------------------------------------------
+
+/// Outside the registry crate (and the conformance reference
+/// implementations), non-test code must not call a filter constructor
+/// directly: the one sanctioned construction site is
+/// `AlgorithmSpec::build`, which keeps every run's parameterization
+/// canonical, serializable, and fingerprinted into the journal. Path
+/// scoping lives in [`crate::lint_file`].
+pub fn registry_dispatch(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        for ctor in FILTER_CONSTRUCTORS {
+            if !calls_constructor(&line.code, ctor) {
+                continue;
+            }
+            let display = ctor.trim_end_matches('(');
+            out.push(Diagnostic::new(
+                &file.rel_path,
+                line.number,
+                REGISTRY_DISPATCH,
+                format!(
+                    "direct `{display}` construction bypasses the algorithm registry; \
+                     build the filter from an `AlgorithmSpec` (vizalgo::spec) so the run \
+                     carries a canonical, fingerprintable parameterization"
+                ),
+            ));
+        }
+    }
+}
+
+/// True when `code` contains `ctor` at a token boundary: the character
+/// before the type name may not extend an identifier (so `MyContour::new(`
+/// does not match), while a path prefix (`vizalgo::Contour::new(`) does.
+fn calls_constructor(code: &str, ctor: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(ctor) {
+        let at = search + pos;
+        search = at + 1;
+        let before = at.checked_sub(1).map(|i| bytes[i] as char);
+        if !before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
         }
     }
     false

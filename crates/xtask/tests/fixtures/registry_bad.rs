@@ -1,0 +1,34 @@
+//! Fixture: direct filter construction outside the registry crate.
+
+pub fn build_contour(input: &DataSet) -> Box<dyn Filter> {
+    Box::new(Contour::spanning("energy", input, 10))
+}
+
+pub fn build_threshold(input: &DataSet) -> Box<dyn Filter> {
+    Box::new(vizalgo::Threshold::upper_fraction("energy", input, 0.5))
+}
+
+pub fn build_renderer() -> RayTracer {
+    RayTracer::new("energy", 64, 64, 1)
+}
+
+pub struct MyContour;
+
+impl MyContour {
+    pub fn new() -> Self {
+        // A lookalike type is not a filter constructor.
+        MyContour
+    }
+}
+
+pub fn not_a_ctor() {
+    MyContour::new();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_construct_directly() {
+        let _ = Contour::new("energy", vec![0.5]);
+    }
+}

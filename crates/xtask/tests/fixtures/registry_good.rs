@@ -1,0 +1,9 @@
+//! Fixture: filters built through the canonical registry spec.
+
+pub fn build(spec: &AlgorithmSpec, input: &DataSet) -> Box<dyn Filter> {
+    spec.build(input)
+}
+
+pub fn build_default(algorithm: Algorithm, input: &DataSet) -> Box<dyn Filter> {
+    algorithm.default_spec().build(input)
+}

@@ -17,6 +17,8 @@ const UNITS_GOOD: &str = include_str!("fixtures/units_good.rs");
 const REDUCTION_BAD: &str = include_str!("fixtures/reduction_bad.rs");
 const REDUCTION_GOOD: &str = include_str!("fixtures/reduction_good.rs");
 const SCHEMA_TRACE: &str = include_str!("fixtures/schema_trace.rs");
+const REGISTRY_BAD: &str = include_str!("fixtures/registry_bad.rs");
+const REGISTRY_GOOD: &str = include_str!("fixtures/registry_good.rs");
 
 fn rendered(rel_path: &str, text: &str, strict: bool) -> Vec<String> {
     lint_source(rel_path, text, &Options { strict })
@@ -206,6 +208,56 @@ fn reduction_manifest_registration_silences_the_site() {
     assert_eq!(out[0].line, 6);
     assert_eq!(used, vec![true]);
     assert!(manifest.stale(&used).is_empty());
+}
+
+fn registry_msg(display: &str) -> String {
+    format!(
+        "direct `{display}` construction bypasses the algorithm registry; build the \
+         filter from an `AlgorithmSpec` (vizalgo::spec) so the run carries a canonical, \
+         fingerprintable parameterization"
+    )
+}
+
+#[test]
+fn registry_dispatch_bad_fixture_flags_each_construction() {
+    let diags = rendered("crates/core/src/fixture.rs", REGISTRY_BAD, false);
+    assert_eq!(
+        diags,
+        vec![
+            format!(
+                "crates/core/src/fixture.rs:4: [registry-dispatch] {}",
+                registry_msg("Contour::spanning")
+            ),
+            format!(
+                "crates/core/src/fixture.rs:8: [registry-dispatch] {}",
+                registry_msg("Threshold::upper_fraction")
+            ),
+            format!(
+                "crates/core/src/fixture.rs:12: [registry-dispatch] {}",
+                registry_msg("RayTracer::new")
+            ),
+        ]
+    );
+}
+
+#[test]
+fn registry_dispatch_good_fixture_is_clean() {
+    assert_eq!(
+        rendered("crates/core/src/fixture.rs", REGISTRY_GOOD, false),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn registry_dispatch_exempts_the_registry_crate_and_reference_impls() {
+    assert_eq!(
+        rendered("crates/vizalgo/src/fixture.rs", REGISTRY_BAD, false),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        rendered("crates/conformance/src/reference.rs", REGISTRY_BAD, false),
+        Vec::<String>::new()
+    );
 }
 
 const SCHEMA_DOC_GOOD: &str = "\

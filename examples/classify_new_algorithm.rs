@@ -57,7 +57,10 @@ fn main() {
             None => "never".into(),
         }
     );
-    println!("IPC at default power: {:.2}", sweep.baseline().avg_ipc);
+    println!(
+        "IPC at default power: {:.2}",
+        sweep.baseline().expect("non-empty sweep").avg_ipc
+    );
     println!("\nlike the paper's cell-centered algorithms, the stencil is");
     println!("streaming and data-bound: another power-opportunity citizen.");
 }

@@ -9,7 +9,7 @@
 //! Broadwell package how the same contour behaves at 120 W vs 40 W.
 
 use vizpower_suite::powersim::{CpuSpec, Package, Watts};
-use vizpower_suite::vizalgo::{Contour, Filter, RayTracer};
+use vizpower_suite::vizalgo::{Algorithm, AlgorithmSpec, Filter};
 use vizpower_suite::vizpower::characterize::characterize;
 use vizpower_suite::vizpower::study::dataset_for;
 
@@ -23,8 +23,9 @@ fn main() {
         data.num_cells()
     );
 
-    // 2. Visualize: a 10-isovalue contour, exactly as the paper runs it.
-    let contour = Contour::spanning("energy", &data, 10);
+    // 2. Visualize: a 10-isovalue contour, exactly as the paper runs it
+    //    (the paper-default spec from the algorithm registry).
+    let contour = Algorithm::Contour.default_spec().build(&data);
     let out = contour.execute(&data);
     let surface = out.dataset.as_ref().unwrap();
     println!(
@@ -34,7 +35,13 @@ fn main() {
     );
 
     // 3. Render one frame of the raw data for reference.
-    let rt = RayTracer::new("energy", 200, 200, 1);
+    let rt = AlgorithmSpec::RayTracing {
+        field: "energy".into(),
+        width: 200,
+        height: 200,
+        images: 1,
+    }
+    .build(&data);
     let frame = rt.execute(&data);
     let path = std::env::temp_dir().join("vizpower_quickstart.ppm");
     frame.images[0].save_ppm(&path, [1.0, 1.0, 1.0]).unwrap();

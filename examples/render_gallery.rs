@@ -14,9 +14,9 @@ use std::path::PathBuf;
 use vizpower_suite::powersim::Watts;
 use vizpower_suite::vizalgo::colormap::ColorMap;
 use vizpower_suite::vizalgo::raytrace::{Bvh, Triangle};
-use vizpower_suite::vizalgo::{Algorithm, Filter, RayTracer, VolumeRenderer};
+use vizpower_suite::vizalgo::{Algorithm, Filter};
 use vizpower_suite::vizmesh::{Camera, CellShape, DataSet, Image, Vec3};
-use vizpower_suite::vizpower::study::{build_filter, dataset_for, StudyConfig};
+use vizpower_suite::vizpower::study::{dataset_for, StudyConfig};
 
 /// Triangulate whatever geometry a filter produced (triangles directly;
 /// tets and hexes via their faces; polylines as thin ribbons) with the
@@ -145,16 +145,12 @@ fn main() {
             algorithm.name().to_lowercase().replace(' ', "_")
         ));
         let img = match algorithm {
-            Algorithm::RayTracing => {
-                let rt = RayTracer::new("energy", PX, PX, 1);
-                rt.execute(&data).images.remove(0)
-            }
-            Algorithm::VolumeRendering => {
-                let vr = VolumeRenderer::new("energy", PX, PX, 1);
-                vr.execute(&data).images.remove(0)
+            Algorithm::RayTracing | Algorithm::VolumeRendering => {
+                let renderer = config.spec(algorithm).build(&data);
+                renderer.execute(&data).images.remove(0)
             }
             other => {
-                let filter = build_filter(&config, other, &data);
+                let filter = config.spec(other).build(&data);
                 let out = filter.execute(&data);
                 let result = out.dataset.expect("geometry output");
                 let field = match other {

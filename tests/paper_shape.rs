@@ -105,7 +105,10 @@ fn uncapped_frequency_is_turbo_for_everyone() {
     let mut ctx = quick_ctx();
     for algorithm in Algorithm::ALL {
         let sweep = ctx.sweep(algorithm, SIZE);
-        let f = sweep.baseline().avg_effective_freq_ghz;
+        let f = sweep
+            .baseline()
+            .expect("non-empty sweep")
+            .avg_effective_freq_ghz;
         assert!(
             (2.55..=2.62).contains(&f),
             "{algorithm} uncapped frequency {f}"
@@ -117,7 +120,12 @@ fn uncapped_frequency_is_turbo_for_everyone() {
 #[test]
 fn ipc_ordering_matches_fig2b() {
     let mut ctx = quick_ctx();
-    let ipc = |ctx: &mut StudyContext, a: Algorithm| ctx.sweep(a, SIZE).baseline().avg_ipc;
+    let ipc = |ctx: &mut StudyContext, a: Algorithm| {
+        ctx.sweep(a, SIZE)
+            .baseline()
+            .expect("non-empty sweep")
+            .avg_ipc
+    };
     let threshold = ipc(&mut ctx, Algorithm::Threshold);
     let contour = ipc(&mut ctx, Algorithm::Contour);
     let clip = ipc(&mut ctx, Algorithm::SphericalClip);
@@ -147,8 +155,12 @@ fn ipc_ordering_matches_fig2b() {
 #[test]
 fn llc_miss_ordering_matches_fig2c() {
     let mut ctx = quick_ctx();
-    let miss =
-        |ctx: &mut StudyContext, a: Algorithm| ctx.sweep(a, SIZE).baseline().avg_llc_miss_rate;
+    let miss = |ctx: &mut StudyContext, a: Algorithm| {
+        ctx.sweep(a, SIZE)
+            .baseline()
+            .expect("non-empty sweep")
+            .avg_llc_miss_rate
+    };
     let isovolume = miss(&mut ctx, Algorithm::Isovolume);
     let advection = miss(&mut ctx, Algorithm::ParticleAdvection);
     let volren = miss(&mut ctx, Algorithm::VolumeRendering);
@@ -167,8 +179,16 @@ fn llc_miss_ordering_matches_fig2c() {
 #[test]
 fn slice_ipc_rises_with_size() {
     let mut ctx = quick_ctx();
-    let small = ctx.sweep(Algorithm::Slice, 8).baseline().avg_ipc;
-    let large = ctx.sweep(Algorithm::Slice, 20).baseline().avg_ipc;
+    let small = ctx
+        .sweep(Algorithm::Slice, 8)
+        .baseline()
+        .expect("non-empty sweep")
+        .avg_ipc;
+    let large = ctx
+        .sweep(Algorithm::Slice, 20)
+        .baseline()
+        .expect("non-empty sweep")
+        .avg_ipc;
     assert!(large > small * 1.05, "slice IPC {small} -> {large}");
 }
 
@@ -179,10 +199,12 @@ fn advection_ipc_flat_with_size() {
     let small = ctx
         .sweep(Algorithm::ParticleAdvection, 8)
         .baseline()
+        .expect("non-empty sweep")
         .avg_ipc;
     let large = ctx
         .sweep(Algorithm::ParticleAdvection, 20)
         .baseline()
+        .expect("non-empty sweep")
         .avg_ipc;
     assert!(
         (small - large).abs() / small < 0.05,
@@ -202,8 +224,14 @@ fn volren_ipc_falls_past_llc_capacity() {
     spec.llc_bytes = 150 * 1024;
     let small_run = ctx.run(Algorithm::VolumeRendering, 24);
     let large_run = ctx.run(Algorithm::VolumeRendering, 48);
-    let small = sweep(&small_run, &[Watts(120.0)], &spec).baseline().avg_ipc;
-    let large = sweep(&large_run, &[Watts(120.0)], &spec).baseline().avg_ipc;
+    let small = sweep(&small_run, &[Watts(120.0)], &spec)
+        .baseline()
+        .expect("non-empty sweep")
+        .avg_ipc;
+    let large = sweep(&large_run, &[Watts(120.0)], &spec)
+        .baseline()
+        .expect("non-empty sweep")
+        .avg_ipc;
     assert!(
         large < small * 0.97,
         "volren IPC should fall past capacity: {small} -> {large}"

@@ -6,6 +6,7 @@ use vizpower_suite::insitu::{
     Action, ActionList, FilterSpec, InSituRuntime, RendererSpec, RuntimeConfig, Trigger,
 };
 use vizpower_suite::powersim::{CpuSpec, Package, Watts};
+use vizpower_suite::vizalgo::IsoValues;
 use vizpower_suite::vizalgo::KernelClass;
 use vizpower_suite::vizpower::advisor;
 use vizpower_suite::vizpower::characterize::characterize;
@@ -16,7 +17,7 @@ fn actions() -> ActionList {
             name: "contour".into(),
             filters: vec![FilterSpec::Contour {
                 field: "energy".into(),
-                isovalues: 4,
+                isovalues: IsoValues::Spanning(4),
             }],
         },
         Action::AddPipeline {
@@ -25,6 +26,8 @@ fn actions() -> ActionList {
                 field: "velocity".into(),
                 particles: 30,
                 steps: 40,
+                step_fraction: 5e-4,
+                seed: 0x5eed_1234,
             }],
         },
         Action::AddScene {

@@ -20,7 +20,9 @@ T() { name=$1; src=$2; echo "=== unit: $name ==="; \
   rustc $E --test --crate-name ${name}_t $src $EXT -o out/${name}_t && out/${name}_t -q; }
 
 T vizmesh src/vizmesh/lib.rs
-T vizalgo src/vizalgo/lib.rs
+echo "=== unit: vizalgo (serde round-trips skipped under stub) ==="
+rustc $E --test --crate-name vizalgo_t src/vizalgo/lib.rs $EXT -o out/vizalgo_t
+out/vizalgo_t -q --skip serde_round_trip
 T powersim src/powersim/lib.rs
 T cloverleaf src/cloverleaf/lib.rs
 echo "=== unit: insitu (serde round-trips skipped under stub) ==="
@@ -40,6 +42,7 @@ I journal_golden
 I experiments_smoke
 I governor_golden
 I conformance_golden
+I registry_parity
 
 # Property suites from crates/*/tests/, compiled and run against the
 # stub proptest (fixed per-test seeds, no shrinking or regression-seed
