@@ -14,6 +14,10 @@
 //! reproduce conformance [--quick] # analytic-oracle / differential /
 //!                                 # metamorphic checks for all eight
 //!                                 # kernels (exit 1 on any failure)
+//! reproduce bench [--quick] [--out BENCH.json]
+//!                                 # kernel perf baseline: wall time and
+//!                                 # throughput per algorithm × size,
+//!                                 # plus default-cap simulated J
 //!
 //! reproduce <target> --journal out.jsonl   # write the run journal (JSONL)
 //! reproduce <target> --trace out.trace.json # write a chrome://tracing file
@@ -38,7 +42,7 @@ use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>]"
     ))
 }
 
@@ -75,6 +79,7 @@ fn main() -> Result<(), CliError> {
     let mut quick = false;
     let mut journal_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -90,6 +95,10 @@ fn main() -> Result<(), CliError> {
             "--trace" => {
                 let path = it.next().ok_or_else(|| usage("--trace needs a path"))?;
                 trace_path = Some(PathBuf::from(path));
+            }
+            "--out" => {
+                let path = it.next().ok_or_else(|| usage("--out needs a path"))?;
+                out_path = Some(PathBuf::from(path));
             }
             other if other.starts_with("--") => {
                 return Err(usage(&format!("unknown flag '{other}'")));
@@ -287,6 +296,35 @@ fn main() -> Result<(), CliError> {
                 report.failed(),
                 report.checks.len()
             )));
+        }
+        "bench" => {
+            let sizes = fidelity.sizes();
+            println!(
+                "== Kernel perf baseline: all algorithms at {:?}³, default cap {:.0} W ==",
+                sizes,
+                vizpower::study::PAPER_CAPS[0].value()
+            );
+            let rows = vizpower_bench::perf::bench(&mut ctx, &sizes);
+            print!("{}", vizpower_bench::perf::render_table(&rows));
+            println!();
+            if let Some(path) = &out_path {
+                let fidelity_name = if quick { "quick" } else { "paper" };
+                // Record how these numbers were produced: the committed
+                // baselines come from the offline stub harness, whose
+                // sequential rayon stub makes wall times single-threaded.
+                let provenance = std::env::var("BENCH_PROVENANCE").unwrap_or_else(|_| {
+                    format!(
+                        "unattested local build ({} profile); set BENCH_PROVENANCE to record the harness",
+                        if cfg!(debug_assertions) { "debug" } else { "release" }
+                    )
+                });
+                let json = vizpower_bench::perf::to_json(&rows, fidelity_name, &provenance);
+                std::fs::write(path, json)
+                    .map_err(|e| CliError::new(format!("writing {}: {e}", path.display())))?;
+                eprintln!("bench report -> {}", path.display());
+            }
+            write_journal_outputs(&ctx, journal_path.as_deref(), trace_path.as_deref())?;
+            return Ok(());
         }
         other => run(&mut ctx, other),
     };

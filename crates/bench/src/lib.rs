@@ -16,6 +16,8 @@
 
 use vizpower::study::{StudyConfig, PAPER_SIZES};
 
+pub mod perf;
+
 /// Ring-buffer capacity (events) used when `reproduce` enables the run
 /// journal: large enough for `reproduce all` at paper fidelity, small
 /// enough (~100 MB worst case) to stay harmless on a laptop. Drops are

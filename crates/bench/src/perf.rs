@@ -1,0 +1,197 @@
+//! `reproduce bench`: the kernel performance baseline.
+//!
+//! One row per algorithm × grid size: *measured* wall-clock time and
+//! throughput of the native Rust kernels on this machine, plus the
+//! *simulated* time/energy of the same run under the default power cap.
+//! The committed `BENCH_<date>.json` snapshots give the raw-speed perf
+//! pass (ROADMAP: "bench first, then attack") a visible before/after,
+//! and `cargo xtask analyze` supplies the matching worklist.
+
+use std::time::Instant;
+
+use powersim::CpuSpec;
+use vizalgo::Algorithm;
+use vizpower::study::{self, StudyContext, PAPER_CAPS};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Registry display name ("Contour", "Spherical Clip", ...).
+    pub algorithm: &'static str,
+    /// Canonical spec fingerprint of the executed plan.
+    pub fingerprint: u64,
+    /// Grid edge length (the dataset is `size`³ cells).
+    pub size: usize,
+    pub input_cells: usize,
+    /// Measured wall-clock seconds of `spec.build` + `filter.execute`.
+    pub wall_seconds: f64,
+    /// `input_cells / wall_seconds`.
+    pub cells_per_second: f64,
+    /// Output geometry cells, for filters that extract geometry.
+    pub output_cells: Option<usize>,
+    /// `output_cells / wall_seconds` where the output cells are
+    /// triangles (contour, slice).
+    pub triangles_per_second: Option<f64>,
+    /// Simulated seconds under the default cap (the power model's view
+    /// of the same run on the paper's Broadwell node).
+    pub sim_seconds: f64,
+    /// Simulated package energy under the default cap.
+    pub sim_joules: f64,
+}
+
+/// Execute every algorithm at every size, timing the native kernels and
+/// simulating the default-cap execution. Datasets come from `ctx`'s
+/// cache so dataset synthesis (the hydro run) is not timed; the filter
+/// build + execute is re-run fresh here, not taken from the run cache.
+pub fn bench(ctx: &mut StudyContext, sizes: &[usize]) -> Vec<BenchRow> {
+    let config = ctx.config();
+    let cpu = CpuSpec::broadwell_e5_2695v4();
+    let default_cap = [PAPER_CAPS[0]];
+    let mut rows = Vec::with_capacity(sizes.len() * Algorithm::ALL.len());
+    for &size in sizes {
+        let dataset = ctx.dataset(size);
+        for algorithm in Algorithm::ALL {
+            let spec = config.spec(algorithm);
+            let start = Instant::now();
+            let filter = spec.build(&dataset);
+            let out = filter.execute(&dataset);
+            let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+            let input_cells = dataset.num_cells();
+            let output_cells = out.dataset.as_ref().map(|d| d.num_cells());
+            let triangles_per_second = match algorithm {
+                Algorithm::Contour | Algorithm::Slice => {
+                    output_cells.map(|n| n as f64 / wall_seconds)
+                }
+                _ => None,
+            };
+            let run = study::AlgorithmRun {
+                algorithm,
+                size,
+                input_cells,
+                spec,
+                reports: out.kernels,
+            };
+            let sweep = study::sweep(&run, &default_cap, &cpu);
+            let (sim_seconds, sim_joules) = sweep
+                .baseline()
+                .map(|r| (r.seconds, r.energy_joules.value()))
+                .unwrap_or((0.0, 0.0));
+            rows.push(BenchRow {
+                algorithm: run.algorithm.name(),
+                fingerprint: run.spec.fingerprint(),
+                size,
+                input_cells,
+                wall_seconds,
+                cells_per_second: input_cells as f64 / wall_seconds,
+                output_cells,
+                triangles_per_second,
+                sim_seconds,
+                sim_joules,
+            });
+        }
+    }
+    rows
+}
+
+/// Human-readable table for stdout.
+pub fn render_table(rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<20} {:>5} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9}\n",
+        "algorithm", "size", "cells", "wall s", "cells/s", "tri/s", "sim s", "sim J"
+    ));
+    for r in rows {
+        let tri = r
+            .triangles_per_second
+            .map_or("-".to_string(), |t| format!("{t:.3e}"));
+        s.push_str(&format!(
+            "{:<20} {:>5} {:>12} {:>10.4} {:>12.3e} {:>12} {:>9.3} {:>9.1}\n",
+            r.algorithm,
+            r.size,
+            r.input_cells,
+            r.wall_seconds,
+            r.cells_per_second,
+            tri,
+            r.sim_seconds,
+            r.sim_joules
+        ));
+    }
+    s
+}
+
+/// Machine-readable report (schema 1). Hand-written: the workspace's
+/// serde stubs cannot serialize, and the report must stay buildable in
+/// the offline stub environment.
+pub fn to_json(rows: &[BenchRow], fidelity: &str, provenance: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"tool\": \"reproduce-bench\",\n");
+    s.push_str(&format!("  \"fidelity\": \"{fidelity}\",\n"));
+    s.push_str(&format!(
+        "  \"default_cap_watts\": {:.1},\n",
+        PAPER_CAPS[0].value()
+    ));
+    s.push_str(&format!("  \"provenance\": \"{provenance}\",\n"));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"algorithm\": \"{}\", ", r.algorithm));
+        s.push_str(&format!("\"fingerprint\": \"{:016x}\", ", r.fingerprint));
+        s.push_str(&format!("\"size\": {}, ", r.size));
+        s.push_str(&format!("\"input_cells\": {}, ", r.input_cells));
+        s.push_str(&format!("\"wall_seconds\": {:.6}, ", r.wall_seconds));
+        s.push_str(&format!(
+            "\"cells_per_second\": {:.1}, ",
+            r.cells_per_second
+        ));
+        match r.output_cells {
+            Some(n) => s.push_str(&format!("\"output_cells\": {n}, ")),
+            None => s.push_str("\"output_cells\": null, "),
+        }
+        match r.triangles_per_second {
+            Some(t) => s.push_str(&format!("\"triangles_per_second\": {t:.1}, ")),
+            None => s.push_str("\"triangles_per_second\": null, "),
+        }
+        s.push_str(&format!("\"sim_seconds\": {:.6}, ", r.sim_seconds));
+        s.push_str(&format!("\"sim_joules\": {:.3}", r.sim_joules));
+        s.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizpower::study::StudyConfig;
+
+    #[test]
+    fn bench_produces_one_row_per_algorithm_and_size() {
+        let mut ctx = StudyContext::new(StudyConfig::quick());
+        let rows = bench(&mut ctx, &[8]);
+        assert_eq!(rows.len(), Algorithm::ALL.len());
+        for r in &rows {
+            assert!(r.wall_seconds > 0.0);
+            assert!(r.cells_per_second > 0.0);
+            assert!(r.sim_seconds > 0.0, "{} simulated no time", r.algorithm);
+            assert!(r.sim_joules > 0.0, "{} simulated no energy", r.algorithm);
+        }
+        let contour = rows.iter().find(|r| r.algorithm == "Contour").unwrap();
+        assert!(contour.triangles_per_second.is_some());
+        let ray = rows.iter().find(|r| r.algorithm == "Ray Tracing");
+        if let Some(ray) = ray {
+            assert!(ray.triangles_per_second.is_none());
+        }
+    }
+
+    #[test]
+    fn json_report_is_shaped_and_complete() {
+        let mut ctx = StudyContext::new(StudyConfig::quick());
+        let rows = bench(&mut ctx, &[8]);
+        let json = to_json(&rows, "quick", "test");
+        assert!(json.starts_with("{\n  \"schema\": 1,\n"));
+        assert_eq!(json.matches("\"algorithm\":").count(), rows.len());
+        assert!(json.contains("\"triangles_per_second\": null"));
+    }
+}

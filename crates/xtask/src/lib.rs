@@ -8,7 +8,9 @@
 //! correctness policy" for the rationale of each lint.
 
 pub mod allow;
+pub mod analyze;
 pub mod diag;
+pub mod lex;
 pub mod lints;
 pub mod policy;
 pub mod scan;

@@ -2,26 +2,35 @@
 //!
 //! ```text
 //! cargo xtask lint [--strict] [--root DIR]   # repo-specific static analysis
-//! cargo xtask ci   [--root DIR]              # full local CI: fmt, clippy, lint, build, test, doc
+//! cargo xtask analyze [--json] [--ratchet] [--write-baseline] [--root DIR]
+//!                                            # hot-path analyzer + findings ratchet
+//! cargo xtask ci   [--root DIR]              # full local CI: fmt, clippy, lint, analyze, build, test, doc
 //! ```
 //!
-//! Exit codes: 0 clean, 1 policy violations, 2 usage or environment error.
+//! Exit codes: 0 clean, 1 policy violations / ratchet regression, 2 usage
+//! or environment error.
 
 use std::env;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-use xtask::{lint_workspace, Options};
+use xtask::{analyze, lint_workspace, Options};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut cmd = None;
     let mut root = None;
     let mut strict = false;
+    let mut json = false;
+    let mut do_ratchet = false;
+    let mut write_baseline = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--strict" => strict = true,
+            "--json" => json = true,
+            "--ratchet" => do_ratchet = true,
+            "--write-baseline" => write_baseline = true,
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -29,7 +38,7 @@ fn main() -> ExitCode {
                     None => return ExitCode::from(usage("--root requires a directory argument")),
                 }
             }
-            "lint" | "ci" | "help" if cmd.is_none() => cmd = Some(args[i].clone()),
+            "lint" | "analyze" | "ci" | "help" if cmd.is_none() => cmd = Some(args[i].clone()),
             other => return ExitCode::from(usage(&format!("unrecognized argument `{other}`"))),
         }
         i += 1;
@@ -45,6 +54,7 @@ fn main() -> ExitCode {
 
     let code = match cmd.as_deref() {
         Some("lint") => run_lint(&root, strict),
+        Some("analyze") => run_analyze(&root, json, do_ratchet, write_baseline),
         Some("ci") => run_ci(&root, strict),
         _ => usage(""),
     };
@@ -55,8 +65,95 @@ fn usage(error: &str) -> u8 {
     if !error.is_empty() {
         eprintln!("xtask: {error}");
     }
-    eprintln!("usage: cargo xtask <lint [--strict] | ci> [--root DIR]");
+    eprintln!(
+        "usage: cargo xtask <lint [--strict] | analyze [--json] [--ratchet] [--write-baseline] | ci> [--root DIR]"
+    );
     2
+}
+
+/// `xtask analyze`: run the hot-path passes. Plain runs print the
+/// worklist and always exit 0 (findings are work, not violations);
+/// `--ratchet` gates on the committed baseline; `--write-baseline`
+/// (re-)pins it.
+fn run_analyze(root: &Path, json: bool, do_ratchet: bool, write_baseline: bool) -> u8 {
+    let analysis = match analyze::analyze_workspace(root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask analyze: i/o error walking {}: {e}", root.display());
+            return 2;
+        }
+    };
+    if json {
+        print!("{}", analyze::to_json(&analysis));
+    } else {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "xtask analyze: {} finding(s) in {} hot-path files",
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+    }
+    let counts = analysis.counts();
+    if write_baseline {
+        if let Err(e) = analyze::write_baseline(root, &counts) {
+            eprintln!(
+                "xtask analyze: cannot write {}: {e}",
+                analyze::ANALYSIS_BASELINE
+            );
+            return 2;
+        }
+        eprintln!(
+            "xtask analyze: baseline written to {}; commit it",
+            analyze::ANALYSIS_BASELINE
+        );
+        return 0;
+    }
+    if !do_ratchet {
+        return 0;
+    }
+    let Some(baseline) = analyze::load_baseline(root) else {
+        eprintln!(
+            "xtask analyze: no {} found; pin one with `cargo xtask analyze --write-baseline`",
+            analyze::ANALYSIS_BASELINE
+        );
+        return 1;
+    };
+    match analyze::ratchet(&baseline, &counts) {
+        analyze::Ratchet::Clean => {
+            eprintln!("xtask analyze: ratchet clean (all counts at baseline)");
+            0
+        }
+        analyze::Ratchet::Tightened(improved) => {
+            // Self-pruning: fixed findings shrink the committed baseline,
+            // the same only-shrinks semantics as the lint allowlists.
+            for (pass, base, now) in &improved {
+                eprintln!("xtask analyze: {pass} improved {base} -> {now}");
+            }
+            if let Err(e) = analyze::write_baseline(root, &counts) {
+                eprintln!(
+                    "xtask analyze: cannot rewrite {}: {e}",
+                    analyze::ANALYSIS_BASELINE
+                );
+                return 2;
+            }
+            eprintln!(
+                "xtask analyze: baseline tightened in {}; commit the shrink",
+                analyze::ANALYSIS_BASELINE
+            );
+            0
+        }
+        analyze::Ratchet::Regressed(worse) => {
+            for (pass, base, now) in &worse {
+                eprintln!(
+                    "xtask analyze: ratchet FAIL: {pass} rose {base} -> {now}; fix the new \
+                     finding(s) or justify a re-pin with --write-baseline (see docs/ANALYZE.md)"
+                );
+            }
+            1
+        }
+    }
 }
 
 fn run_lint(root: &Path, strict: bool) -> u8 {
@@ -108,6 +205,11 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
     let lint = run_lint(root, strict);
     if lint != 0 {
         return lint;
+    }
+    eprintln!("xtask ci: running cargo xtask analyze --ratchet");
+    let ratchet = run_analyze(root, false, true, false);
+    if ratchet != 0 {
+        return ratchet;
     }
     let tier1: &[(&str, &[&str], &[(&str, &str)])] = &[
         ("cargo build --release", &["build", "--release"], &[]),

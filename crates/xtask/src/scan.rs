@@ -1,16 +1,21 @@
-//! Source model for the lint passes.
+//! Source model for the lint and analyze passes.
 //!
-//! The analyzer is deliberately lexical: it never parses Rust, it strips
-//! comments and string/char literals with a small state machine and hands
-//! each lint pass a per-line view of the remaining code. That keeps the
-//! crate std-only (it must build before any dependency is compiled) while
-//! still being precise enough for the three repo policies, whose trigger
-//! tokens (`.unwrap()`, `par_iter`, `_watts`/`_joules` identifiers) are
-//! unambiguous at the token level.
+//! The analyzer is deliberately lexical: it never parses Rust. Each file
+//! is tokenized once by [`crate::lex`] and two views are derived from
+//! the same token stream: the per-line cleaned view the lint passes
+//! consume (comments and string/char literal *contents* removed), and
+//! the block-model annotations (loop/closure nesting depth, enclosing
+//! function) the analyze passes consume. That keeps the crate std-only
+//! (it must build before any dependency is compiled) while still being
+//! precise enough for the repo policies, whose trigger tokens
+//! (`.unwrap()`, `par_iter`, `Vec::new(`, `push_span(`) are unambiguous
+//! at the token level.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::lex::{self, Kind};
 
 /// One physical source line after lexical cleaning.
 #[derive(Debug, Clone)]
@@ -25,6 +30,12 @@ pub struct Line {
     pub raw: String,
     /// True when the line sits inside a `#[cfg(test)]`-gated item.
     pub in_test: bool,
+    /// Loop/closure nesting depth from the block model: how many
+    /// `for`/`while`/`loop` bodies and iterator-adapter closures enclose
+    /// this line.
+    pub loop_depth: usize,
+    /// Name of the innermost enclosing `fn` body, if any.
+    pub fn_name: Option<String>,
 }
 
 /// A cleaned source file, addressed by its workspace-relative path.
@@ -33,27 +44,43 @@ pub struct SourceFile {
     /// Workspace-relative path with forward slashes.
     pub rel_path: String,
     pub lines: Vec<Line>,
+    /// The raw token stream the views above were derived from.
+    pub tokens: Vec<lex::Token>,
+    /// Block-model context of each token (parallel to `tokens`), for
+    /// passes that need token-accurate loop depth rather than the
+    /// per-line maximum.
+    pub token_ctx: Vec<lex::LineCtx>,
 }
 
 impl SourceFile {
     pub fn parse(rel_path: &str, text: &str) -> SourceFile {
-        let cleaned = clean(text);
+        let tokens = lex::lex(text);
+        let token_ctx = lex::token_contexts(&tokens);
+        let cleaned = clean(&tokens);
+        let contexts = lex::line_contexts(&tokens, cleaned.len());
         let raws: Vec<&str> = text.lines().collect();
         let mut lines: Vec<Line> = cleaned
             .into_iter()
             .enumerate()
-            .map(|(i, (code, comment))| Line {
-                number: i + 1,
-                code,
-                comment,
-                raw: raws.get(i).unwrap_or(&"").to_string(),
-                in_test: false,
+            .map(|(i, (code, comment))| {
+                let ctx = contexts.get(i).cloned().unwrap_or_default();
+                Line {
+                    number: i + 1,
+                    code,
+                    comment,
+                    raw: raws.get(i).unwrap_or(&"").to_string(),
+                    in_test: false,
+                    loop_depth: ctx.loop_depth,
+                    fn_name: ctx.fn_name,
+                }
             })
             .collect();
         mark_test_regions(&mut lines);
         SourceFile {
             rel_path: rel_path.to_string(),
             lines,
+            tokens,
+            token_ctx,
         }
     }
 
@@ -116,154 +143,56 @@ fn bracket_delta(code: &str) -> i64 {
     d
 }
 
-/// Strip comments and literal contents, returning `(code, comment)` per line.
-fn clean(text: &str) -> Vec<(String, String)> {
-    #[derive(PartialEq)]
-    enum Mode {
+/// Derive the per-line `(code, comment)` cleaned view from the token
+/// stream: string-family literals collapse to `""`, char literals to
+/// `' '`, comments move to the comment column, and everything else is
+/// kept verbatim. Multi-line tokens contribute their placeholder halves
+/// to the lines they open and close on.
+fn clean(tokens: &[lex::Token]) -> Vec<(String, String)> {
+    enum Dst {
         Code,
-        Block(u32),
-        Str,
-        RawStr(u32),
+        Comment,
+        Discard,
     }
-
-    let chars: Vec<char> = text.chars().collect();
-    let mut mode = Mode::Code;
     let mut out = Vec::new();
     let mut code = String::new();
     let mut comment = String::new();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
-            i += 1;
-            continue;
+    // Route token text to a column, flushing a line at each newline.
+    fn spill(
+        text: &str,
+        dst: Dst,
+        code: &mut String,
+        comment: &mut String,
+        out: &mut Vec<(String, String)>,
+    ) {
+        for c in text.chars() {
+            if c == '\n' {
+                out.push((std::mem::take(code), std::mem::take(comment)));
+            } else {
+                match dst {
+                    Dst::Code => code.push(c),
+                    Dst::Comment => comment.push(c),
+                    Dst::Discard => {}
+                }
+            }
         }
-        match mode {
-            Mode::Code => {
-                if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    // Line comment: consume to end of line.
-                    let mut j = i;
-                    while j < chars.len() && chars[j] != '\n' {
-                        comment.push(chars[j]);
-                        j += 1;
-                    }
-                    i = j;
-                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    comment.push_str("/*");
-                    mode = Mode::Block(1);
-                    i += 2;
-                } else if c == '"' {
-                    code.push('"');
-                    mode = Mode::Str;
-                    i += 1;
-                } else if c == 'r' && is_raw_string_start(&chars, i) {
-                    let hashes = count_hashes(&chars, i + 1);
-                    code.push('"');
-                    mode = Mode::RawStr(hashes);
-                    i += 1 + hashes as usize + 1;
-                } else if c == '\'' {
-                    // Char literal vs lifetime.
-                    if chars.get(i + 1) == Some(&'\\') {
-                        // Escaped char literal: skip to the closing quote.
-                        let mut j = i + 2;
-                        if j < chars.len() {
-                            j += 1; // the escaped character itself
-                        }
-                        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
-                            j += 1;
-                        }
-                        code.push_str("' '");
-                        i = j + 1;
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        code.push_str("' '");
-                        i += 3;
-                    } else {
-                        // Lifetime: keep as-is.
-                        code.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    code.push(c);
-                    i += 1;
-                }
+    }
+    for t in tokens {
+        match t.kind {
+            Kind::Ident | Kind::Lifetime | Kind::Num | Kind::Punct => code.push_str(&t.text),
+            Kind::Ws => spill(&t.text, Dst::Code, &mut code, &mut comment, &mut out),
+            Kind::Str | Kind::RawStr => {
+                code.push('"');
+                spill(&t.text, Dst::Discard, &mut code, &mut comment, &mut out);
+                code.push('"');
             }
-            Mode::Block(depth) => {
-                if c == '/' && chars.get(i + 1) == Some(&'*') {
-                    comment.push_str("/*");
-                    mode = Mode::Block(depth + 1);
-                    i += 2;
-                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
-                    comment.push_str("*/");
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::Block(depth - 1)
-                    };
-                    i += 2;
-                } else {
-                    comment.push(c);
-                    i += 1;
-                }
-            }
-            Mode::Str => {
-                if c == '\\' {
-                    // Don't swallow an escaped newline: the top of the
-                    // loop must still see it and advance the line count.
-                    i += if chars.get(i + 1) == Some(&'\n') {
-                        1
-                    } else {
-                        2
-                    };
-                } else if c == '"' {
-                    code.push('"');
-                    mode = Mode::Code;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            Mode::RawStr(hashes) => {
-                if c == '"' && closes_raw_string(&chars, i, hashes) {
-                    code.push('"');
-                    mode = Mode::Code;
-                    i += 1 + hashes as usize;
-                } else {
-                    i += 1;
-                }
-            }
+            Kind::Char => code.push_str("' '"),
+            Kind::LineComment => comment.push_str(&t.text),
+            Kind::BlockComment => spill(&t.text, Dst::Comment, &mut code, &mut comment, &mut out),
         }
     }
     out.push((code, comment));
     out
-}
-
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // `r"..."` or `r#"..."#` (any number of hashes). The caller guarantees
-    // chars[i] == 'r'. Reject identifiers like `radius` by requiring the
-    // next characters to be hashes then a quote, and the previous character
-    // to not be part of an identifier (so `for` or `xr"..."` don't match).
-    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
-        return false;
-    }
-    let mut j = i + 1;
-    while chars.get(j) == Some(&'#') {
-        j += 1;
-    }
-    chars.get(j) == Some(&'"')
-}
-
-fn count_hashes(chars: &[char], mut i: usize) -> u32 {
-    let mut n = 0;
-    while chars.get(i) == Some(&'#') {
-        n += 1;
-        i += 1;
-    }
-    n
-}
-
-fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
 }
 
 /// Mark every line that sits inside a `#[cfg(test)]` item (typically the

@@ -1,0 +1,31 @@
+//! Fixture: fp-reduction-order. Order-sensitive float combines reachable
+//! from rayon parallel iterators fire; integer-annotated sums and
+//! sequential folds stay quiet.
+
+pub fn par_sum_unannotated(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn par_sum_float_turbofish(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().sum::<f64>()
+}
+
+pub fn par_reduce_multiline(xs: &[f64]) -> f64 {
+    xs.par_iter()
+        .map(|x| x + 1.0)
+        .reduce(|| 0.0, |a, b| a + b)
+}
+
+pub fn par_fold(xs: &[f64]) -> f64 {
+    xs.par_chunks(64)
+        .fold(|| 0.0, |acc, c| acc + c.iter().sum::<f64>())
+        .sum::<f64>()
+}
+
+pub fn par_sum_integer_is_fine(xs: &[u64]) -> u64 {
+    xs.par_iter().map(|x| x + 1).sum::<u64>()
+}
+
+pub fn sequential_sum_is_fine(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

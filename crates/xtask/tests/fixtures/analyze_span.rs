@@ -1,0 +1,39 @@
+//! Fixture: span-discipline. A journal span open (`let t0 = ….now()`)
+//! must reach a `push_span` naming the binding in the same function,
+//! with no early `return` in between.
+
+pub fn balanced(journal: &mut Journal) {
+    let t0 = journal.now();
+    work();
+    journal.push_span(Scope::Kernel, "work", t0, None, vec![]);
+}
+
+pub fn balanced_under_guard_check(journal: &mut Journal) {
+    let cycle_t0 = journal.now();
+    work();
+    if journal.is_enabled() {
+        journal.push_span(Scope::Timestep, "cycle", cycle_t0, None, vec![]);
+    }
+}
+
+pub fn leaked(journal: &mut Journal) {
+    let t0 = journal.now();
+    work();
+    // No push_span referencing t0: the span never closes.
+    let _ = t0;
+}
+
+pub fn leaked_on_early_return(journal: &mut Journal, skip: bool) -> u32 {
+    let t0 = journal.now();
+    if skip {
+        return 0;
+    }
+    journal.push_span(Scope::Kernel, "full", t0, None, vec![]);
+    1
+}
+
+pub fn unrelated_clock_reads(journal: &mut Journal) -> f64 {
+    // Sample timestamps are not span opens: no `t0` naming.
+    let stamp = journal.now();
+    stamp
+}

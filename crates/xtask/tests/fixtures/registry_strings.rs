@@ -1,0 +1,27 @@
+//! Fixture: constructor-shaped tokens that are *text*, not code. The
+//! registry-dispatch lint must stay silent on all of them; only the real
+//! construction in `registry_bad.rs` may fire.
+
+/// Doc comments mention constructors freely: prefer `AlgorithmSpec` over
+/// a direct `Contour::new(iso)` call.
+pub fn documented() {}
+
+pub fn in_string_literals() -> Vec<String> {
+    vec![
+        "Contour::new(0.5) is the old way".to_string(),
+        // Raw strings, including hash-quoted ones with interior quotes.
+        r#"say "Threshold::new(" ok"#.to_string(),
+        r"RayTracer::new(eye)".to_string(),
+    ]
+}
+
+pub fn in_byte_strings() -> &'static [u8] {
+    // Raw *byte* strings with interior quotes were the pre-lexer FP: the
+    // scanner saw `br` as code and leaked the constructor into the
+    // cleaned view.
+    br#"say "SphericalClip::new(" ok"#
+}
+
+// A trailing line comment: Isovolume::new(0.2, 0.8) would be flagged if
+// comments leaked into code.
+pub fn commented() {}

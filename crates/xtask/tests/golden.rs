@@ -19,6 +19,7 @@ const REDUCTION_GOOD: &str = include_str!("fixtures/reduction_good.rs");
 const SCHEMA_TRACE: &str = include_str!("fixtures/schema_trace.rs");
 const REGISTRY_BAD: &str = include_str!("fixtures/registry_bad.rs");
 const REGISTRY_GOOD: &str = include_str!("fixtures/registry_good.rs");
+const REGISTRY_STRINGS: &str = include_str!("fixtures/registry_strings.rs");
 
 fn rendered(rel_path: &str, text: &str, strict: bool) -> Vec<String> {
     lint_source(rel_path, text, &Options { strict })
@@ -244,6 +245,16 @@ fn registry_dispatch_bad_fixture_flags_each_construction() {
 fn registry_dispatch_good_fixture_is_clean() {
     assert_eq!(
         rendered("crates/core/src/fixture.rs", REGISTRY_GOOD, false),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn registry_dispatch_ignores_constructors_in_strings_and_doc_comments() {
+    // Constructor tokens inside string literals (cooked, raw, raw byte)
+    // and doc/line comments are text, not construction sites.
+    assert_eq!(
+        rendered("crates/core/src/fixture.rs", REGISTRY_STRINGS, false),
         Vec::<String>::new()
     );
 }

@@ -43,6 +43,7 @@ copysrc crates/core/src vizpower
 copysrc crates/governor/src governor
 copysrc crates/conformance/src conformance
 copysrc crates/bench/src bench
+copysrc crates/xtask/src xtask
 copysrc src suite
 
 # rayon's 2-arg reduce has no std equivalent; sequential fold is identical here.
@@ -89,6 +90,10 @@ X reproduce-bin --crate-name reproduce src/bench/bin/reproduce.rs \
   --extern cloverleaf=out/libcloverleaf.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizmesh=out/libvizmesh.rlib \
   --extern serde_json=out/libserde_json.rlib -o out/reproduce
+# xtask is std-only by design: no stub externs needed.
+X xtask --crate-type rlib --crate-name xtask src/xtask/lib.rs -o out/libxtask.rlib
+X xtask-bin --crate-name xtask src/xtask/main.rs \
+  --extern xtask=out/libxtask.rlib -o out/xtask
 X vizpower_suite --crate-type rlib --crate-name vizpower_suite src/suite/lib.rs \
   --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \

@@ -32,6 +32,21 @@ T vizpower src/vizpower/lib.rs
 T governor src/governor/lib.rs
 T conformance src/conformance/lib.rs
 T vizpower_bench src/bench/lib.rs
+echo "=== unit: xtask (std-only) ==="
+rustc $E --test --crate-name xtask_t src/xtask/lib.rs -o out/xtask_t && out/xtask_t -q
+
+# xtask's golden/lexer/analyze suites: include_str! fixtures resolve
+# relative to the test source, so copy tests/ (with fixtures/) wholesale;
+# env!("CARGO_BIN_EXE_xtask") is baked in at compile time.
+XG() { name=$1; echo "=== xtask golden: $name ==="; \
+  mkdir -p src/xtask_tests; cp -r "$R/crates/xtask/tests/." src/xtask_tests/; \
+  CARGO_BIN_EXE_xtask="$W/out/xtask" rustc $E --test --crate-name xtask_$name \
+    src/xtask_tests/$name.rs --extern xtask=out/libxtask.rlib -o out/xtask_$name && \
+  out/xtask_$name -q; }
+
+XG golden
+XG lexer
+XG analyze
 
 I() { name=$1; echo "=== integration: $name ==="; \
   mkdir -p src/roottests; cp "$R/tests/$name.rs" src/roottests/; \
@@ -65,4 +80,9 @@ echo "=== smoke: reproduce governor --budget-sweep --quick ==="
 out/reproduce governor --budget-sweep --quick
 echo "=== smoke: reproduce conformance --quick ==="
 out/reproduce conformance --quick
+echo "=== smoke: reproduce bench --quick ==="
+out/reproduce bench --quick --out out/bench_quick.json
+echo "=== smoke: xtask lint + analyze --ratchet against the repo ==="
+out/xtask lint --root "$R"
+out/xtask analyze --ratchet --root "$R"
 echo "=== ALL TESTS PASSED ==="
