@@ -9,6 +9,7 @@
 
 use std::time::Instant;
 
+use powersim::trace::Scope;
 use powersim::CpuSpec;
 use vizalgo::Algorithm;
 use vizpower::study::{self, StudyContext, PAPER_CAPS};
@@ -43,6 +44,11 @@ pub struct BenchRow {
 /// simulating the default-cap execution. Datasets come from `ctx`'s
 /// cache so dataset synthesis (the hydro run) is not timed; the filter
 /// build + execute is re-run fresh here, not taken from the run cache.
+///
+/// When `ctx`'s journal is enabled, each (algorithm, size) row emits a
+/// [`Scope::Bench`] span (`bench:<name>:<size>`) whose args carry the
+/// measured wall time, so bench runs are observable in the same journal
+/// and chrome trace as everything else (see docs/OBSERVABILITY.md).
 pub fn bench(ctx: &mut StudyContext, sizes: &[usize]) -> Vec<BenchRow> {
     let config = ctx.config();
     let cpu = CpuSpec::broadwell_e5_2695v4();
@@ -52,10 +58,15 @@ pub fn bench(ctx: &mut StudyContext, sizes: &[usize]) -> Vec<BenchRow> {
         let dataset = ctx.dataset(size);
         for algorithm in Algorithm::ALL {
             let spec = config.spec(algorithm);
+            let t0 = ctx.journal.now();
             let start = Instant::now();
             let filter = spec.build(&dataset);
             let out = filter.execute(&dataset);
             let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+            eprintln!(
+                "bench: {:<20} {size:>4}  {wall_seconds:>10.4} s",
+                algorithm.name()
+            );
             let input_cells = dataset.num_cells();
             let output_cells = out.dataset.as_ref().map(|d| d.num_cells());
             let triangles_per_second = match algorithm {
@@ -76,6 +87,20 @@ pub fn bench(ctx: &mut StudyContext, sizes: &[usize]) -> Vec<BenchRow> {
                 .baseline()
                 .map(|r| (r.seconds, r.energy_joules.value()))
                 .unwrap_or((0.0, 0.0));
+            if ctx.journal.is_enabled() {
+                ctx.journal.push_span(
+                    Scope::Bench,
+                    format!("bench:{}:{size}", run.algorithm.name()),
+                    t0,
+                    None,
+                    vec![
+                        ("input_cells", input_cells as f64),
+                        ("wall_seconds", wall_seconds),
+                        ("sim_seconds", sim_seconds),
+                        ("spec_fp", run.spec.fingerprint() as f64),
+                    ],
+                );
+            }
             rows.push(BenchRow {
                 algorithm: run.algorithm.name(),
                 fingerprint: run.spec.fingerprint(),
@@ -183,6 +208,24 @@ mod tests {
         if let Some(ray) = ray {
             assert!(ray.triangles_per_second.is_none());
         }
+    }
+
+    #[test]
+    fn bench_journals_one_span_per_row() {
+        use powersim::trace::Event;
+        let mut ctx = StudyContext::new(StudyConfig::quick());
+        ctx.enable_journal(1 << 14);
+        let rows = bench(&mut ctx, &[8]);
+        let spans: Vec<&str> = ctx
+            .journal
+            .events()
+            .filter_map(|e| match e {
+                Event::Span(s) if s.scope == Scope::Bench => Some(s.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), rows.len(), "one Bench span per row");
+        assert!(spans.contains(&"bench:Contour:8"));
     }
 
     #[test]

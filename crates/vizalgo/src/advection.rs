@@ -129,16 +129,21 @@ impl Filter for ParticleAdvection {
         work.tally(self.num_particles as u64, 60, 10, 24, 48);
         work.working_set_bytes = (vel.len() * 24).min(1 << 22) as u64;
 
-        // Build streamline polylines.
-        let mut points: Vec<Vec3> = Vec::new();
-        let mut cells = CellSet::new();
-        let mut speed: Vec<f64> = Vec::new();
+        // Build streamline polylines. Output sizes are known exactly from
+        // the traces, so every buffer is allocated once up front; the
+        // connectivity scratch is reused across polylines.
+        let total_pts: usize = traces.iter().map(|(p, _)| p.len()).sum();
+        let mut points: Vec<Vec3> = Vec::with_capacity(total_pts);
+        let mut cells = CellSet::with_capacity(traces.len(), total_pts);
+        let mut speed: Vec<f64> = Vec::with_capacity(total_pts);
+        let mut conn: Vec<u32> = Vec::with_capacity(self.num_steps + 1);
         for (path, _) in &traces {
             if path.len() < 2 {
                 continue;
             }
             let base = points.len() as u32;
-            let conn: Vec<u32> = (0..path.len()).map(|i| base + i as u32).collect();
+            conn.clear();
+            conn.extend((0..path.len()).map(|i| base + i as u32));
             for &p in path {
                 let v = grid
                     .sample_vector(vel, p)

@@ -4,8 +4,9 @@
 //! outside are passed through whole, and straddling cells are subdivided
 //! (tetrahedralized and clipped) keeping only the outside part.
 
+use crate::arena::TetScratch;
 use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
-use crate::tetclip::{clip_keep_above, TetMesh, HEX_TO_TETS};
+use crate::tetclip::{clip_keep_above_into, TetMesh, HEX_TO_TETS};
 use rayon::prelude::*;
 use vizmesh::{Association, CellSet, CellShape, DataSet, Field, Vec3, WorkCounters};
 
@@ -90,11 +91,26 @@ impl Filter for SphericalClip {
 
         // Phase 2 (GatherScatter): pass whole outside cells through;
         // Phase 3 (TetClip): subdivide straddling cells.
+        let (mut num_out, mut num_straddle) = (0usize, 0usize);
+        for s in &sides {
+            match s {
+                CellSide::Outside => num_out += 1,
+                CellSide::Straddle => num_straddle += 1,
+                CellSide::Inside => {}
+            }
+        }
+        let active = num_out + num_straddle;
         let mut gather = WorkCounters::new();
         let mut tet_work = WorkCounters::new();
-        let mut mesh = TetMesh::new();
+        // Pre-size for the measured shape of straddle output (≈ 9 kept
+        // tets per straddling hex); everything still grows on demand.
+        let mut mesh = TetMesh::with_point_capacity(active.saturating_mul(2).min(num_points));
+        let mut scratch = TetScratch::new();
         let mut point_map: Vec<u32> = vec![u32::MAX; num_points];
-        let mut cells = CellSet::new();
+        let mut cells = CellSet::with_capacity(
+            num_out + 9 * num_straddle,
+            8 * num_out + 4 * 9 * num_straddle,
+        );
         let mut map_point = |mesh: &mut TetMesh, pid: usize, w: &mut WorkCounters| -> u32 {
             if point_map[pid] == u32::MAX {
                 let payload = carry.map(|v| v[pid]).unwrap_or(dist[pid]);
@@ -121,13 +137,15 @@ impl Filter for SphericalClip {
                     for (slot, &pid) in ids.iter().enumerate() {
                         corner[slot] = map_point(&mut mesh, pid, &mut tet_work);
                     }
-                    let tets: Vec<[u32; 4]> = HEX_TO_TETS
-                        .iter()
-                        .map(|t| [corner[t[0]], corner[t[1]], corner[t[2]], corner[t[3]]])
-                        .collect();
-                    let (kept, w) = clip_keep_above(&mut mesh, &tets, 0.0);
-                    tet_work += w;
-                    for t in kept {
+                    scratch.tets.clear();
+                    for t in HEX_TO_TETS {
+                        scratch
+                            .tets
+                            .push([corner[t[0]], corner[t[1]], corner[t[2]], corner[t[3]]]);
+                    }
+                    tet_work +=
+                        clip_keep_above_into(&mut mesh, &scratch.tets, 0.0, &mut scratch.mid);
+                    for &t in &scratch.mid {
                         cells.push(CellShape::Tetra, &t);
                     }
                 }

@@ -13,9 +13,9 @@
 //! extracted surface is watertight away from the domain boundary — a
 //! property the test-suite checks directly on random fields.
 
+use crate::arena::{pack_edge, WeldMap};
 use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::sync::OnceLock;
 use vizmesh::{Association, CellSet, CellShape, DataSet, Field, UniformGrid, Vec3, WorkCounters};
 
@@ -87,21 +87,32 @@ fn build_case(config: u8) -> CaseTriangles {
     let inside = |c: usize| config >> c & 1 == 1;
 
     // 1. For each face, pair up the crossing edges into isoline segments.
-    let mut partners: [Vec<u8>; 12] = Default::default();
+    // A crossing edge always ends up with exactly two partners, so fixed
+    // two-slot rows (plus fill counts) replace per-edge vectors.
+    let mut partners = [[0u8; 2]; 12];
+    let mut partner_count = [0usize; 12];
     for face in FACES {
         // Face edges: between consecutive corners of the cycle.
-        let fe: Vec<u8> = (0..4)
+        let mut fe = [0u8; 4];
+        for (i, slot) in fe.iter_mut().enumerate() {
             // lint: infallible because consecutive corners of a face cycle share an edge
-            .map(|i| edge_between(face[i], face[(i + 1) % 4]).expect("face edge"))
-            .collect();
-        let crossing: Vec<usize> = (0..4)
-            .filter(|&i| inside(face[i]) != inside(face[(i + 1) % 4]))
-            .collect();
+            *slot = edge_between(face[i], face[(i + 1) % 4]).expect("face edge");
+        }
+        let mut crossing = [0usize; 4];
+        let mut num_crossing = 0;
+        for i in 0..4 {
+            if inside(face[i]) != inside(face[(i + 1) % 4]) {
+                crossing[num_crossing] = i;
+                num_crossing += 1;
+            }
+        }
         let mut link = |a: u8, b: u8| {
-            partners[a as usize].push(b);
-            partners[b as usize].push(a);
+            partners[a as usize][partner_count[a as usize]] = b;
+            partner_count[a as usize] += 1;
+            partners[b as usize][partner_count[b as usize]] = a;
+            partner_count[b as usize] += 1;
         };
-        match crossing.len() {
+        match num_crossing {
             0 => {}
             2 => link(fe[crossing[0]], fe[crossing[1]]),
             4 => {
@@ -131,25 +142,30 @@ fn build_case(config: u8) -> CaseTriangles {
         .collect();
     for &e in &crossing_edges {
         debug_assert_eq!(
-            partners[e].len(),
-            2,
+            partner_count[e], 2,
             "crossing edge {e} of config {config:#010b} must have exactly 2 partners"
         );
     }
 
     let mut visited = [false; 12];
-    let mut triangles = Vec::new();
+    let mut triangles = CaseTriangles::with_capacity(4);
     for &start in &crossing_edges {
         if visited[start] {
             continue;
         }
-        let mut cycle: Vec<u8> = vec![start as u8];
+        // A polygon visits at most the 12 cell edges, so the cycle fits
+        // in a fixed buffer.
+        let mut cycle = [0u8; 12];
+        let mut cycle_len = 0usize;
+        cycle[cycle_len] = start as u8;
+        cycle_len += 1;
         visited[start] = true;
         let mut prev = start as u8;
         let mut cur = partners[start][0];
         while cur as usize != start {
             visited[cur as usize] = true;
-            cycle.push(cur);
+            cycle[cycle_len] = cur;
+            cycle_len += 1;
             let next = if partners[cur as usize][0] == prev {
                 partners[cur as usize][1]
             } else {
@@ -158,6 +174,7 @@ fn build_case(config: u8) -> CaseTriangles {
             prev = cur;
             cur = next;
         }
+        let cycle = &mut cycle[..cycle_len];
 
         // 3. Orient the polygon so its normal points from the inside
         //    (high-value) corners toward the outside.
@@ -237,7 +254,10 @@ pub fn marching_cubes(grid: &UniformGrid, values: &[f64], isovalue: f64) -> McOu
         .map(|kz| {
             let mut classify = WorkCounters::new();
             let mut interp = WorkCounters::new();
-            let mut tris: Vec<([u64; 3], [Vec3; 3])> = Vec::new();
+            // A surface typically cuts O(cx·cy) of a slab's cells, each
+            // contributing a couple of triangles; pre-size for that and
+            // let empty slabs keep the (one) allocation.
+            let mut tris: Vec<([u64; 3], [Vec3; 3])> = Vec::with_capacity(slab / 4);
             for c in kz * slab..(kz + 1) * slab {
                 let ids = grid.cell_point_ids(c);
                 let mut config = 0u8;
@@ -262,7 +282,7 @@ pub fn marching_cubes(grid: &UniformGrid, values: &[f64], isovalue: f64) -> McOu
                         let t01 = ((isovalue - va) / (vb - va)).clamp(0.0, 1.0);
                         pos[slot] = corners[a].lerp(corners[b], t01);
                         let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
-                        key[slot] = (lo as u64) << 32 | hi as u64;
+                        key[slot] = pack_edge(lo as u32, hi as u32);
                         interp.tally(1, 34, 14, 48, 24);
                     }
                     tris.push((key, pos));
@@ -273,24 +293,33 @@ pub fn marching_cubes(grid: &UniformGrid, values: &[f64], isovalue: f64) -> McOu
         })
         .collect();
 
-    // Weld.
+    // Weld over the flat packed-index table. Triangles are consumed in
+    // slab (raster) order, and first sight of an edge key assigns the
+    // next point id — identical id assignment to the map-based weld this
+    // replaced, without per-entry heap boxes.
+    let total_tris: usize = slabs.iter().map(|(_, _, t)| t.len()).sum();
     let mut classify = WorkCounters::new();
     let mut interp = WorkCounters::new();
-    let mut weld: HashMap<u64, u32> = HashMap::new();
-    let mut points: Vec<Vec3> = Vec::new();
-    let mut point_values: Vec<f64> = Vec::new();
-    let mut cells = CellSet::new();
+    let mut weld: WeldMap = WeldMap::with_capacity(total_tris);
+    let mut points: Vec<Vec3> = Vec::with_capacity(total_tris);
+    let mut point_values: Vec<f64> = Vec::with_capacity(total_tris);
+    let mut cells = CellSet::with_capacity(total_tris, 3 * total_tris);
     for (cw, iw, tris) in slabs {
         classify.merge(&cw);
         interp.merge(&iw);
         for (keys, pos) in tris {
             let mut tri = [0u32; 3];
             for s in 0..3 {
-                let id = *weld.entry(keys[s]).or_insert_with(|| {
-                    points.push(pos[s]);
-                    point_values.push(isovalue);
-                    (points.len() - 1) as u32
-                });
+                let id = match weld.get(keys[s]) {
+                    Some(id) => id,
+                    None => {
+                        let id = points.len() as u32;
+                        points.push(pos[s]);
+                        point_values.push(isovalue);
+                        weld.insert(keys[s], id);
+                        id
+                    }
+                };
                 tri[s] = id;
             }
             // Skip degenerate triangles produced when two edges of the
@@ -396,6 +425,7 @@ impl Filter for Contour {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn sphere_field(grid: &UniformGrid) -> Vec<f64> {
         let c = grid.bounds().center();

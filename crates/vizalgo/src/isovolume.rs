@@ -6,8 +6,9 @@
 //! outside are removed, and straddling cells are subdivided — first
 //! clipped against `f ≥ lo`, then the result against `f ≤ hi`.
 
+use crate::arena::TetScratch;
 use crate::filter::{Filter, FilterOutput, KernelClass, KernelReport};
-use crate::tetclip::{clip_keep_above, TetMesh, HEX_TO_TETS};
+use crate::tetclip::{clip_keep_above_into, clip_keep_below_into, TetMesh, HEX_TO_TETS};
 use rayon::prelude::*;
 use vizmesh::{Association, CellSet, CellShape, DataSet, Field, WorkCounters};
 
@@ -99,11 +100,26 @@ impl Filter for Isovolume {
         classify.working_set_bytes = (num_points * 8) as u64;
 
         // Phase 2/3: gather interior cells, clip straddling ones twice.
+        let (mut num_in, mut num_straddle) = (0usize, 0usize);
+        for s in &sides {
+            match s {
+                Side::In => num_in += 1,
+                Side::Straddle => num_straddle += 1,
+                Side::Out => {}
+            }
+        }
+        let active = num_in + num_straddle;
         let mut gather = WorkCounters::new();
         let mut tet_work = WorkCounters::new();
-        let mut mesh = TetMesh::new();
+        // Pre-size for the measured shape of straddle output (≈ 12 tets
+        // per straddling hex); everything still grows on demand.
+        let mut mesh = TetMesh::with_point_capacity(active.saturating_mul(2).min(num_points));
+        let mut scratch = TetScratch::new();
         let mut point_map: Vec<u32> = vec![u32::MAX; num_points];
-        let mut cells = CellSet::new();
+        let mut cells = CellSet::with_capacity(
+            num_in + 12 * num_straddle,
+            8 * num_in + 4 * 12 * num_straddle,
+        );
         let mut map_point = |mesh: &mut TetMesh, pid: usize, w: &mut WorkCounters| -> u32 {
             if point_map[pid] == u32::MAX {
                 point_map[pid] =
@@ -130,24 +146,20 @@ impl Filter for Isovolume {
                     for (slot, &pid) in ids.iter().enumerate() {
                         corner[slot] = map_point(&mut mesh, pid, &mut tet_work);
                     }
-                    let tets: Vec<[u32; 4]> = HEX_TO_TETS
-                        .iter()
-                        .map(|t| [corner[t[0]], corner[t[1]], corner[t[2]], corner[t[3]]])
-                        .collect();
-                    // Keep f >= lo.
-                    let (above_lo, w1) = clip_keep_above(&mut mesh, &tets, self.lo);
-                    tet_work += w1;
-                    // Keep f <= hi: negate the scalar and clip at -hi.
-                    // (Clipping works on mesh.values, so temporarily flip.)
-                    for v in mesh.values.iter_mut() {
-                        *v = -*v;
+                    scratch.tets.clear();
+                    for t in HEX_TO_TETS {
+                        scratch
+                            .tets
+                            .push([corner[t[0]], corner[t[1]], corner[t[2]], corner[t[3]]]);
                     }
-                    let (kept, w2) = clip_keep_above(&mut mesh, &above_lo, -self.hi);
-                    tet_work += w2;
-                    for v in mesh.values.iter_mut() {
-                        *v = -*v;
-                    }
-                    for t in kept {
+                    // Keep f >= lo, then f <= hi, through the reused
+                    // scratch buffers (no per-cell allocation, no
+                    // whole-mesh value rewriting).
+                    tet_work +=
+                        clip_keep_above_into(&mut mesh, &scratch.tets, self.lo, &mut scratch.mid);
+                    tet_work +=
+                        clip_keep_below_into(&mut mesh, &scratch.mid, self.hi, &mut scratch.kept);
+                    for &t in &scratch.kept {
                         cells.push(CellShape::Tetra, &t);
                     }
                 }

@@ -24,7 +24,10 @@
 //!
 //! [`marching_tetra`] is an independent isosurface implementation used as
 //! a cross-check oracle in property tests, and [`tetclip`] is the shared
-//! tetrahedral clipping engine behind `clip` and `isovolume`.
+//! tetrahedral clipping engine behind `clip` and `isovolume`. The
+//! [`arena`] module holds the flat-arena primitives the kernel hot paths
+//! share: packed-key vertex-welding maps and reusable clip scratch
+//! buffers (see docs/PERFORMANCE.md for the policy they implement).
 //!
 //! The [`registry`] module is the single source of truth describing the
 //! eight algorithms (names, aliases, kernel taxonomy, cell-centered
@@ -35,6 +38,7 @@
 //! `registry-dispatch` xtask lint; see docs/REGISTRY.md).
 
 pub mod advection;
+pub mod arena;
 pub mod clip;
 pub mod colormap;
 pub mod contour;
@@ -51,6 +55,7 @@ pub mod threshold;
 pub mod volren;
 
 pub use advection::ParticleAdvection;
+pub use arena::{TetScratch, WeldMap};
 pub use clip::SphericalClip;
 pub use contour::Contour;
 pub use filter::{Algorithm, Filter, FilterOutput, KernelClass, KernelReport};

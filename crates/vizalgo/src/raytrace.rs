@@ -78,7 +78,9 @@ pub fn external_face_triangles(input: &DataSet, field: &str) -> (Vec<Triangle>, 
         // lint: infallible because the pipeline registers the field before running
         .unwrap_or_else(|| panic!("missing point scalar field '{field}'"));
     let [cx, cy, cz] = grid.cell_dims();
-    let mut tris = Vec::new();
+    // Exactly 2 boundary quads per face-pair slab, 2 triangles per quad.
+    let quads = 2 * (cx * cy + cy * cz + cz * cx);
+    let mut tris = Vec::with_capacity(2 * quads);
     let mut work = WorkCounters::new();
 
     // Each cell contributes the faces that lie on the domain boundary.
@@ -112,8 +114,8 @@ pub fn external_face_triangles(input: &DataSet, field: &str) -> (Vec<Triangle>, 
             }
             let ids = grid.cell_point_ids(c);
             let corners = grid.cell_corners(c);
-            let quad_p: Vec<Vec3> = slots.iter().map(|&s| corners[s]).collect();
-            let quad_v: Vec<f64> = slots.iter().map(|&s| values[ids[s]]).collect();
+            let quad_p: [Vec3; 4] = slots.map(|s| corners[s]);
+            let quad_v: [f64; 4] = slots.map(|s| values[ids[s]]);
             tris.push(Triangle {
                 p: [quad_p[0], quad_p[1], quad_p[2]],
                 scalar: [quad_v[0], quad_v[1], quad_v[2]],
@@ -141,7 +143,9 @@ struct BvhNode {
     leaf: bool,
 }
 
-/// A median-split bounding volume hierarchy over triangles.
+/// A median-split bounding volume hierarchy over triangles, stored as a
+/// flat preorder node array and traversed with a fixed-size explicit
+/// stack (no recursion, no per-ray allocation).
 pub struct Bvh {
     nodes: Vec<BvhNode>,
     /// Triangle indices reordered so each leaf is a contiguous range.
@@ -150,62 +154,72 @@ pub struct Bvh {
 
 const LEAF_SIZE: usize = 4;
 
+/// Traversal stack depth. Median splits halve ranges, so tree depth is
+/// ≤ ⌈log₂(n / LEAF_SIZE)⌉ + 1 (≤ 33 even at u32::MAX triangles), and
+/// the stack holds at most depth + 1 entries.
+const MAX_DEPTH: usize = 64;
+
 impl Bvh {
     /// Build over `tris`. Returns the structure and the build work.
+    ///
+    /// The build is iterative over an explicit range stack; nodes land in
+    /// the same DFS preorder the old recursion produced (parent, left
+    /// subtree, right subtree), so traversal order — and the visit/test
+    /// statistics feeding the power model — is unchanged.
     pub fn build(tris: &[Triangle]) -> (Bvh, WorkCounters) {
         let mut work = WorkCounters::new();
         let mut order: Vec<u32> = (0..tris.len() as u32).collect();
-        let mut nodes = Vec::new();
+        let mut nodes: Vec<BvhNode> =
+            Vec::with_capacity((2 * tris.len() / LEAF_SIZE).next_power_of_two());
+        // Pending ranges: (lo, hi, parent node, is-left-child). Children
+        // patch their parent's slot on creation; pushing the right range
+        // first means the left child pops next, preserving preorder.
+        let mut pending: Vec<(usize, usize, u32, bool)> = Vec::with_capacity(MAX_DEPTH);
         if !tris.is_empty() {
-            let n = tris.len();
-            Self::build_range(tris, &mut order, &mut nodes, 0, n, &mut work);
+            pending.push((0, tris.len(), u32::MAX, false));
+        }
+        while let Some((lo, hi, parent, is_left)) = pending.pop() {
+            let mut bounds = Aabb::empty();
+            for &t in &order[lo..hi] {
+                bounds.union(&tris[t as usize].bounds());
+            }
+            work.tally((hi - lo) as u64, 30, 18, 72, 8);
+            let me = nodes.len() as u32;
+            nodes.push(BvhNode {
+                bounds,
+                a: lo as u32,
+                b: hi as u32,
+                leaf: true,
+            });
+            if parent != u32::MAX {
+                let p = &mut nodes[parent as usize];
+                if is_left {
+                    p.a = me;
+                } else {
+                    p.b = me;
+                }
+                p.leaf = false;
+            }
+            if hi - lo <= LEAF_SIZE {
+                continue;
+            }
+            // Median split on the longest axis of the centroid bounds.
+            let mut cb = Aabb::empty();
+            for &t in &order[lo..hi] {
+                cb.grow(tris[t as usize].centroid());
+            }
+            let axis = cb.longest_axis();
+            let mid = (lo + hi) / 2;
+            order[lo..hi].select_nth_unstable_by((hi - lo) / 2, |&x, &y| {
+                tris[x as usize].centroid()[axis].total_cmp(&tris[y as usize].centroid()[axis])
+            });
+            work.tally((hi - lo) as u64, 16, 4, 28, 4);
+            pending.push((mid, hi, me, false));
+            pending.push((lo, mid, me, true));
         }
         work.working_set_bytes =
             (nodes.len() * std::mem::size_of::<BvhNode>() + tris.len() * 4) as u64;
         (Bvh { nodes, order }, work)
-    }
-
-    fn build_range(
-        tris: &[Triangle],
-        order: &mut [u32],
-        nodes: &mut Vec<BvhNode>,
-        lo: usize,
-        hi: usize,
-        work: &mut WorkCounters,
-    ) -> u32 {
-        let mut bounds = Aabb::empty();
-        for &t in &order[lo..hi] {
-            bounds.union(&tris[t as usize].bounds());
-        }
-        work.tally((hi - lo) as u64, 30, 18, 72, 8);
-        let me = nodes.len() as u32;
-        nodes.push(BvhNode {
-            bounds,
-            a: lo as u32,
-            b: hi as u32,
-            leaf: true,
-        });
-        if hi - lo <= LEAF_SIZE {
-            return me;
-        }
-        // Median split on the longest axis of the centroid bounds.
-        let mut cb = Aabb::empty();
-        for &t in &order[lo..hi] {
-            cb.grow(tris[t as usize].centroid());
-        }
-        let axis = cb.longest_axis();
-        let mid = (lo + hi) / 2;
-        order[lo..hi].select_nth_unstable_by((hi - lo) / 2, |&x, &y| {
-            tris[x as usize].centroid()[axis].total_cmp(&tris[y as usize].centroid()[axis])
-        });
-        work.tally((hi - lo) as u64, 16, 4, 28, 4);
-        let left = Self::build_range(tris, order, nodes, lo, mid, work);
-        let right = Self::build_range(tris, order, nodes, mid, hi, work);
-        let node = &mut nodes[me as usize];
-        node.a = left;
-        node.b = right;
-        node.leaf = false;
-        me
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -226,8 +240,14 @@ impl Bvh {
         let inv = ray.inv_direction();
         let mut best: Option<(f64, u32, f64, f64)> = None;
         let mut t_max = f64::INFINITY;
-        let mut stack: Vec<u32> = vec![0];
-        while let Some(ni) = stack.pop() {
+        // Fixed-size stack on the caller's stack frame: this runs once
+        // per ray, and a heap-backed Vec here was the hottest allocation
+        // in the whole trace step.
+        let mut stack = [0u32; MAX_DEPTH];
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let ni = stack[top];
             let node = &self.nodes[ni as usize];
             stats.0 += 1;
             if node
@@ -248,8 +268,10 @@ impl Bvh {
                     }
                 }
             } else {
-                stack.push(node.a);
-                stack.push(node.b);
+                debug_assert!(top + 2 <= MAX_DEPTH, "BVH deeper than MAX_DEPTH");
+                stack[top] = node.a;
+                stack[top + 1] = node.b;
+                top += 2;
             }
         }
         best
@@ -310,42 +332,44 @@ impl Filter for RayTracer {
 
         let mut trace_work = WorkCounters::new();
         let mut images = Vec::with_capacity(self.num_cameras);
+        let width = self.width;
+        // Per-row pixel buffers and traversal stats, reused across every
+        // camera: only the first camera pays the row allocations.
+        let mut row_buf: Vec<(Vec<([f32; 4], f32)>, (u64, u64))> = Vec::with_capacity(self.height);
+        row_buf.resize_with(self.height, Default::default);
         for cam in &cameras {
             let mut img = Image::new(self.width, self.height);
-            let width = self.width;
-            let rows: Vec<(usize, Vec<([f32; 4], f32)>, (u64, u64))> = (0..self.height)
-                .into_par_iter()
-                .map(|y| {
-                    let mut stats = (0u64, 0u64);
-                    let row: Vec<([f32; 4], f32)> = (0..width)
-                        .map(|x| {
-                            let ray = cam.pixel_ray(x, y, width, self.height);
-                            match bvh.intersect(&tris, &ray, &mut stats) {
-                                Some((t, ti, u, v)) => {
-                                    let tri = &tris[ti as usize];
-                                    let s = tri.scalar[0] * (1.0 - u - v)
-                                        + tri.scalar[1] * u
-                                        + tri.scalar[2] * v;
-                                    let mut c = cmap.sample_range(s, lo, hi);
-                                    // Headlight Lambert shading.
-                                    let ndl = tri.normal().dot(-ray.direction).abs();
-                                    let shade = (0.35 + 0.65 * ndl) as f32;
-                                    c[0] *= shade;
-                                    c[1] *= shade;
-                                    c[2] *= shade;
-                                    (c, t as f32)
-                                }
-                                None => ([0.0; 4], f32::INFINITY),
+            row_buf
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(y, (row, stats))| {
+                    *stats = (0, 0);
+                    row.clear();
+                    row.extend((0..width).map(|x| {
+                        let ray = cam.pixel_ray(x, y, width, self.height);
+                        match bvh.intersect(&tris, &ray, stats) {
+                            Some((t, ti, u, v)) => {
+                                let tri = &tris[ti as usize];
+                                let s = tri.scalar[0] * (1.0 - u - v)
+                                    + tri.scalar[1] * u
+                                    + tri.scalar[2] * v;
+                                let mut c = cmap.sample_range(s, lo, hi);
+                                // Headlight Lambert shading.
+                                let ndl = tri.normal().dot(-ray.direction).abs();
+                                let shade = (0.35 + 0.65 * ndl) as f32;
+                                c[0] *= shade;
+                                c[1] *= shade;
+                                c[2] *= shade;
+                                (c, t as f32)
                             }
-                        })
-                        .collect();
-                    (y, row, stats)
-                })
-                .collect();
+                            None => ([0.0; 4], f32::INFINITY),
+                        }
+                    }));
+                });
             let mut nodes_visited = 0u64;
             let mut tri_tests = 0u64;
-            for (y, row, stats) in rows {
-                for (x, (c, d)) in row.into_iter().enumerate() {
+            for (y, (row, stats)) in row_buf.iter().enumerate() {
+                for (x, &(c, d)) in row.iter().enumerate() {
                     if d.is_finite() {
                         img.set_if_closer(x, y, d, c);
                     }
@@ -494,5 +518,69 @@ mod tests {
         assert!(bvh
             .intersect(&[], &Ray::new(Vec3::ZERO, Vec3::X), &mut stats)
             .is_none());
+    }
+
+    #[test]
+    fn iterative_bvh_matches_brute_force_on_random_scene() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // A seeded soup of 400 small triangles: enough to force several
+        // levels of median splits and exercise the explicit-stack
+        // traversal against the O(n) oracle.
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let mut tris = Vec::with_capacity(400);
+        for _ in 0..400 {
+            let base = Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            );
+            let e1 = Vec3::new(
+                rng.random_range(-0.2..0.2),
+                rng.random_range(-0.2..0.2),
+                rng.random_range(-0.2..0.2),
+            );
+            let e2 = Vec3::new(
+                rng.random_range(-0.2..0.2),
+                rng.random_range(-0.2..0.2),
+                rng.random_range(-0.2..0.2),
+            );
+            tris.push(Triangle {
+                p: [base, base + e1, base + e2],
+                scalar: [0.0; 3],
+            });
+        }
+        let (bvh, _) = Bvh::build(&tris);
+        let mut rays_hit = 0;
+        for i in 0..64 {
+            let origin = Vec3::new(
+                rng.random_range(-2.0..2.0),
+                rng.random_range(-2.0..2.0),
+                2.0,
+            );
+            let target = Vec3::new(
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+                rng.random_range(-1.0..1.0),
+            );
+            let ray = Ray::new(origin, (target - origin).normalized());
+            let mut stats = (0, 0);
+            let fast = bvh.intersect(&tris, &ray, &mut stats);
+            let brute = tris
+                .iter()
+                .enumerate()
+                .filter_map(|(ti, tr)| tr.intersect(&ray).map(|(t, u, v)| (t, ti as u32, u, v)))
+                .min_by(|a, b| a.0.total_cmp(&b.0));
+            match (fast, brute) {
+                (Some((ta, ia, ..)), Some((tb, ib, ..))) => {
+                    assert!((ta - tb).abs() < 1e-12, "ray {i}: t {ta} vs {tb}");
+                    assert_eq!(ia, ib, "ray {i}: different nearest triangle");
+                    rays_hit += 1;
+                }
+                (None, None) => {}
+                other => panic!("ray {i} mismatch: {other:?}"),
+            }
+        }
+        assert!(rays_hit > 10, "only {rays_hit} rays hit — scene too sparse");
     }
 }

@@ -83,15 +83,17 @@ impl Filter for ThreeSlice {
         let mut points: Vec<Vec3> = Vec::new();
         let mut values: Vec<f64> = Vec::new();
         let mut cells = CellSet::new();
+        // One signed-distance buffer shared by all planes: refilled in
+        // place each iteration instead of collected fresh.
+        let mut sdf = vec![0.0f64; num_points];
 
         for plane in &self.planes {
             // Kernel 1: signed-distance field for every mesh point. The
             // paper notes this per-node computation is what makes slice
             // more compute-intensive than plain contour.
-            let sdf: Vec<f64> = (0..num_points)
-                .into_par_iter()
-                .map(|p| plane.distance(grid.point_coord_id(p)))
-                .collect();
+            sdf.par_iter_mut()
+                .enumerate()
+                .for_each(|(p, s)| *s = plane.distance(grid.point_coord_id(p)));
             distance_work.tally(num_points as u64, 30, 18, 24, 8);
 
             // Kernel 2+3: contour the distance field at zero.
@@ -101,11 +103,10 @@ impl Filter for ThreeSlice {
 
             // Interpolate the data field onto the slice vertices.
             let base = points.len() as u32;
-            for p in &mc.points {
-                let v = data.and_then(|d| grid.sample_scalar(d, *p)).unwrap_or(0.0);
-                values.push(v);
+            values.extend(mc.points.iter().map(|p| {
                 interp.tally(1, 46, 22, 96, 8);
-            }
+                data.and_then(|d| grid.sample_scalar(d, *p)).unwrap_or(0.0)
+            }));
             points.extend(mc.points);
             cells.append_shifted(&mc.triangles, base);
         }

@@ -3,11 +3,23 @@
 //!
 //! Cells that straddle an implicit surface are decomposed into
 //! tetrahedra; each tetrahedron is clipped against the scalar value,
-//! keeping the side where `value >= iso`. The clipped pieces are emitted
+//! keeping the side where `value >= iso` ([`clip_keep_above`]) or
+//! `value <= iso` ([`clip_keep_below`]). The clipped pieces are emitted
 //! as new tetrahedra with interpolated vertices, exactly as VTK-m's clip
 //! worklets subdivide straddling cells (§III-B3/B4 of the paper).
+//!
+//! The keep-below side is computed by negating the per-point scalars *at
+//! comparison time* instead of rewriting `mesh.values` — IEEE-754
+//! negation is exact, so classification, interpolation parameters, and
+//! weld keys are bit-identical to clipping the negated mesh at `-iso`,
+//! without the O(points) traffic per clipped cell that the old
+//! negate-clip-negate dance cost isovolume.
+//!
+//! The `_into` variants append into caller-owned scratch buffers
+//! (`arena::TetScratch`) so the per-cell inner loops of `clip` and
+//! `isovolume` allocate nothing after warm-up.
 
-use std::collections::HashMap;
+use crate::arena::{pack_edge_iso, WeldMap};
 use vizmesh::{Vec3, WorkCounters};
 
 /// Decomposition of a hexahedron (VTK corner order) into 6 tetrahedra
@@ -32,14 +44,27 @@ pub struct TetMesh {
     /// with the clip scalar so output meshes keep their colors.
     pub payloads: Vec<f64>,
     pub tets: Vec<[u32; 4]>,
-    /// Weld map for interpolated edge points, keyed by the ordered pair of
-    /// parent point ids and the interpolation target (quantized).
-    weld: HashMap<(u32, u32, u64), u32>,
+    /// Weld map for interpolated edge points, keyed by the packed ordered
+    /// pair of parent point ids and the interpolation target's bits.
+    weld: WeldMap<u128>,
 }
 
 impl TetMesh {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty mesh whose point arrays and weld table are pre-sized for
+    /// roughly `points` vertices (a hint; the mesh still grows on
+    /// demand).
+    pub fn with_point_capacity(points: usize) -> Self {
+        TetMesh {
+            points: Vec::with_capacity(points),
+            values: Vec::with_capacity(points),
+            payloads: Vec::with_capacity(points),
+            tets: Vec::new(),
+            weld: WeldMap::with_capacity(points / 2),
+        }
     }
 
     /// Add an original (non-interpolated) point.
@@ -71,43 +96,114 @@ impl TetMesh {
         self.tets.iter().map(|&t| self.tet_volume(t).abs()).sum()
     }
 
-    /// Interpolated point on edge `(a, b)` where the scalar hits `iso`,
-    /// welded so the same edge/iso pair reuses one vertex.
-    fn edge_point(&mut self, a: u32, b: u32, iso: f64) -> u32 {
+    /// Interpolated point on edge `(a, b)` where the (possibly
+    /// sign-flipped) scalar hits `iso`, welded so the same edge/iso pair
+    /// reuses one vertex. `iso` is the *effective* isovalue: for a
+    /// keep-below clip at `hi` the caller passes `-hi` with
+    /// `flip = true`, so weld keys (and therefore point identities)
+    /// match a literal negate-the-mesh clip bit for bit.
+    fn edge_point(&mut self, a: u32, b: u32, iso: f64, flip: bool) -> u32 {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        let key = (lo, hi, iso.to_bits());
-        if let Some(&id) = self.weld.get(&key) {
+        let key = pack_edge_iso(lo, hi, iso.to_bits());
+        if let Some(id) = self.weld.get(key) {
             return id;
         }
-        let (va, vb) = (self.values[a as usize], self.values[b as usize]);
+        let (mut va, mut vb) = (self.values[a as usize], self.values[b as usize]);
+        if flip {
+            va = -va;
+            vb = -vb;
+        }
         let t = ((iso - va) / (vb - va)).clamp(0.0, 1.0);
         let p = self.points[a as usize].lerp(self.points[b as usize], t);
         let pay =
             self.payloads[a as usize] + (self.payloads[b as usize] - self.payloads[a as usize]) * t;
-        let id = self.add_point_with(p, iso, pay);
+        let value = if flip { -iso } else { iso };
+        let id = self.add_point_with(p, value, pay);
         self.weld.insert(key, id);
         id
     }
 }
 
-/// Clip every tet of `mesh`, keeping the region where `value >= iso`
-/// (pass negated values and isovalue to keep the other side). Returns the
-/// clipped tet list (indices into the same, grown, mesh) and the work
-/// performed.
+/// Clip every tet of `mesh`, keeping the region where `value >= iso`.
+/// Returns the clipped tet list (indices into the same, grown, mesh) and
+/// the work performed.
 pub fn clip_keep_above(
     mesh: &mut TetMesh,
     tets: &[[u32; 4]],
     iso: f64,
 ) -> (Vec<[u32; 4]>, WorkCounters) {
-    let mut out: Vec<[u32; 4]> = Vec::with_capacity(tets.len());
+    let mut out = Vec::new();
+    let work = clip_keep_above_into(mesh, tets, iso, &mut out);
+    (out, work)
+}
+
+/// Clip every tet of `mesh`, keeping the region where `value <= iso`.
+pub fn clip_keep_below(
+    mesh: &mut TetMesh,
+    tets: &[[u32; 4]],
+    iso: f64,
+) -> (Vec<[u32; 4]>, WorkCounters) {
+    let mut out = Vec::new();
+    let work = clip_keep_below_into(mesh, tets, iso, &mut out);
+    (out, work)
+}
+
+/// [`clip_keep_above`] writing into a reused scratch buffer: `out` is
+/// cleared, then filled. Returns the work performed.
+pub fn clip_keep_above_into(
+    mesh: &mut TetMesh,
+    tets: &[[u32; 4]],
+    iso: f64,
+    out: &mut Vec<[u32; 4]>,
+) -> WorkCounters {
+    clip_tets(mesh, tets, iso, false, out)
+}
+
+/// [`clip_keep_below`] writing into a reused scratch buffer: `out` is
+/// cleared, then filled. Returns the work performed.
+pub fn clip_keep_below_into(
+    mesh: &mut TetMesh,
+    tets: &[[u32; 4]],
+    iso: f64,
+    out: &mut Vec<[u32; 4]>,
+) -> WorkCounters {
+    clip_tets(mesh, tets, -iso, true, out)
+}
+
+/// The one clip core. `flip = false` keeps `value >= iso`; `flip = true`
+/// keeps `-value >= iso`, i.e. `value <= -iso`, evaluated by negating
+/// scalars at the comparison (exact under IEEE-754, so results are
+/// bit-identical to clipping a negated mesh).
+fn clip_tets(
+    mesh: &mut TetMesh,
+    tets: &[[u32; 4]],
+    iso: f64,
+    flip: bool,
+    out: &mut Vec<[u32; 4]>,
+) -> WorkCounters {
+    let want = 3 * tets.len();
+    if out.capacity() < want {
+        // First use of this scratch buffer (or an unusually large cell):
+        // size it once; later cells reuse the allocation.
+        *out = Vec::with_capacity(want.max(16));
+    }
+    out.clear();
     let mut work = WorkCounters::new();
+    let value_of = |mesh: &TetMesh, v: u32| {
+        let raw = mesh.values[v as usize];
+        if flip {
+            -raw
+        } else {
+            raw
+        }
+    };
     for &tet in tets {
         // Partition corners into kept (value >= iso) and dropped.
         let mut kept = [0u32; 4];
         let mut dropped = [0u32; 4];
         let (mut nk, mut nd) = (0usize, 0usize);
         for &v in &tet {
-            if mesh.values[v as usize] >= iso {
+            if value_of(mesh, v) >= iso {
                 kept[nk] = v;
                 nk += 1;
             } else {
@@ -127,9 +223,9 @@ pub fn clip_keep_above(
                 let a = kept[0];
                 let p = [
                     a,
-                    mesh.edge_point(a, dropped[0], iso),
-                    mesh.edge_point(a, dropped[1], iso),
-                    mesh.edge_point(a, dropped[2], iso),
+                    mesh.edge_point(a, dropped[0], iso, flip),
+                    mesh.edge_point(a, dropped[1], iso, flip),
+                    mesh.edge_point(a, dropped[2], iso, flip),
                 ];
                 out.push(p);
                 work.tally(1, 120, 36, 96, 64);
@@ -139,9 +235,9 @@ pub fn clip_keep_above(
                 // and (ad', bd', cd'), split into 3 tets.
                 let d = dropped[0];
                 let (a, b, c) = (kept[0], kept[1], kept[2]);
-                let ad = mesh.edge_point(a, d, iso);
-                let bd = mesh.edge_point(b, d, iso);
-                let cd = mesh.edge_point(c, d, iso);
+                let ad = mesh.edge_point(a, d, iso, flip);
+                let bd = mesh.edge_point(b, d, iso, flip);
+                let cd = mesh.edge_point(c, d, iso, flip);
                 out.push([a, b, c, ad]);
                 out.push([b, c, ad, bd]);
                 out.push([c, ad, bd, cd]);
@@ -152,10 +248,10 @@ pub fn clip_keep_above(
                 // (b, bc', bd').
                 let (a, b) = (kept[0], kept[1]);
                 let (c, d) = (dropped[0], dropped[1]);
-                let ac = mesh.edge_point(a, c, iso);
-                let ad = mesh.edge_point(a, d, iso);
-                let bc = mesh.edge_point(b, c, iso);
-                let bd = mesh.edge_point(b, d, iso);
+                let ac = mesh.edge_point(a, c, iso, flip);
+                let ad = mesh.edge_point(a, d, iso, flip);
+                let bc = mesh.edge_point(b, c, iso, flip);
+                let bd = mesh.edge_point(b, d, iso, flip);
                 out.push([a, ac, ad, b]);
                 out.push([ac, ad, b, bc]);
                 out.push([ad, b, bc, bd]);
@@ -165,12 +261,13 @@ pub fn clip_keep_above(
             _ => unreachable!(),
         }
     }
-    (out, work)
+    work
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arena::TetScratch;
 
     /// Build a single-tet mesh with the given corner values.
     fn one_tet(values: [f64; 4]) -> (TetMesh, [u32; 4]) {
@@ -264,6 +361,101 @@ mod tests {
                 (total - 1.0 / 6.0).abs() < 1e-12,
                 "values {values:?}: {total}"
             );
+        }
+    }
+
+    #[test]
+    fn keep_below_matches_negated_keep_above_bitwise() {
+        // clip_keep_below(hi) must reproduce the old negate/clip/negate
+        // sequence exactly: same points, same values, same connectivity.
+        let cases = [
+            [0.3, -0.7, 0.9, -0.1],
+            [1.0, 2.0, -3.0, 4.0],
+            [0.1, 0.2, 0.3, -0.4],
+        ];
+        for values in cases {
+            let hi = 0.25;
+            let (mut direct, t) = one_tet(values);
+            let (below, _) = clip_keep_below(&mut direct, &[t], hi);
+
+            let (mut via_negate, t2) = one_tet(values);
+            for v in via_negate.values.iter_mut() {
+                *v = -*v;
+            }
+            let (kept, _) = clip_keep_above(&mut via_negate, &[t2], -hi);
+            for v in via_negate.values.iter_mut() {
+                *v = -*v;
+            }
+
+            assert_eq!(below, kept, "connectivity for {values:?}");
+            assert_eq!(direct.points.len(), via_negate.points.len());
+            for i in 0..direct.points.len() {
+                let (p, q) = (direct.points[i], via_negate.points[i]);
+                assert_eq!(
+                    [p.x, p.y, p.z].map(f64::to_bits),
+                    [q.x, q.y, q.z].map(f64::to_bits),
+                    "point {i} for {values:?}"
+                );
+                assert_eq!(
+                    direct.values[i].to_bits(),
+                    via_negate.values[i].to_bits(),
+                    "value {i} for {values:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keep_below_then_above_partitions_volume() {
+        let (mut m, t) = one_tet([0.3, -0.7, 0.9, -0.1]);
+        let (above, _) = clip_keep_above(&mut m, &[t], 0.0);
+        let (below, _) = clip_keep_below(&mut m, &[t], 0.0);
+        let total = volume_of(&m, &above) + volume_of(&m, &below);
+        assert!((total - 1.0 / 6.0).abs() < 1e-12, "total = {total}");
+    }
+
+    #[test]
+    fn scratch_reuse_leaks_no_state_between_cells() {
+        // Clip two disjoint cells through the same scratch buffers; the
+        // results must match fresh-buffer clips cell by cell.
+        let mut scratch = TetScratch::new();
+        let mut welded = TetMesh::new();
+        let mut fresh = TetMesh::new();
+        let cells = [
+            ([0.4, -0.6, 0.2, -0.9], 0.1),
+            ([-0.5, 0.5, -0.5, 0.5], 0.0),
+            ([1.0, 1.0, 1.0, 1.0], 0.5),
+        ];
+        let mut add_cell = |m: &mut TetMesh, vals: [f64; 4], offset: f64| {
+            [
+                m.add_point(Vec3::splat(offset), vals[0]),
+                m.add_point(Vec3::splat(offset) + Vec3::X, vals[1]),
+                m.add_point(Vec3::splat(offset) + Vec3::Y, vals[2]),
+                m.add_point(Vec3::splat(offset) + Vec3::Z, vals[3]),
+            ]
+        };
+        for (i, &(vals, iso)) in cells.iter().enumerate() {
+            let t = add_cell(&mut welded, vals, i as f64 * 10.0);
+            scratch.tets.clear();
+            scratch.tets.push(t);
+            clip_keep_above_into(&mut welded, &scratch.tets, iso, &mut scratch.mid);
+            clip_keep_below_into(&mut welded, &scratch.mid, iso + 0.3, &mut scratch.kept);
+
+            let t2 = add_cell(&mut fresh, vals, i as f64 * 10.0);
+            let (mid, _) = clip_keep_above(&mut fresh, &[t2], iso);
+            let (kept, _) = clip_keep_below(&mut fresh, &mid, iso + 0.3);
+
+            // Same piece count and same volume, cell by cell — nothing
+            // from the previous cell's scratch contents bleeds through.
+            assert_eq!(scratch.mid.len(), mid.len(), "cell {i} mid");
+            assert_eq!(scratch.kept.len(), kept.len(), "cell {i} kept");
+            let a: f64 = scratch
+                .kept
+                .iter()
+                .map(|&t| welded.tet_volume(t).abs())
+                .sum();
+            let b: f64 = kept.iter().map(|&t| fresh.tet_volume(t).abs()).sum();
+            assert!((a - b).abs() < 1e-12, "cell {i}: {a} vs {b}");
         }
     }
 

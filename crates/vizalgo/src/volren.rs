@@ -76,47 +76,49 @@ impl Filter for VolumeRenderer {
 
         let mut march_work = WorkCounters::new();
         let mut images = Vec::with_capacity(self.num_cameras);
+        let width = self.width;
+        // Per-row pixel buffers and sample counts, reused across every
+        // camera: only the first camera pays the row allocations.
+        let mut row_buf: Vec<(Vec<[f32; 4]>, u64)> = Vec::with_capacity(self.height);
+        row_buf.resize_with(self.height, Default::default);
         for cam in &cameras {
             let mut img = Image::new(self.width, self.height);
-            let width = self.width;
-            let rows: Vec<(usize, Vec<[f32; 4]>, u64)> = (0..self.height)
-                .into_par_iter()
-                .map(|y| {
-                    let mut samples = 0u64;
-                    let row: Vec<[f32; 4]> = (0..width)
-                        .map(|x| {
-                            let ray = cam.pixel_ray(x, y, width, self.height);
-                            let inv = ray.inv_direction();
-                            let Some((t0, t1)) =
-                                bounds.intersect_ray(ray.origin, inv, 0.0, f64::INFINITY)
-                            else {
-                                return [0.0; 4];
-                            };
-                            let mut color = [0.0f32; 4];
-                            let mut t = t0.max(0.0) + step * 0.5;
-                            while t < t1 && color[3] < 0.99 {
-                                if let Some(v) = grid.sample_scalar(values, ray.at(t)) {
-                                    samples += 1;
-                                    let mut s = tf.sample_range(v, lo, hi);
-                                    s[3] = (s[3] * self.opacity_scale as f32).clamp(0.0, 1.0);
-                                    // Front-to-back "over" compositing.
-                                    let w = s[3] * (1.0 - color[3]);
-                                    color[0] += s[0] * w;
-                                    color[1] += s[1] * w;
-                                    color[2] += s[2] * w;
-                                    color[3] += w;
-                                }
-                                t += step;
+            row_buf
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(y, (row, samples))| {
+                    *samples = 0;
+                    row.clear();
+                    row.extend((0..width).map(|x| {
+                        let ray = cam.pixel_ray(x, y, width, self.height);
+                        let inv = ray.inv_direction();
+                        let Some((t0, t1)) =
+                            bounds.intersect_ray(ray.origin, inv, 0.0, f64::INFINITY)
+                        else {
+                            return [0.0; 4];
+                        };
+                        let mut color = [0.0f32; 4];
+                        let mut t = t0.max(0.0) + step * 0.5;
+                        while t < t1 && color[3] < 0.99 {
+                            if let Some(v) = grid.sample_scalar(values, ray.at(t)) {
+                                *samples += 1;
+                                let mut s = tf.sample_range(v, lo, hi);
+                                s[3] = (s[3] * self.opacity_scale as f32).clamp(0.0, 1.0);
+                                // Front-to-back "over" compositing.
+                                let w = s[3] * (1.0 - color[3]);
+                                color[0] += s[0] * w;
+                                color[1] += s[1] * w;
+                                color[2] += s[2] * w;
+                                color[3] += w;
                             }
-                            color
-                        })
-                        .collect();
-                    (y, row, samples)
-                })
-                .collect();
+                            t += step;
+                        }
+                        color
+                    }));
+                });
             let mut samples = 0u64;
-            for (y, row, s) in rows {
-                for (x, c) in row.into_iter().enumerate() {
+            for (y, (row, s)) in row_buf.iter().enumerate() {
+                for (x, &c) in row.iter().enumerate() {
                     if c[3] > 0.0 {
                         img.set_if_closer(x, y, 0.0, c);
                     }

@@ -232,6 +232,19 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
             &[],
         ),
         (
+            "reproduce bench --quick",
+            &[
+                "run",
+                "--release",
+                "--bin",
+                "reproduce",
+                "--",
+                "bench",
+                "--quick",
+            ],
+            &[],
+        ),
+        (
             "cargo doc --no-deps (RUSTDOCFLAGS='-D warnings')",
             &["doc", "--no-deps", "--workspace"],
             &[("RUSTDOCFLAGS", "-D warnings")],
