@@ -11,13 +11,19 @@
 //! reproduce governor --budget-sweep [--quick]
 //!                                 # extension: closed-loop governor across
 //!                                 # node budgets (80-240 W, 4 policies)
-//! reproduce conformance [--quick] # analytic-oracle / differential /
+//! reproduce conformance [--quick] [--backend <traditional|dpp|both>]
+//!                                 # analytic-oracle / differential /
 //!                                 # metamorphic checks for all eight
-//!                                 # kernels (exit 1 on any failure)
+//!                                 # kernels (exit 1 on any failure);
+//!                                 # --backend dpp runs the traditional-
+//!                                 # vs-DPP differential suite instead
 //! reproduce bench [--quick] [--out BENCH.json]
+//!                 [--backend <traditional|dpp|both>] [--algo <a,b,...>]
 //!                                 # kernel perf baseline: wall time and
 //!                                 # throughput per algorithm × size,
-//!                                 # plus default-cap simulated J
+//!                                 # plus default-cap simulated J/IPC/LLC;
+//!                                 # --backend both adds a DPP row per
+//!                                 # supported algorithm
 //!
 //! reproduce <target> --journal out.jsonl   # write the run journal (JSONL)
 //! reproduce <target> --trace out.trace.json # write a chrome://tracing file
@@ -42,7 +48,7 @@ use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>] [--backend <traditional|dpp|both>] [--algo <name,...>]"
     ))
 }
 
@@ -80,6 +86,8 @@ fn main() -> Result<(), CliError> {
     let mut journal_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut out_path: Option<PathBuf> = None;
+    let mut backends: Option<Vec<vizalgo::Backend>> = None;
+    let mut algorithms: Option<Vec<Algorithm>> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -100,6 +108,16 @@ fn main() -> Result<(), CliError> {
                 let path = it.next().ok_or_else(|| usage("--out needs a path"))?;
                 out_path = Some(PathBuf::from(path));
             }
+            "--backend" => {
+                let name = it.next().ok_or_else(|| usage("--backend needs a name"))?;
+                backends = Some(vizpower_bench::parse_backends(&name)?);
+            }
+            "--algo" => {
+                let names = it
+                    .next()
+                    .ok_or_else(|| usage("--algo needs a comma-separated list"))?;
+                algorithms = Some(vizpower_bench::parse_algorithms(&names)?);
+            }
             other if other.starts_with("--") => {
                 return Err(usage(&format!("unknown flag '{other}'")));
             }
@@ -109,6 +127,14 @@ fn main() -> Result<(), CliError> {
     let Some(target) = targets.first().map(|s| s.as_str()) else {
         return Err(usage("missing target"));
     };
+    if backends.is_some() && !matches!(target, "bench" | "conformance") {
+        return Err(usage(
+            "--backend only applies to the bench and conformance targets",
+        ));
+    }
+    if algorithms.is_some() && target != "bench" {
+        return Err(usage("--algo only applies to the bench target"));
+    }
     let fidelity = if quick {
         Fidelity::Quick
     } else {
@@ -280,11 +306,28 @@ fn main() -> Result<(), CliError> {
             } else {
                 conformance::ConformanceConfig::full()
             };
-            println!(
-                "== Conformance: oracle / differential / metamorphic checks at {:?}³ ==",
-                cfg.grids
-            );
-            let report = conformance::run_journaled(&cfg, &mut ctx.journal);
+            let selected = backends
+                .clone()
+                .unwrap_or_else(|| vec![vizalgo::Backend::Traditional]);
+            let mut report = conformance::ConformanceReport::default();
+            if selected.contains(&vizalgo::Backend::Traditional) {
+                println!(
+                    "== Conformance: oracle / differential / metamorphic checks at {:?}³ ==",
+                    cfg.grids
+                );
+                report
+                    .checks
+                    .extend(conformance::run_journaled(&cfg, &mut ctx.journal).checks);
+            }
+            if selected.contains(&vizalgo::Backend::Dpp) {
+                println!(
+                    "== Conformance: traditional-vs-DPP backend differential at {:?}³ ==",
+                    cfg.grids
+                );
+                report
+                    .checks
+                    .extend(conformance::backend::run_journaled(&cfg, &mut ctx.journal).checks);
+            }
             print!("{}", conformance::render_table(&report));
             println!();
             write_journal_outputs(&ctx, journal_path.as_deref(), trace_path.as_deref())?;
@@ -304,7 +347,15 @@ fn main() -> Result<(), CliError> {
                 sizes,
                 vizpower::study::PAPER_CAPS[0].value()
             );
-            let rows = vizpower_bench::perf::bench(&mut ctx, &sizes);
+            let selected = backends
+                .clone()
+                .unwrap_or_else(|| vec![vizalgo::Backend::Traditional]);
+            let rows = vizpower_bench::perf::bench_with(
+                &mut ctx,
+                &sizes,
+                &selected,
+                algorithms.as_deref(),
+            );
             print!("{}", vizpower_bench::perf::render_table(&rows));
             println!();
             if let Some(path) = &out_path {

@@ -14,6 +14,7 @@
 //! The library part hosts the shared harness configuration so the binary
 //! and the benches stay consistent.
 
+use vizalgo::{Algorithm, Backend};
 use vizpower::study::{StudyConfig, PAPER_SIZES};
 
 pub mod perf;
@@ -102,6 +103,51 @@ impl From<&str> for CliError {
     }
 }
 
+/// Parse a `--backend` argument into the backend list to run. Accepts
+/// every [`Backend::parse`] alias plus `both`/`all`; anything else is an
+/// actionable error naming the accepted values.
+pub fn parse_backends(s: &str) -> Result<Vec<Backend>, CliError> {
+    if s.eq_ignore_ascii_case("both") || s.eq_ignore_ascii_case("all") {
+        return Ok(Backend::ALL.to_vec());
+    }
+    match Backend::parse(s) {
+        Some(b) => Ok(vec![b]),
+        None => Err(CliError::new(format!(
+            "unknown backend '{s}': expected 'traditional', 'dpp', or 'both'"
+        ))),
+    }
+}
+
+/// Parse a comma-separated `--algo` list against the registry alias
+/// tables. Unknown names are an actionable error listing what was not
+/// recognized and where the accepted spellings live.
+pub fn parse_algorithms(s: &str) -> Result<Vec<Algorithm>, CliError> {
+    let mut out = Vec::with_capacity(Algorithm::ALL.len());
+    for name in s.split(',') {
+        let name = name.trim();
+        match Algorithm::parse(name) {
+            Some(a) => {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+            None => {
+                return Err(CliError::new(format!(
+                    "unknown algorithm '{name}': expected registry names/aliases \
+                     (contour, threshold, clip, isovolume, slice, advection, \
+                     raytrace, volren; see docs/REGISTRY.md)"
+                )))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(CliError::new(
+            "--algo needs at least one algorithm name".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +167,35 @@ mod tests {
         assert_eq!(q.sizes().len(), 4);
         assert!(q.table3_size() > q.table2_size());
         assert_eq!(q.study_config().caps.len(), 9);
+    }
+
+    #[test]
+    fn parse_backends_accepts_aliases_and_both() {
+        assert_eq!(parse_backends("dpp").unwrap(), vec![Backend::Dpp]);
+        assert_eq!(
+            parse_backends("traditional").unwrap(),
+            vec![Backend::Traditional]
+        );
+        assert_eq!(parse_backends("BOTH").unwrap(), Backend::ALL.to_vec());
+        let err = parse_backends("gpu").unwrap_err().to_string();
+        assert!(err.contains("unknown backend 'gpu'"), "{err}");
+        assert!(err.contains("'traditional', 'dpp', or 'both'"), "{err}");
+    }
+
+    #[test]
+    fn parse_algorithms_rejects_unknown_names_actionably() {
+        assert_eq!(
+            parse_algorithms("contour,slice").unwrap(),
+            vec![Algorithm::Contour, Algorithm::Slice]
+        );
+        assert_eq!(
+            parse_algorithms("volren, volren").unwrap(),
+            vec![Algorithm::VolumeRendering],
+            "duplicates collapse"
+        );
+        let err = parse_algorithms("contour,bogus").unwrap_err().to_string();
+        assert!(err.contains("unknown algorithm 'bogus'"), "{err}");
+        assert!(err.contains("REGISTRY.md"), "{err}");
+        assert!(parse_algorithms("").is_err());
     }
 }

@@ -9,9 +9,10 @@
 
 use std::time::Instant;
 
-use powersim::trace::Scope;
-use powersim::CpuSpec;
-use vizalgo::Algorithm;
+use powersim::trace::{Journal, Scope};
+use powersim::{CpuSpec, Watts};
+use vizalgo::{Algorithm, Backend, PrimitiveReport};
+use vizmesh::DataSet;
 use vizpower::study::{self, StudyContext, PAPER_CAPS};
 
 /// One benchmark measurement.
@@ -19,7 +20,10 @@ use vizpower::study::{self, StudyContext, PAPER_CAPS};
 pub struct BenchRow {
     /// Registry display name ("Contour", "Spherical Clip", ...).
     pub algorithm: &'static str,
-    /// Canonical spec fingerprint of the executed plan.
+    /// Execution backend the row ran on (`traditional` or `dpp`).
+    pub backend: &'static str,
+    /// Backend-tagged spec fingerprint of the executed plan
+    /// (`AlgorithmSpec::fingerprint_with`).
     pub fingerprint: u64,
     /// Grid edge length (the dataset is `size`³ cells).
     pub size: usize,
@@ -38,6 +42,12 @@ pub struct BenchRow {
     pub sim_seconds: f64,
     /// Simulated package energy under the default cap.
     pub sim_joules: f64,
+    /// Simulated instructions per reference cycle under the default cap
+    /// — the counter the Bethel-style backend comparison contrasts
+    /// between formulations.
+    pub sim_ipc: f64,
+    /// Simulated LLC miss rate (misses/references) under the default cap.
+    pub sim_llc_miss_rate: f64,
 }
 
 /// Execute every algorithm at every size, timing the native kernels and
@@ -50,107 +60,203 @@ pub struct BenchRow {
 /// measured wall time, so bench runs are observable in the same journal
 /// and chrome trace as everything else (see docs/OBSERVABILITY.md).
 pub fn bench(ctx: &mut StudyContext, sizes: &[usize]) -> Vec<BenchRow> {
-    let config = ctx.config();
+    bench_with(ctx, sizes, &[Backend::Traditional], None)
+}
+
+/// [`bench`] over an explicit backend list and (optionally) an algorithm
+/// subset: the traditional-vs-DPP comparison driver. Backends that have
+/// no formulation of an algorithm ([`Backend::supports`]) are skipped,
+/// so `--backend both` still yields exactly one traditional row for the
+/// four DPP-less algorithms. DPP rows additionally journal one schema-v6
+/// [`Scope::Primitive`] span per primitive op the execution invoked.
+pub fn bench_with(
+    ctx: &mut StudyContext,
+    sizes: &[usize],
+    backends: &[Backend],
+    algorithms: Option<&[Algorithm]>,
+) -> Vec<BenchRow> {
     let cpu = CpuSpec::broadwell_e5_2695v4();
     let default_cap = [PAPER_CAPS[0]];
-    let mut rows = Vec::with_capacity(sizes.len() * Algorithm::ALL.len());
+    let mut rows = Vec::with_capacity(sizes.len() * Algorithm::ALL.len() * backends.len());
     for &size in sizes {
         let dataset = ctx.dataset(size);
         for algorithm in Algorithm::ALL {
-            let spec = config.spec(algorithm);
-            let t0 = ctx.journal.now();
-            let start = Instant::now();
-            let filter = spec.build(&dataset);
-            let out = filter.execute(&dataset);
-            let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
-            eprintln!(
-                "bench: {:<20} {size:>4}  {wall_seconds:>10.4} s",
-                algorithm.name()
-            );
-            let input_cells = dataset.num_cells();
-            let output_cells = out.dataset.as_ref().map(|d| d.num_cells());
-            let triangles_per_second = match algorithm {
-                Algorithm::Contour | Algorithm::Slice => {
-                    output_cells.map(|n| n as f64 / wall_seconds)
+            if let Some(subset) = algorithms {
+                if !subset.contains(&algorithm) {
+                    continue;
                 }
-                _ => None,
-            };
-            let run = study::AlgorithmRun {
-                algorithm,
-                size,
-                input_cells,
-                spec,
-                reports: out.kernels,
-            };
-            let sweep = study::sweep(&run, &default_cap, &cpu);
-            let (sim_seconds, sim_joules) = sweep
-                .baseline()
-                .map(|r| (r.seconds, r.energy_joules.value()))
-                .unwrap_or((0.0, 0.0));
-            if ctx.journal.is_enabled() {
-                ctx.journal.push_span(
-                    Scope::Bench,
-                    format!("bench:{}:{size}", run.algorithm.name()),
-                    t0,
-                    None,
-                    vec![
-                        ("input_cells", input_cells as f64),
-                        ("wall_seconds", wall_seconds),
-                        ("sim_seconds", sim_seconds),
-                        ("spec_fp", run.spec.fingerprint() as f64),
-                    ],
-                );
             }
-            rows.push(BenchRow {
-                algorithm: run.algorithm.name(),
-                fingerprint: run.spec.fingerprint(),
-                size,
-                input_cells,
-                wall_seconds,
-                cells_per_second: input_cells as f64 / wall_seconds,
-                output_cells,
-                triangles_per_second,
-                sim_seconds,
-                sim_joules,
-            });
+            for &backend in backends {
+                if !backend.supports(algorithm) {
+                    continue;
+                }
+                rows.push(bench_row(
+                    ctx,
+                    &dataset,
+                    algorithm,
+                    backend,
+                    size,
+                    &default_cap,
+                    &cpu,
+                ));
+            }
         }
     }
     rows
+}
+
+/// Time + simulate one (algorithm, backend, size) row.
+fn bench_row(
+    ctx: &mut StudyContext,
+    dataset: &DataSet,
+    algorithm: Algorithm,
+    backend: Backend,
+    size: usize,
+    default_cap: &[Watts],
+    cpu: &CpuSpec,
+) -> BenchRow {
+    let spec = ctx.config().spec(algorithm);
+    let t0 = ctx.journal.now();
+    let start = Instant::now();
+    let filter = spec.build_with(backend, dataset);
+    let out = filter.execute(dataset);
+    let wall_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "bench: {:<20} {:<11} {size:>4}  {wall_seconds:>10.4} s",
+        algorithm.name(),
+        backend.name()
+    );
+    let input_cells = dataset.num_cells();
+    let output_cells = out.dataset.as_ref().map(|d| d.num_cells());
+    let triangles_per_second = match algorithm {
+        Algorithm::Contour | Algorithm::Slice => output_cells.map(|n| n as f64 / wall_seconds),
+        _ => None,
+    };
+    let fingerprint = spec.fingerprint_with(backend);
+    let run = study::AlgorithmRun {
+        algorithm,
+        size,
+        input_cells,
+        spec,
+        reports: out.kernels,
+    };
+    let sweep = study::sweep(&run, default_cap, cpu);
+    let (sim_seconds, sim_joules, sim_ipc, sim_llc_miss_rate) = sweep
+        .baseline()
+        .map(|r| {
+            (
+                r.seconds,
+                r.energy_joules.value(),
+                r.avg_ipc,
+                r.avg_llc_miss_rate,
+            )
+        })
+        .unwrap_or((0.0, 0.0, 0.0, 0.0));
+    if ctx.journal.is_enabled() {
+        let name = match backend {
+            Backend::Traditional => format!("bench:{}:{size}", algorithm.name()),
+            Backend::Dpp => format!("bench:dpp:{}:{size}", algorithm.name()),
+        };
+        ctx.journal.push_span(
+            Scope::Bench,
+            name,
+            t0,
+            None,
+            vec![
+                ("input_cells", input_cells as f64),
+                ("wall_seconds", wall_seconds),
+                ("sim_seconds", sim_seconds),
+                ("spec_fp", fingerprint as f64),
+            ],
+        );
+        for r in &out.primitives {
+            journal_primitive(&mut ctx.journal, r);
+        }
+    }
+    BenchRow {
+        algorithm: algorithm.name(),
+        backend: backend.name(),
+        fingerprint,
+        size,
+        input_cells,
+        wall_seconds,
+        cells_per_second: input_cells as f64 / wall_seconds,
+        output_cells,
+        triangles_per_second,
+        sim_seconds,
+        sim_joules,
+        sim_ipc,
+        sim_llc_miss_rate,
+    }
+}
+
+/// One zero-width schema-v6 `Primitive` span carrying a DPP op's
+/// element/byte/flop counters.
+fn journal_primitive(journal: &mut Journal, r: &PrimitiveReport) {
+    let t = journal.now();
+    journal.push_span(
+        Scope::Primitive,
+        format!("primitive:{}", r.op.name()),
+        t,
+        None,
+        vec![
+            ("invocations", r.counters.invocations as f64),
+            ("elements", r.counters.elements as f64),
+            ("bytes_read", r.counters.bytes_read as f64),
+            ("bytes_written", r.counters.bytes_written as f64),
+            ("flops", r.counters.flops as f64),
+        ],
+    );
 }
 
 /// Human-readable table for stdout.
 pub fn render_table(rows: &[BenchRow]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "{:<20} {:>5} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9}\n",
-        "algorithm", "size", "cells", "wall s", "cells/s", "tri/s", "sim s", "sim J"
+        "{:<20} {:<11} {:>5} {:>12} {:>10} {:>12} {:>12} {:>9} {:>9} {:>7} {:>7}\n",
+        "algorithm",
+        "backend",
+        "size",
+        "cells",
+        "wall s",
+        "cells/s",
+        "tri/s",
+        "sim s",
+        "sim J",
+        "IPC",
+        "LLC"
     ));
     for r in rows {
         let tri = r
             .triangles_per_second
             .map_or("-".to_string(), |t| format!("{t:.3e}"));
         s.push_str(&format!(
-            "{:<20} {:>5} {:>12} {:>10.4} {:>12.3e} {:>12} {:>9.3} {:>9.1}\n",
+            "{:<20} {:<11} {:>5} {:>12} {:>10.4} {:>12.3e} {:>12} {:>9.3} {:>9.1} {:>7.3} {:>7.4}\n",
             r.algorithm,
+            r.backend,
             r.size,
             r.input_cells,
             r.wall_seconds,
             r.cells_per_second,
             tri,
             r.sim_seconds,
-            r.sim_joules
+            r.sim_joules,
+            r.sim_ipc,
+            r.sim_llc_miss_rate
         ));
     }
     s
 }
 
-/// Machine-readable report (schema 1). Hand-written: the workspace's
+/// Machine-readable report (schema 2). Hand-written: the workspace's
 /// serde stubs cannot serialize, and the report must stay buildable in
-/// the offline stub environment.
+/// the offline stub environment. Schema 1 → 2 added the per-row
+/// `backend`, `sim_ipc`, and `sim_llc_miss_rate` fields for the
+/// traditional-vs-DPP comparison snapshots.
 pub fn to_json(rows: &[BenchRow], fidelity: &str, provenance: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": 1,\n");
+    s.push_str("  \"schema\": 2,\n");
     s.push_str("  \"tool\": \"reproduce-bench\",\n");
     s.push_str(&format!("  \"fidelity\": \"{fidelity}\",\n"));
     s.push_str(&format!(
@@ -162,6 +268,7 @@ pub fn to_json(rows: &[BenchRow], fidelity: &str, provenance: &str) -> String {
     for (i, r) in rows.iter().enumerate() {
         s.push_str("    {");
         s.push_str(&format!("\"algorithm\": \"{}\", ", r.algorithm));
+        s.push_str(&format!("\"backend\": \"{}\", ", r.backend));
         s.push_str(&format!("\"fingerprint\": \"{:016x}\", ", r.fingerprint));
         s.push_str(&format!("\"size\": {}, ", r.size));
         s.push_str(&format!("\"input_cells\": {}, ", r.input_cells));
@@ -179,7 +286,12 @@ pub fn to_json(rows: &[BenchRow], fidelity: &str, provenance: &str) -> String {
             None => s.push_str("\"triangles_per_second\": null, "),
         }
         s.push_str(&format!("\"sim_seconds\": {:.6}, ", r.sim_seconds));
-        s.push_str(&format!("\"sim_joules\": {:.3}", r.sim_joules));
+        s.push_str(&format!("\"sim_joules\": {:.3}, ", r.sim_joules));
+        s.push_str(&format!("\"sim_ipc\": {:.4}, ", r.sim_ipc));
+        s.push_str(&format!(
+            "\"sim_llc_miss_rate\": {:.5}",
+            r.sim_llc_miss_rate
+        ));
         s.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
     }
     s.push_str("  ]\n}\n");
@@ -233,8 +345,48 @@ mod tests {
         let mut ctx = StudyContext::new(StudyConfig::quick());
         let rows = bench(&mut ctx, &[8]);
         let json = to_json(&rows, "quick", "test");
-        assert!(json.starts_with("{\n  \"schema\": 1,\n"));
+        assert!(json.starts_with("{\n  \"schema\": 2,\n"));
         assert_eq!(json.matches("\"algorithm\":").count(), rows.len());
+        assert_eq!(
+            json.matches("\"backend\": \"traditional\"").count(),
+            rows.len()
+        );
+        assert!(json.contains("\"sim_ipc\":"));
+        assert!(json.contains("\"sim_llc_miss_rate\":"));
         assert!(json.contains("\"triangles_per_second\": null"));
+    }
+
+    #[test]
+    fn bench_with_dpp_adds_backend_rows_and_primitive_spans() {
+        let mut ctx = StudyContext::new(StudyConfig::quick());
+        ctx.enable_journal(1 << 14);
+        let rows = bench_with(
+            &mut ctx,
+            &[8],
+            &[Backend::Traditional, Backend::Dpp],
+            Some(&[Algorithm::Contour, Algorithm::RayTracing]),
+        );
+        // Contour has both backends; ray tracing only traditional.
+        assert_eq!(rows.len(), 3);
+        let dpp: Vec<&BenchRow> = rows.iter().filter(|r| r.backend == "dpp").collect();
+        assert_eq!(dpp.len(), 1);
+        assert_eq!(dpp[0].algorithm, "Contour");
+        assert!(dpp[0].sim_ipc > 0.0, "dpp row carries simulated IPC");
+        assert!(dpp[0].sim_llc_miss_rate >= 0.0);
+        let trad = rows
+            .iter()
+            .find(|r| r.backend == "traditional" && r.algorithm == "Contour");
+        assert_ne!(
+            dpp[0].fingerprint,
+            trad.unwrap().fingerprint,
+            "backend-tagged fingerprints differ"
+        );
+        let jsonl = ctx.journal.to_jsonl();
+        assert!(jsonl.contains("bench:dpp:Contour:8"), "dpp bench span");
+        assert!(
+            jsonl.contains("bench:Contour:8"),
+            "traditional span keeps its name"
+        );
+        assert!(jsonl.contains("primitive:map"), "primitive spans journaled");
     }
 }

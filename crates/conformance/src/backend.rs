@@ -1,0 +1,373 @@
+//! Backend-differential conformance: traditional vs the DPP backend.
+//!
+//! For every algorithm the data-parallel-primitives backend formulates
+//! (`vizalgo::dpp`), this module executes the *same* canonical
+//! [`spec_for`] plan through both [`Backend`]s on the same analytic
+//! input and compares the outputs check by check.
+//!
+//! Exactness posture (the table lives in docs/DPP.md): contour,
+//! isovolume, and slice are **bit-identical** — every comparison here
+//! carries tolerance 0. Threshold produces the identical cell list and
+//! the identical welded point *set*, but numbers its points in grid
+//! order instead of first-use order, so the one order-sensitive float
+//! checksum (`backend:coord-checksum`) carries a documented relative
+//! tolerance of `1e-9` — the only nonzero tolerance in this module. The
+//! order-insensitive checks (`backend:point-set`, which compares the
+//! bit-exact sorted coordinate multisets, and `backend:resolved-geometry`,
+//! which resolves connectivity through the point arrays before
+//! summing) stay exact even for threshold.
+
+use crate::{
+    build_input, explicit_parts, spec_for, CheckKind, CheckResult, ConformanceConfig,
+    ConformanceReport,
+};
+use powersim::trace::{Journal, Scope};
+use vizalgo::dpp::dpp_algorithms;
+use vizalgo::{Algorithm, Backend, PrimitiveReport};
+use vizmesh::{CellSet, DataSet, FieldData, Vec3};
+
+/// One algorithm × grid differential group: its checks plus the DPP
+/// execution's primitive-counter trail (journaled as schema-v6
+/// `Primitive` spans by [`run_journaled`]).
+#[derive(Debug, Clone)]
+pub struct DppGroup {
+    pub algorithm: Algorithm,
+    pub grid: u32,
+    pub checks: Vec<CheckResult>,
+    pub primitives: Vec<PrimitiveReport>,
+}
+
+/// Run one algorithm through both backends at grid size `n` and compare.
+pub fn checks(alg: Algorithm, cfg: &ConformanceConfig, n: usize) -> DppGroup {
+    let input = build_input(alg, n);
+    let spec = spec_for(alg, cfg);
+    let trad = spec
+        .build_with(Backend::Traditional, &input)
+        .execute(&input);
+    let dpp = spec.build_with(Backend::Dpp, &input).execute(&input);
+    let mut out = Vec::with_capacity(7);
+
+    let (Some(tds), Some(dds)) = (&trad.dataset, &dpp.dataset) else {
+        out.push(CheckResult::setup_failure(
+            alg,
+            CheckKind::Differential,
+            "backend:dataset",
+            n,
+        ));
+        return group(alg, n, out, dpp.primitives);
+    };
+    let (Some((tp, tc)), Some((dp, dc))) = (explicit_parts(tds), explicit_parts(dds)) else {
+        out.push(CheckResult::setup_failure(
+            alg,
+            CheckKind::Differential,
+            "backend:explicit-geometry",
+            n,
+        ));
+        return group(alg, n, out, dpp.primitives);
+    };
+
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:cell-count",
+        n,
+        dc.iter().count() as f64,
+        tc.iter().count() as f64,
+        0.0,
+    ));
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:point-count",
+        n,
+        dp.len() as f64,
+        tp.len() as f64,
+        0.0,
+    ));
+    // Connectivity resolved through the point arrays before summing:
+    // both backends emit cells in the same order referencing the same
+    // grid locations, so this is exact even when point *numbering*
+    // differs (threshold).
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:resolved-geometry",
+        n,
+        geometry_checksum(dp, dc),
+        geometry_checksum(tp, tc),
+        0.0,
+    ));
+    // Storage-order coordinate sum: exact for the bit-identical
+    // formulations; threshold sums the same multiset in a different
+    // order, so it carries the documented 1e-9 relative tolerance.
+    let expected_order = point_order_checksum(tp);
+    let order_tol = if alg == Algorithm::Threshold {
+        1e-9 * expected_order.abs().max(1.0)
+    } else {
+        0.0
+    };
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:coord-checksum",
+        n,
+        point_order_checksum(dp),
+        expected_order,
+        order_tol,
+    ));
+    // Bit-exact sorted coordinate multisets: order-insensitive, exact
+    // for all four formulations.
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:point-set",
+        n,
+        multiset_mismatches(dp, tp),
+        0.0,
+        0.0,
+    ));
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:field-checksum",
+        n,
+        field_checksum(dds),
+        field_checksum(tds),
+        0.0,
+    ));
+    // The DPP execution must journal primitive counters and the
+    // traditional one must not.
+    out.push(CheckResult::new(
+        alg,
+        CheckKind::Differential,
+        "backend:primitives",
+        n,
+        f64::from(u8::from(
+            !dpp.primitives.is_empty() && trad.primitives.is_empty(),
+        )),
+        1.0,
+        0.0,
+    ));
+    group(alg, n, out, dpp.primitives)
+}
+
+fn group(
+    alg: Algorithm,
+    n: usize,
+    checks: Vec<CheckResult>,
+    prims: Vec<PrimitiveReport>,
+) -> DppGroup {
+    DppGroup {
+        algorithm: alg,
+        grid: n as u32,
+        checks,
+        primitives: prims,
+    }
+}
+
+/// Every DPP-formulated algorithm at every configured grid size.
+pub fn run_grouped(cfg: &ConformanceConfig) -> Vec<DppGroup> {
+    let mut groups = Vec::with_capacity(cfg.grids.len() * 4);
+    for &n in &cfg.grids {
+        for alg in dpp_algorithms() {
+            groups.push(checks(alg, cfg, n));
+        }
+    }
+    groups
+}
+
+/// Run every backend-differential check and flatten into one report.
+pub fn run_all(cfg: &ConformanceConfig) -> ConformanceReport {
+    let checks = run_grouped(cfg)
+        .into_iter()
+        .flat_map(|g| g.checks)
+        .collect();
+    ConformanceReport { checks }
+}
+
+/// [`run_all`], journaling one `conformance_check` event per check, one
+/// zero-width `Scope::Conformance` span `conformance:dpp:{alg}:{grid}`
+/// per group carrying the DPP-tagged spec fingerprint, and one
+/// zero-width schema-v6 `Scope::Primitive` span per primitive op the
+/// group's DPP execution invoked.
+pub fn run_journaled(cfg: &ConformanceConfig, journal: &mut Journal) -> ConformanceReport {
+    let mut all = Vec::new();
+    for g in run_grouped(cfg) {
+        journal_dpp_group(cfg, journal, &g);
+        all.extend(g.checks);
+    }
+    ConformanceReport { checks: all }
+}
+
+fn journal_dpp_group(cfg: &ConformanceConfig, journal: &mut Journal, g: &DppGroup) {
+    let fp = spec_for(g.algorithm, cfg).fingerprint_with(Backend::Dpp);
+    crate::journal_group(
+        journal,
+        format!("conformance:dpp:{}:{}", g.algorithm.name(), g.grid),
+        g.algorithm,
+        g.grid,
+        &g.checks,
+        fp,
+    );
+    for r in &g.primitives {
+        journal_primitive(journal, r);
+    }
+}
+
+fn journal_primitive(journal: &mut Journal, r: &PrimitiveReport) {
+    let t = journal.now();
+    journal.push_span(
+        Scope::Primitive,
+        format!("primitive:{}", r.op.name()),
+        t,
+        None,
+        vec![
+            ("invocations", r.counters.invocations as f64),
+            ("elements", r.counters.elements as f64),
+            ("bytes_read", r.counters.bytes_read as f64),
+            ("bytes_written", r.counters.bytes_written as f64),
+            ("flops", r.counters.flops as f64),
+        ],
+    );
+}
+
+/// Coordinate sum with per-axis weights, resolved through connectivity
+/// in cell/slot order.
+fn geometry_checksum(points: &[Vec3], cells: &CellSet) -> f64 {
+    let mut sum = 0.0;
+    for (_, conn) in cells.iter() {
+        for &p in conn {
+            let v = points[p as usize];
+            sum += v.x + 2.0 * v.y + 3.0 * v.z;
+        }
+    }
+    sum
+}
+
+/// Coordinate sum in point-storage order (order-sensitive).
+fn point_order_checksum(points: &[Vec3]) -> f64 {
+    let mut sum = 0.0;
+    for v in points {
+        sum += v.x + 2.0 * v.y + 3.0 * v.z;
+    }
+    sum
+}
+
+/// Sum of every scalar field value, in field/storage order.
+fn field_checksum(ds: &DataSet) -> f64 {
+    let mut sum = 0.0;
+    for f in &ds.fields {
+        if let FieldData::Scalar(vals) = &f.data {
+            for v in vals {
+                sum += v;
+            }
+        }
+    }
+    sum
+}
+
+/// Number of positions at which the bit-exact sorted coordinate
+/// multisets disagree (length mismatch counts fully).
+fn multiset_mismatches(a: &[Vec3], b: &[Vec3]) -> f64 {
+    if a.len() != b.len() {
+        return a.len().abs_diff(b.len()) as f64;
+    }
+    let sa = sorted_bits(a);
+    let sb = sorted_bits(b);
+    let mut mismatches = 0usize;
+    for (x, y) in sa.iter().zip(&sb) {
+        if x != y {
+            mismatches += 1;
+        }
+    }
+    mismatches as f64
+}
+
+fn sorted_bits(points: &[Vec3]) -> Vec<(u64, u64, u64)> {
+    let mut out = Vec::with_capacity(points.len());
+    for v in points {
+        out.push((v.x.to_bits(), v.y.to_bits(), v.z.to_bits()));
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_backend_suite_passes() {
+        let cfg = ConformanceConfig::quick();
+        let groups = run_grouped(&ConformanceConfig {
+            grids: vec![8],
+            ..cfg
+        });
+        assert_eq!(groups.len(), 4, "one group per DPP algorithm");
+        for g in &groups {
+            assert!(
+                !g.primitives.is_empty(),
+                "{} journaled no primitives",
+                g.algorithm
+            );
+            for c in &g.checks {
+                assert!(
+                    c.pass(),
+                    "{} {} measured {} expected {} tol {}",
+                    g.algorithm,
+                    c.check,
+                    c.measured,
+                    c.expected,
+                    c.tolerance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_formulations_carry_zero_tolerance() {
+        let cfg = ConformanceConfig {
+            grids: vec![8],
+            ..ConformanceConfig::quick()
+        };
+        for g in run_grouped(&cfg) {
+            for c in &g.checks {
+                if g.algorithm == Algorithm::Threshold
+                    && c.check == "differential:backend:coord-checksum"
+                {
+                    assert!(
+                        c.tolerance > 0.0,
+                        "threshold coord checksum is order-tolerant"
+                    );
+                } else {
+                    assert_eq!(c.tolerance, 0.0, "{} {}", g.algorithm, c.check);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_run_emits_primitive_spans() {
+        let cfg = ConformanceConfig {
+            grids: vec![8],
+            ..ConformanceConfig::quick()
+        };
+        let mut journal = Journal::with_capacity(4096);
+        let report = run_journaled(&cfg, &mut journal);
+        assert!(
+            report.all_pass(),
+            "{:?}",
+            report.failures().collect::<Vec<_>>()
+        );
+        let jsonl = journal.to_jsonl();
+        assert!(
+            jsonl.contains("\"scope\":\"primitive\""),
+            "primitive spans journaled"
+        );
+        assert!(jsonl.contains("primitive:map"), "map span present");
+        assert!(
+            jsonl.contains("conformance:dpp:Contour:8"),
+            "group span present"
+        );
+    }
+}

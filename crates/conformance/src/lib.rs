@@ -25,6 +25,7 @@
 //! fingerprint of the exact [`AlgorithmSpec`] it checked (schema v4; see
 //! docs/OBSERVABILITY.md and docs/CONFORMANCE.md).
 
+pub mod backend;
 pub mod fields;
 pub mod metamorphic;
 pub mod oracle;
@@ -296,7 +297,7 @@ impl ConformanceReport {
 /// Run every check, grouped as `(algorithm, grid, checks)` — one group
 /// per algorithm per grid, plus the metamorphic groups.
 pub fn run_grouped(cfg: &ConformanceConfig) -> Vec<(Algorithm, u32, Vec<CheckResult>)> {
-    let mut groups = Vec::new();
+    let mut groups = Vec::with_capacity(cfg.grids.len() * Algorithm::ALL.len() + 8);
     for &n in &cfg.grids {
         for alg in Algorithm::ALL {
             let input = build_input(alg, n);
@@ -327,36 +328,74 @@ pub fn run_all(cfg: &ConformanceConfig) -> ConformanceReport {
 pub fn run_journaled(cfg: &ConformanceConfig, journal: &mut Journal) -> ConformanceReport {
     let mut all = Vec::new();
     for (alg, grid, checks) in run_grouped(cfg) {
-        let t0 = journal.now();
-        let failures = checks.iter().filter(|c| !c.pass()).count();
-        for c in &checks {
-            journal.push(Event::ConformanceCheck(ConformanceCheck {
-                t: journal.now(),
-                algorithm: alg.name().to_string(),
-                check: c.check.clone(),
-                kind: c.kind.as_str().to_string(),
-                grid,
-                measured: c.measured,
-                expected: c.expected,
-                tolerance: c.tolerance,
-                pass: c.pass(),
-            }));
-        }
-        journal.push_span(
-            Scope::Conformance,
-            format!("conformance:{}:{}", alg.name(), grid),
-            t0,
-            None,
-            vec![
-                ("grid", f64::from(grid)),
-                ("checks", checks.len() as f64),
-                ("failures", failures as f64),
-                ("spec_fp", spec_for(alg, cfg).fingerprint() as f64),
-            ],
-        );
+        journal_spec_group(cfg, journal, alg, grid, &checks);
         all.extend(checks);
     }
     ConformanceReport { checks: all }
+}
+
+/// Journal one canonical-spec group under its traditional fingerprint.
+fn journal_spec_group(
+    cfg: &ConformanceConfig,
+    journal: &mut Journal,
+    alg: Algorithm,
+    grid: u32,
+    checks: &[CheckResult],
+) {
+    journal_group(
+        journal,
+        format!("conformance:{}:{}", alg.name(), grid),
+        alg,
+        grid,
+        checks,
+        spec_for(alg, cfg).fingerprint(),
+    );
+}
+
+/// Journal one conformance group: one `conformance_check` event per
+/// check plus the zero-width `Scope::Conformance` span carrying the
+/// group's spec fingerprint. Shared by the canonical-spec run above and
+/// the backend-differential run in [`backend`].
+pub(crate) fn journal_group(
+    journal: &mut Journal,
+    span_name: String,
+    alg: Algorithm,
+    grid: u32,
+    checks: &[CheckResult],
+    spec_fp: u64,
+) {
+    let t0 = journal.now();
+    let failures = checks.iter().filter(|c| !c.pass()).count();
+    for c in checks {
+        journal_check(journal, alg, grid, c);
+    }
+    journal.push_span(
+        Scope::Conformance,
+        span_name,
+        t0,
+        None,
+        vec![
+            ("grid", f64::from(grid)),
+            ("checks", checks.len() as f64),
+            ("failures", failures as f64),
+            ("spec_fp", spec_fp as f64),
+        ],
+    );
+}
+
+/// One `conformance_check` journal event.
+fn journal_check(journal: &mut Journal, alg: Algorithm, grid: u32, c: &CheckResult) {
+    journal.push(Event::ConformanceCheck(ConformanceCheck {
+        t: journal.now(),
+        algorithm: alg.name().to_string(),
+        check: c.check.clone(),
+        kind: c.kind.as_str().to_string(),
+        grid,
+        measured: c.measured,
+        expected: c.expected,
+        tolerance: c.tolerance,
+        pass: c.pass(),
+    }));
 }
 
 /// Render the report as the fixed-width table the `reproduce conformance`

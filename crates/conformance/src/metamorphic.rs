@@ -128,7 +128,7 @@ fn sphere_area(n: usize, iso: f64) -> Option<f64> {
 fn isovalue_monotone(n: usize) -> CheckResult {
     let alg = Algorithm::Contour;
     let check = "isovalue-monotone";
-    let mut areas = Vec::new();
+    let mut areas = Vec::with_capacity(4);
     for iso in [0.1, 0.2, 0.3, 0.4] {
         match sphere_area(n, iso) {
             Some(a) => areas.push(a),

@@ -247,11 +247,13 @@ fn advection(
     let mut max_z = 0.0f64;
     let mut max_radius_drift = 0.0f64;
     let mut max_rate_err = 0.0f64;
+    let mut path: Vec<Vec3> = Vec::with_capacity(64);
     for (shape, conn) in cells.iter() {
         if shape != CellShape::PolyLine || conn.len() < 2 {
             continue;
         }
-        let path: Vec<Vec3> = conn.iter().map(|&i| points[i as usize]).collect();
+        path.clear();
+        path.extend(conn.iter().map(|&i| points[i as usize]));
         let r0 = ((path[0].x - CENTER.x).powi(2) + (path[0].y - CENTER.y).powi(2)).sqrt();
         for p in &path {
             max_z = max_z.max((p.z - path[0].z).abs());

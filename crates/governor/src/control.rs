@@ -94,6 +94,31 @@ fn sanitize(
     split
 }
 
+/// Journal one control decision (no-op when the journal is off).
+fn push_decision(
+    journal: &mut Journal,
+    obs: &Observation,
+    next: CapSplit,
+    sim_power: Watts,
+    viz_power: Watts,
+) {
+    if !journal.is_enabled() {
+        return;
+    }
+    journal.push(Event::PolicyDecision(PolicyDecision {
+        t: journal.now(),
+        budget_watts: obs.budget,
+        sim_cap_watts: next.sim,
+        viz_cap_watts: next.viz,
+        sim_power_watts: sim_power,
+        viz_power_watts: viz_power,
+        sim_ipc: obs.sim.ipc,
+        viz_ipc: obs.viz.ipc,
+        sim_llc_miss_rate: obs.sim.llc_miss_rate,
+        viz_llc_miss_rate: obs.viz.llc_miss_rate,
+    }));
+}
+
 /// Per-side window bookkeeping: energy snapshot for power differencing.
 struct SideTrack {
     prev_energy: Joules,
@@ -212,20 +237,7 @@ pub fn govern(
             spec,
         );
         decisions += 1;
-        if journal.is_enabled() {
-            journal.push(Event::PolicyDecision(PolicyDecision {
-                t: journal.now(),
-                budget_watts: budget,
-                sim_cap_watts: next.sim,
-                viz_cap_watts: next.viz,
-                sim_power_watts: sim_power,
-                viz_power_watts: viz_power,
-                sim_ipc: obs.sim.ipc,
-                viz_ipc: obs.viz.ipc,
-                sim_llc_miss_rate: obs.sim.llc_miss_rate,
-                viz_llc_miss_rate: obs.viz.llc_miss_rate,
-            }));
-        }
+        push_decision(journal, &obs, next, sim_power, viz_power);
         if obs.sim.active && next.sim != split.sim {
             sim_pkg.set_cap_journaled(next.sim, journal);
             cap_changes += 1;

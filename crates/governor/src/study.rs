@@ -133,11 +133,9 @@ pub fn sweep_pair(
 ) -> Vec<PolicyRow> {
     let mut rows = Vec::with_capacity(budgets.len() * 4);
     for &budget in budgets {
-        let mut online: [Box<dyn Policy>; 3] = [
-            Box::new(Uniform::new()),
-            Box::new(StaticAdvisor::new()),
-            Box::new(Reactive::new()),
-        ];
+        // Fresh per budget: Reactive carries state across windows and
+        // must start each budget point cold.
+        let mut online = online_policies();
         for policy in online.iter_mut() {
             let r = govern(pair, policy.as_mut(), budget, spec, journal);
             rows.push(PolicyRow::from_result(&r));
@@ -148,6 +146,16 @@ pub fn sweep_pair(
         rows.push(PolicyRow::from_result(&r));
     }
     rows
+}
+
+/// The three online policies of the sweep, newly constructed (Reactive
+/// is stateful, so each budget point needs a cold instance).
+fn online_policies() -> [Box<dyn Policy>; 3] {
+    [
+        Box::new(Uniform::new()),
+        Box::new(StaticAdvisor::new()),
+        Box::new(Reactive::new()),
+    ]
 }
 
 /// The full study: characterize the coupled pair at `grid_cells`³ and
@@ -174,11 +182,13 @@ pub fn budget_sweep(grid_cells: usize, spec: &CpuSpec, journal: &mut Journal) ->
 
 /// Render the sweep as a paper-style fixed-width table.
 pub fn render_table(sweep: &BudgetSweep) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "Budget sweep: governed cloverleaf + visualization pair ({}^3 grid)\n",
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(96 * (sweep.rows.len() + 2));
+    let _ = writeln!(
+        out,
+        "Budget sweep: governed cloverleaf + visualization pair ({}^3 grid)",
         sweep.grid_cells
-    ));
+    );
     out.push_str(
         "budget_W  policy          time_s   energy_J   avg_W  max_win_W  sim_s   viz_s  caps\n",
     );
@@ -188,8 +198,9 @@ pub fn render_table(sweep: &BudgetSweep) -> String {
             out.push('\n');
         }
         last_budget = row.budget_watts;
-        out.push_str(&format!(
-            "{:>8.0}  {:<14} {:>7.2} {:>10.0} {:>7.1} {:>10.1} {:>6.2} {:>7.2} {:>5}\n",
+        let _ = writeln!(
+            out,
+            "{:>8.0}  {:<14} {:>7.2} {:>10.0} {:>7.1} {:>10.1} {:>6.2} {:>7.2} {:>5}",
             row.budget_watts,
             row.policy,
             row.seconds,
@@ -199,7 +210,7 @@ pub fn render_table(sweep: &BudgetSweep) -> String {
             row.sim_seconds,
             row.viz_seconds,
             row.cap_changes,
-        ));
+        );
     }
     out
 }

@@ -54,8 +54,10 @@ use crate::units::{Joules, Watts};
 /// [`ConformanceCheck`] event and the [`Scope::Conformance`] span scope
 /// for the analytic-oracle conformance suite (`crates/conformance`).
 /// v5 added the [`Scope::Bench`] span scope wrapping each
-/// (algorithm, size) row of a `reproduce bench` run.
-pub const SCHEMA_VERSION: u32 = 5;
+/// (algorithm, size) row of a `reproduce bench` run. v6 added the
+/// [`Scope::Primitive`] span scope carrying per-primitive element/byte
+/// counters from the data-parallel-primitives backend (`vizalgo::dpp`).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// Which layer of the stack emitted a [`Span`].
 ///
@@ -97,6 +99,11 @@ pub enum Scope {
     /// (`bench::perf::bench`), timing the real kernel execution that
     /// the performance snapshots in `results/` are built from.
     Bench,
+    /// One data-parallel primitive invocation rollup from the DPP
+    /// backend (`vizalgo::dpp`): element/byte/flop counters for one
+    /// primitive op across a filter execution, journaled by the
+    /// conformance and bench drivers as zero-width spans.
+    Primitive,
 }
 
 impl Scope {
@@ -112,6 +119,7 @@ impl Scope {
             Scope::Governor => "governor",
             Scope::Conformance => "conformance",
             Scope::Bench => "bench",
+            Scope::Primitive => "primitive",
         }
     }
 
@@ -127,12 +135,13 @@ impl Scope {
             Scope::Governor => 7,
             Scope::Conformance => 8,
             Scope::Bench => 9,
+            Scope::Primitive => 10,
         }
     }
 }
 
 /// All scope/track pairs, for chrome-trace thread-name metadata.
-const ALL_SCOPES: [Scope; 9] = [
+const ALL_SCOPES: [Scope; 10] = [
     Scope::Study,
     Scope::Sweep,
     Scope::Workload,
@@ -142,6 +151,7 @@ const ALL_SCOPES: [Scope; 9] = [
     Scope::Governor,
     Scope::Conformance,
     Scope::Bench,
+    Scope::Primitive,
 ];
 
 /// A closed interval of journal time attributed to one named unit of
@@ -795,17 +805,17 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"v\":5,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
+            "{\"v\":6,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
              \"requested_watts\":250,\"actual_watts\":120}"
         );
         assert_eq!(
             lines[1],
-            "{\"v\":5,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
+            "{\"v\":6,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
              \"effective_freq_ghz\":2.6,\"ipc\":1.25,\"llc_miss_rate\":0.05}"
         );
         assert_eq!(
             lines[2],
-            "{\"v\":5,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
+            "{\"v\":6,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
              \"t0\":0,\"t1\":0.1,\"joules\":8.55,\"watts\":85.5,\"args\":{\"phases\":2}}"
         );
     }
@@ -829,7 +839,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":5,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
+            "{\"v\":6,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
              \"sim_cap_watts\":110,\"viz_cap_watts\":50,\"sim_power_watts\":88.25,\
              \"viz_power_watts\":46.5,\"sim_ipc\":1.8,\"viz_ipc\":0.4,\
              \"sim_llc_miss_rate\":0.05,\"viz_llc_miss_rate\":0.9}"
@@ -859,7 +869,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":5,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
+            "{\"v\":6,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
              \"algorithm\":\"Contour\",\"check\":\"oracle:sphere-area\",\
              \"kind\":\"oracle\",\"grid\":32,\"measured\":1.1286,\
              \"expected\":1.13097,\"tolerance\":0.0226,\"pass\":true}"
@@ -903,7 +913,7 @@ mod tests {
         j.push_span(Scope::Timestep, "step:1", 0.0, None, vec![("dt", 0.5)]);
         let trace = j.to_chrome_trace();
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
-        assert!(trace.contains("\"schema_version\":5"), "{trace}");
+        assert!(trace.contains("\"schema_version\":6"), "{trace}");
         assert!(trace.contains("\"thread_name\""), "{trace}");
         assert!(
             trace.contains("\"ph\":\"X\",\"name\":\"step:1\""),

@@ -1,0 +1,259 @@
+//! Marching cubes re-expressed over the primitive vocabulary: the
+//! classify → count → scan → compact → generate → sort/reduce weld
+//! pipeline of Bethel et al. (arXiv:2010.02361) / VTK-m, shared by the
+//! DPP contour and slice filters.
+//!
+//! The weld is engineered to be **bit-identical** to the traditional
+//! first-sight hash weld in [`crate::contour::marching_cubes`]: corner
+//! emissions are flattened in the traditional raster order, pairs
+//! `(edge key, emission index)` are tuple-sorted so each key segment's
+//! minimum payload is its *first* emission, and distinct keys are then
+//! ranked by that first-emission index — reproducing the traditional
+//! id assignment (and first-sight interpolated position) exactly.
+
+use super::primitives::{self, DppTrace, PrimitiveOp};
+use crate::arena::pack_edge;
+use crate::contour::{triangle_table, CaseTriangles, EDGES};
+use vizmesh::{CellSet, CellShape, UniformGrid, Vec3};
+
+/// Geometry of one DPP marching-cubes pass (work lives in the trace).
+pub struct DppMcOutput {
+    pub points: Vec<Vec3>,
+    pub triangles: CellSet,
+    /// Interpolated secondary values (the isovalue, as in the
+    /// traditional formulation).
+    pub point_values: Vec<f64>,
+}
+
+/// Run the DPP marching-cubes pipeline over a point-centered scalar.
+pub fn dpp_marching_cubes(
+    trace: &mut DppTrace,
+    grid: &UniformGrid,
+    values: &[f64],
+    isovalue: f64,
+) -> DppMcOutput {
+    assert_eq!(
+        values.len(),
+        grid.num_points(),
+        "marching cubes needs a point-centered scalar"
+    );
+    let table = triangle_table();
+    let num_cells = grid.num_cells();
+
+    // 1. map: corner configuration per cell (8 corner loads + compares).
+    let configs: Vec<u8> = primitives::map_n(trace, num_cells, 64 + 32, |c| {
+        let ids = grid.cell_point_ids(c);
+        let mut config = 0u8;
+        for (bit, &pid) in ids.iter().enumerate() {
+            if values[pid] > isovalue {
+                config |= 1 << bit;
+            }
+        }
+        config
+    });
+    trace.record_flops(PrimitiveOp::Map, 8 * num_cells as u64);
+
+    // 2. map: output triangle count per cell (case-table lookup).
+    let tri_counts: Vec<u32> =
+        primitives::map(trace, &configs, |&cfg| table[cfg as usize].len() as u32);
+
+    // 3. inclusive scan: output offsets; the total sizes every
+    // downstream array exactly (the DPP answer to dynamic output).
+    let offsets = primitives::inclusive_scan(trace, &tri_counts);
+    let total = offsets.last().copied().unwrap_or(0) as usize;
+
+    // 4. compact: the active cells (those emitting geometry).
+    let flags: Vec<bool> = primitives::map(trace, &tri_counts, |&c| c > 0);
+    let active = primitives::compact_indices(trace, &flags);
+
+    // 5. generate: each active cell interpolates its case's corner
+    // positions and edge keys directly into the scan-offset slots — a
+    // map worklet with a counting scatter for its output.
+    let mut keys: Vec<u64> = vec![0; 3 * total];
+    let mut pos: Vec<Vec3> = vec![Vec3::ZERO; 3 * total];
+    emit_triangles(
+        grid,
+        values,
+        isovalue,
+        table,
+        &configs,
+        &active,
+        &tri_counts,
+        &offsets,
+        &mut keys,
+        &mut pos,
+    );
+    trace.record(
+        PrimitiveOp::Map,
+        active.len() as u64,
+        (active.len() * (64 + 32 + 8)) as u64,
+        0,
+    );
+    // Traditional interp counts 14 flops per emitted corner.
+    trace.record_flops(PrimitiveOp::Map, 14 * 3 * total as u64);
+    trace.record(
+        PrimitiveOp::Scatter,
+        3 * total as u64,
+        0,
+        (3 * total * (8 + 24)) as u64,
+    );
+
+    // 6. weld: tuple-sort (key, emission index) pairs, collapse each key
+    // segment to its first emission, rank distinct keys by it.
+    let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(3 * total);
+    for (i, &k) in keys.iter().enumerate() {
+        pairs.push((k, i as u32));
+    }
+    primitives::sort_by_key(trace, &mut pairs);
+    let uniq = primitives::reduce_by_key(trace, &pairs, |a: u32, b: u32| a.min(b));
+
+    // Rank segments in first-emission order: sorting (first emission,
+    // segment) tuples reproduces the traditional first-sight ids.
+    let mut order: Vec<(u64, u32)> = Vec::with_capacity(uniq.len());
+    for (seg, &(_, rep)) in uniq.iter().enumerate() {
+        order.push((rep as u64, seg as u32));
+    }
+    primitives::sort_by_key(trace, &mut order);
+    let ranks: Vec<u32> = primitives::map_n(trace, order.len(), 0, |r| r as u32);
+    let segs: Vec<u32> = primitives::map(trace, &order, |&(_, s)| s);
+    let mut rank_of_seg: Vec<u32> = vec![0; uniq.len()];
+    primitives::scatter(trace, &ranks, &segs, &mut rank_of_seg);
+
+    // Welded points: gather each ranked segment's first-emission
+    // position (bit-identical to the traditional first-sight push).
+    let reps: Vec<u32> = primitives::map(trace, &order, |&(rep, _)| rep as u32);
+    let points: Vec<Vec3> = primitives::gather(trace, &pos, &reps);
+    let point_values: Vec<f64> = primitives::map(trace, &reps, |_| isovalue);
+
+    // Scatter each corner emission's point id back into raster order.
+    let mut corner_ids: Vec<u32> = vec![0; 3 * total];
+    scatter_corner_ranks(&pairs, &rank_of_seg, &mut corner_ids);
+    trace.record(
+        PrimitiveOp::Scatter,
+        pairs.len() as u64,
+        12 * pairs.len() as u64,
+        4 * pairs.len() as u64,
+    );
+
+    // 7. compact: assemble triangles, dropping degenerate ones (two
+    // case edges welding to the same vertex), as the traditional weld
+    // does after id assignment.
+    let mut cells = CellSet::with_capacity(total, 3 * total);
+    for t in 0..total {
+        let tri = [
+            corner_ids[3 * t],
+            corner_ids[3 * t + 1],
+            corner_ids[3 * t + 2],
+        ];
+        if tri[0] != tri[1] && tri[1] != tri[2] && tri[2] != tri[0] {
+            cells.push(CellShape::Triangle, &tri);
+        }
+    }
+    trace.record(
+        PrimitiveOp::Compact,
+        total as u64,
+        12 * total as u64,
+        12 * total as u64,
+    );
+
+    DppMcOutput {
+        points,
+        triangles: cells,
+        point_values,
+    }
+}
+
+/// The generate worklet body: interpolate case triangles of every active
+/// cell into the scan-offset slots. Replicates the traditional per-cell
+/// arithmetic exactly (same `t01` clamp, same lerp, same packed key).
+#[allow(clippy::too_many_arguments)]
+fn emit_triangles(
+    grid: &UniformGrid,
+    values: &[f64],
+    isovalue: f64,
+    table: &[CaseTriangles; 256],
+    configs: &[u8],
+    active: &[u32],
+    tri_counts: &[u32],
+    offsets: &[u32],
+    keys: &mut [u64],
+    pos: &mut [Vec3],
+) {
+    for &cell in active {
+        let c = cell as usize;
+        let ids = grid.cell_point_ids(c);
+        let corners = grid.cell_corners(c);
+        let mut slot = 3 * (offsets[c] - tri_counts[c]) as usize;
+        for t in &table[configs[c] as usize] {
+            for &e in t {
+                let (a, b) = EDGES[e as usize];
+                let (pa, pb) = (ids[a], ids[b]);
+                let (va, vb) = (values[pa], values[pb]);
+                let t01 = ((isovalue - va) / (vb - va)).clamp(0.0, 1.0);
+                pos[slot] = corners[a].lerp(corners[b], t01);
+                let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
+                keys[slot] = pack_edge(lo as u32, hi as u32);
+                slot += 1;
+            }
+        }
+    }
+}
+
+/// Scatter each sorted pair's segment rank back to its emission slot.
+/// Pairs are key-sorted, so the segment index advances on key change.
+fn scatter_corner_ranks(pairs: &[(u64, u32)], rank_of_seg: &[u32], corner_ids: &mut [u32]) {
+    let mut seg = 0usize;
+    for (j, &(k, emission)) in pairs.iter().enumerate() {
+        if j > 0 && pairs[j - 1].0 != k {
+            seg += 1;
+        }
+        corner_ids[emission as usize] = rank_of_seg[seg];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contour::marching_cubes;
+
+    fn sphere_values(grid: &UniformGrid) -> Vec<f64> {
+        let c = grid.bounds().center();
+        (0..grid.num_points())
+            .map(|id| grid.point_coord_id(id).distance(c))
+            .collect()
+    }
+
+    #[test]
+    fn dpp_mc_is_bit_identical_to_traditional() {
+        let grid = UniformGrid::cube_cells(10);
+        let values = sphere_values(&grid);
+        for iso in [0.15, 0.3, 0.45] {
+            let trad = marching_cubes(&grid, &values, iso);
+            let mut tr = DppTrace::new();
+            let dpp = dpp_marching_cubes(&mut tr, &grid, &values, iso);
+            assert_eq!(dpp.points.len(), trad.points.len(), "iso {iso}");
+            for (a, b) in dpp.points.iter().zip(&trad.points) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.z.to_bits(), b.z.to_bits());
+            }
+            assert_eq!(dpp.point_values, trad.point_values);
+            assert_eq!(dpp.triangles, trad.triangles, "iso {iso}");
+        }
+    }
+
+    #[test]
+    fn dpp_mc_empty_surface_uses_no_geometry() {
+        let grid = UniformGrid::cube_cells(4);
+        let values = sphere_values(&grid);
+        let mut tr = DppTrace::new();
+        let out = dpp_marching_cubes(&mut tr, &grid, &values, 100.0);
+        assert!(out.points.is_empty());
+        assert_eq!(out.triangles.iter().count(), 0);
+        // The classify map still ran over every cell.
+        let reports = tr.reports();
+        assert!(reports
+            .iter()
+            .any(|r| r.op == PrimitiveOp::Map && r.counters.elements >= 64));
+    }
+}

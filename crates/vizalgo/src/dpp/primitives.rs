@@ -1,0 +1,474 @@
+//! The data-parallel primitive vocabulary (Bethel et al.,
+//! arXiv:2010.02361): seven deterministic building blocks every DPP
+//! kernel formulation is composed from, each instrumented with
+//! element/byte counters so a formulation's *shape* — how much data each
+//! primitive touches — is observable in the run journal as schema-v6
+//! `Primitive` spans (see docs/OBSERVABILITY.md and docs/DPP.md).
+//!
+//! The implementations are intentionally **sequential reference
+//! executions**: the point of the backend is to change the *formulation*
+//! (and therefore the instruction/byte mix powersim models), not to race
+//! the traditional kernels on wall clock. Determinism also keeps the
+//! differential conformance suite exact where the math is exact.
+
+use crate::filter::{KernelClass, KernelReport};
+use vizmesh::WorkCounters;
+
+/// One primitive operation in the vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimitiveOp {
+    /// Elementwise transform (worklet application).
+    Map,
+    /// Inclusive prefix sum over `u32` counts.
+    InclusiveScan,
+    /// `out[i] = src[idx[i]]`.
+    Gather,
+    /// `out[idx[i]] = src[i]`.
+    Scatter,
+    /// Keep flagged elements, preserving order.
+    Compact,
+    /// Stable key ordering for (key, payload) pairs.
+    SortByKey,
+    /// Collapse runs of equal keys in sorted pairs.
+    ReduceByKey,
+}
+
+impl PrimitiveOp {
+    /// Every op, in the canonical report order.
+    pub const ALL: [PrimitiveOp; 7] = [
+        PrimitiveOp::Map,
+        PrimitiveOp::InclusiveScan,
+        PrimitiveOp::Gather,
+        PrimitiveOp::Scatter,
+        PrimitiveOp::Compact,
+        PrimitiveOp::SortByKey,
+        PrimitiveOp::ReduceByKey,
+    ];
+
+    /// Wire/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimitiveOp::Map => "map",
+            PrimitiveOp::InclusiveScan => "inclusive_scan",
+            PrimitiveOp::Gather => "gather",
+            PrimitiveOp::Scatter => "scatter",
+            PrimitiveOp::Compact => "compact",
+            PrimitiveOp::SortByKey => "sort_by_key",
+            PrimitiveOp::ReduceByKey => "reduce_by_key",
+        }
+    }
+
+    /// The power-model kernel class the op's traffic is characterized
+    /// as: `Map` carries the worklet math (classification-shaped);
+    /// everything else is data movement.
+    pub fn kernel_class(self) -> KernelClass {
+        match self {
+            PrimitiveOp::Map => KernelClass::CellClassify,
+            _ => KernelClass::GatherScatter,
+        }
+    }
+
+    /// Modeled instruction cost per element (compare/loop overhead for
+    /// movement ops, branch-heavy merge work for sort).
+    fn instructions_per_element(self) -> u64 {
+        match self {
+            PrimitiveOp::Map => 12,
+            PrimitiveOp::InclusiveScan => 6,
+            PrimitiveOp::Gather => 5,
+            PrimitiveOp::Scatter => 5,
+            PrimitiveOp::Compact => 9,
+            PrimitiveOp::SortByKey => 40,
+            PrimitiveOp::ReduceByKey => 10,
+        }
+    }
+}
+
+/// Accumulated traffic for one op across a filter execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PrimitiveCounters {
+    /// Number of primitive invocations.
+    pub invocations: u64,
+    /// Total elements processed.
+    pub elements: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    /// Floating-point ops performed inside `Map` worklets (zero for the
+    /// pure data-movement ops).
+    pub flops: u64,
+}
+
+/// One op's counters, labelled — the per-execution record a DPP filter
+/// returns in [`FilterOutput::primitives`](crate::FilterOutput) and the
+/// payload of a journal `Primitive` span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimitiveReport {
+    pub op: PrimitiveOp,
+    pub counters: PrimitiveCounters,
+}
+
+/// The per-execution trace a DPP formulation records into: one counter
+/// slot per op, merged across every primitive invocation.
+#[derive(Debug, Clone, Default)]
+pub struct DppTrace {
+    slots: [PrimitiveCounters; PrimitiveOp::ALL.len()],
+}
+
+impl DppTrace {
+    pub fn new() -> Self {
+        DppTrace::default()
+    }
+
+    #[inline]
+    fn slot(&mut self, op: PrimitiveOp) -> &mut PrimitiveCounters {
+        let i = match op {
+            PrimitiveOp::Map => 0,
+            PrimitiveOp::InclusiveScan => 1,
+            PrimitiveOp::Gather => 2,
+            PrimitiveOp::Scatter => 3,
+            PrimitiveOp::Compact => 4,
+            PrimitiveOp::SortByKey => 5,
+            PrimitiveOp::ReduceByKey => 6,
+        };
+        &mut self.slots[i]
+    }
+
+    /// Record one invocation of `op` over `elements` elements.
+    #[inline]
+    pub fn record(&mut self, op: PrimitiveOp, elements: u64, bytes_read: u64, bytes_written: u64) {
+        let s = self.slot(op);
+        s.invocations += 1;
+        s.elements += elements;
+        s.bytes_read += bytes_read;
+        s.bytes_written += bytes_written;
+    }
+
+    /// Attribute worklet floating-point work to `op` (normally `Map`).
+    #[inline]
+    pub fn record_flops(&mut self, op: PrimitiveOp, flops: u64) {
+        self.slot(op).flops += flops;
+    }
+
+    /// Reports for every op that saw traffic, in [`PrimitiveOp::ALL`]
+    /// order.
+    pub fn reports(&self) -> Vec<PrimitiveReport> {
+        let mut out = Vec::with_capacity(PrimitiveOp::ALL.len());
+        for (i, &op) in PrimitiveOp::ALL.iter().enumerate() {
+            if self.slots[i].invocations > 0 {
+                out.push(PrimitiveReport {
+                    op,
+                    counters: self.slots[i],
+                });
+            }
+        }
+        out
+    }
+
+    /// The same traffic as power-model kernel reports (`dpp-<op>`), so a
+    /// DPP execution feeds `characterize` → powersim exactly like a
+    /// traditional one — with a data-movement-heavy mix instead of the
+    /// traditional fused-loop mix. That shift is the quantity the
+    /// Bethel-style study measures.
+    pub fn kernel_reports(&self) -> Vec<KernelReport> {
+        let active = self.reports();
+        let mut out = Vec::with_capacity(active.len());
+        for r in active {
+            out.push(KernelReport::new(
+                kernel_name(r.op),
+                r.op.kernel_class(),
+                work_counters(r),
+            ));
+        }
+        out
+    }
+}
+
+/// Static `dpp-<op>` kernel names (KernelReport holds `&'static str`).
+fn kernel_name(op: PrimitiveOp) -> &'static str {
+    match op {
+        PrimitiveOp::Map => "dpp-map",
+        PrimitiveOp::InclusiveScan => "dpp-inclusive-scan",
+        PrimitiveOp::Gather => "dpp-gather",
+        PrimitiveOp::Scatter => "dpp-scatter",
+        PrimitiveOp::Compact => "dpp-compact",
+        PrimitiveOp::SortByKey => "dpp-sort-by-key",
+        PrimitiveOp::ReduceByKey => "dpp-reduce-by-key",
+    }
+}
+
+/// Lower a primitive report into the shared work-counter currency.
+fn work_counters(r: PrimitiveReport) -> WorkCounters {
+    let c = r.counters;
+    let mut w = WorkCounters::new();
+    w.items = c.elements;
+    // Sort does O(n log n) comparisons; everything else is linear.
+    let per = r.op.instructions_per_element();
+    w.instructions = match r.op {
+        PrimitiveOp::SortByKey => {
+            let lg = (c.elements.max(2) as f64).log2().ceil() as u64;
+            c.elements * per.max(1) * lg.max(1) / 8
+        }
+        _ => c.elements * per,
+    };
+    w.flops = c.flops;
+    w.bytes_read = c.bytes_read;
+    w.bytes_written = c.bytes_written;
+    w.working_set_bytes = c.bytes_read.max(c.bytes_written);
+    w
+}
+
+/// `map`: elementwise transform of a slice.
+pub fn map<T, U>(trace: &mut DppTrace, input: &[T], mut f: impl FnMut(&T) -> U) -> Vec<U> {
+    let mut out = Vec::with_capacity(input.len());
+    for x in input {
+        out.push(f(x));
+    }
+    trace.record(
+        PrimitiveOp::Map,
+        input.len() as u64,
+        (std::mem::size_of::<T>() * input.len()) as u64,
+        (std::mem::size_of::<U>() * input.len()) as u64,
+    );
+    out
+}
+
+/// `map` over an index space `0..n` (a worklet reading `bytes_read_per`
+/// bytes of gathered input per element).
+pub fn map_n<U>(
+    trace: &mut DppTrace,
+    n: usize,
+    bytes_read_per: u64,
+    mut f: impl FnMut(usize) -> U,
+) -> Vec<U> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f(i));
+    }
+    trace.record(
+        PrimitiveOp::Map,
+        n as u64,
+        bytes_read_per * n as u64,
+        (std::mem::size_of::<U>() * n) as u64,
+    );
+    out
+}
+
+/// `inclusive_scan`: prefix sums; `out[i] = input[0] + … + input[i]`.
+pub fn inclusive_scan(trace: &mut DppTrace, input: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u32;
+    for &x in input {
+        acc += x;
+        out.push(acc);
+    }
+    trace.record(
+        PrimitiveOp::InclusiveScan,
+        input.len() as u64,
+        4 * input.len() as u64,
+        4 * input.len() as u64,
+    );
+    out
+}
+
+/// `gather`: `out[i] = src[idx[i]]`.
+pub fn gather<T: Copy>(trace: &mut DppTrace, src: &[T], idx: &[u32]) -> Vec<T> {
+    let mut out = Vec::with_capacity(idx.len());
+    for &i in idx {
+        out.push(src[i as usize]);
+    }
+    trace.record(
+        PrimitiveOp::Gather,
+        idx.len() as u64,
+        (idx.len() * (4 + std::mem::size_of::<T>())) as u64,
+        (idx.len() * std::mem::size_of::<T>()) as u64,
+    );
+    out
+}
+
+/// `scatter`: `out[idx[i]] = src[i]` (indices must be unique — the
+/// deterministic-scatter contract).
+pub fn scatter<T: Copy>(trace: &mut DppTrace, src: &[T], idx: &[u32], out: &mut [T]) {
+    assert_eq!(src.len(), idx.len(), "scatter src/idx length mismatch");
+    for (v, &i) in src.iter().zip(idx) {
+        out[i as usize] = *v;
+    }
+    trace.record(
+        PrimitiveOp::Scatter,
+        idx.len() as u64,
+        (idx.len() * (4 + std::mem::size_of::<T>())) as u64,
+        (idx.len() * std::mem::size_of::<T>()) as u64,
+    );
+}
+
+/// `compact`: keep `src[i]` where `flags[i]`, preserving order.
+pub fn compact<T: Copy>(trace: &mut DppTrace, src: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(src.len(), flags.len(), "compact src/flags length mismatch");
+    let kept = flags.iter().filter(|&&f| f).count();
+    let mut out = Vec::with_capacity(kept);
+    for (v, &f) in src.iter().zip(flags) {
+        if f {
+            out.push(*v);
+        }
+    }
+    trace.record(
+        PrimitiveOp::Compact,
+        src.len() as u64,
+        (src.len() * (1 + std::mem::size_of::<T>())) as u64,
+        (kept * std::mem::size_of::<T>()) as u64,
+    );
+    out
+}
+
+/// `compact` over the index space: the indices whose flag is set, in
+/// ascending order.
+pub fn compact_indices(trace: &mut DppTrace, flags: &[bool]) -> Vec<u32> {
+    let kept = flags.iter().filter(|&&f| f).count();
+    let mut out = Vec::with_capacity(kept);
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            out.push(i as u32);
+        }
+    }
+    trace.record(
+        PrimitiveOp::Compact,
+        flags.len() as u64,
+        flags.len() as u64,
+        4 * kept as u64,
+    );
+    out
+}
+
+/// `sort_by_key`: order (key, payload) pairs by the full tuple, so equal
+/// keys tie-break on payload — deterministic regardless of input order.
+pub fn sort_by_key(trace: &mut DppTrace, pairs: &mut [(u64, u32)]) {
+    pairs.sort_unstable();
+    trace.record(
+        PrimitiveOp::SortByKey,
+        pairs.len() as u64,
+        12 * pairs.len() as u64,
+        12 * pairs.len() as u64,
+    );
+}
+
+/// `reduce_by_key`: collapse runs of equal keys in key-sorted pairs with
+/// `reduce`, yielding one (key, reduced payload) per distinct key in
+/// first-appearance (= ascending-key) order.
+pub fn reduce_by_key<P: Copy>(
+    trace: &mut DppTrace,
+    pairs: &[(u64, P)],
+    mut reduce: impl FnMut(P, P) -> P,
+) -> Vec<(u64, P)> {
+    let mut distinct = 0usize;
+    let mut prev = None;
+    for &(k, _) in pairs {
+        if prev != Some(k) {
+            distinct += 1;
+            prev = Some(k);
+        }
+    }
+    let mut out: Vec<(u64, P)> = Vec::with_capacity(distinct);
+    for &(k, p) in pairs {
+        match out.last_mut() {
+            Some(last) if last.0 == k => last.1 = reduce(last.1, p),
+            _ => out.push((k, p)),
+        }
+    }
+    trace.record(
+        PrimitiveOp::ReduceByKey,
+        pairs.len() as u64,
+        (pairs.len() * (8 + std::mem::size_of::<P>())) as u64,
+        (out.len() * (8 + std::mem::size_of::<P>())) as u64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_empty_and_single() {
+        let mut tr = DppTrace::new();
+        let empty: Vec<i32> = map(&mut tr, &[] as &[i32], |&x| x * 2);
+        assert!(empty.is_empty());
+        assert_eq!(map(&mut tr, &[21], |&x: &i32| x * 2), vec![42]);
+        let r = tr.reports();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, PrimitiveOp::Map);
+        assert_eq!(r[0].counters.invocations, 2);
+        assert_eq!(r[0].counters.elements, 1);
+    }
+
+    #[test]
+    fn scan_identity_and_prefix_sums() {
+        let mut tr = DppTrace::new();
+        assert!(inclusive_scan(&mut tr, &[]).is_empty());
+        assert_eq!(inclusive_scan(&mut tr, &[7]), vec![7]);
+        assert_eq!(inclusive_scan(&mut tr, &[1, 0, 2, 3]), vec![1, 1, 3, 6]);
+        // Scan of all-zeros is the identity on length.
+        assert_eq!(inclusive_scan(&mut tr, &[0, 0, 0]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn compact_all_pass_and_all_fail() {
+        let mut tr = DppTrace::new();
+        let src = [10, 20, 30];
+        assert_eq!(compact(&mut tr, &src, &[true; 3]), vec![10, 20, 30]);
+        assert!(compact(&mut tr, &src, &[false; 3]).is_empty());
+        assert_eq!(compact(&mut tr, &src, &[false, true, false]), vec![20]);
+        assert_eq!(
+            compact_indices(&mut tr, &[true, false, true]),
+            vec![0u32, 2]
+        );
+        assert!(compact_indices(&mut tr, &[]).is_empty());
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut tr = DppTrace::new();
+        let src = [1.0f64, 2.0, 3.0, 4.0];
+        let idx = [3u32, 1, 0, 2];
+        let g = gather(&mut tr, &src, &idx);
+        assert_eq!(g, vec![4.0, 2.0, 1.0, 3.0]);
+        let mut out = [0.0f64; 4];
+        scatter(&mut tr, &g, &idx, &mut out);
+        assert_eq!(out, src);
+        assert!(gather(&mut tr, &src, &[]).is_empty());
+    }
+
+    #[test]
+    fn sort_then_reduce_by_key_segments() {
+        let mut tr = DppTrace::new();
+        let mut pairs = [(5u64, 2u32), (3, 7), (5, 1), (3, 4), (9, 0)];
+        sort_by_key(&mut tr, &mut pairs);
+        assert_eq!(pairs, [(3, 4), (3, 7), (5, 1), (5, 2), (9, 0)]);
+        let uniq = reduce_by_key(&mut tr, &pairs, |a, b| a.min(b));
+        assert_eq!(uniq, vec![(3, 4), (5, 1), (9, 0)]);
+        // Empty and single-element inputs.
+        assert!(reduce_by_key(&mut tr, &[] as &[(u64, u32)], |a, _| a).is_empty());
+        assert_eq!(reduce_by_key(&mut tr, &[(1, 8)], |a, _| a), vec![(1, 8)]);
+    }
+
+    #[test]
+    fn trace_reports_only_active_ops_in_canonical_order() {
+        let mut tr = DppTrace::new();
+        let _ = inclusive_scan(&mut tr, &[1]);
+        let _ = map(&mut tr, &[1u8], |&x| x);
+        let r = tr.reports();
+        // Map precedes InclusiveScan regardless of call order.
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].op, PrimitiveOp::Map);
+        assert_eq!(r[1].op, PrimitiveOp::InclusiveScan);
+        let k = tr.kernel_reports();
+        assert_eq!(k.len(), 2);
+        assert_eq!(k[0].name, "dpp-map");
+        assert!(k.iter().all(|kr| kr.work.items > 0));
+    }
+
+    #[test]
+    fn flops_land_on_the_recorded_op() {
+        let mut tr = DppTrace::new();
+        let _ = map(&mut tr, &[1.0f64], |&x| x * 2.0);
+        tr.record_flops(PrimitiveOp::Map, 17);
+        assert_eq!(tr.reports()[0].counters.flops, 17);
+    }
+}

@@ -1,0 +1,219 @@
+//! DPP threshold: the flag → scan → compact pattern. Cell selection and
+//! per-cell outputs are exactly the traditional filter's (same kept set,
+//! same order, same carried values); the *point weld* is the one place
+//! the formulations legitimately differ — the traditional filter numbers
+//! points by first use in kept-cell order, while the DPP formulation
+//! numbers them by a used-flag scatter + scan in grid order. The point
+//! **sets** are identical; only their ordering (and therefore the
+//! rounding of order-sensitive coordinate checksums) differs. See
+//! docs/DPP.md for the documented tolerance.
+
+use super::primitives::{self, DppTrace, PrimitiveOp};
+use crate::filter::{Filter, FilterOutput};
+use crate::threshold::ThresholdPolicy;
+use vizmesh::{Association, CellSet, CellShape, DataSet, Field, UniformGrid, Vec3};
+
+/// Threshold over data-parallel primitives: same parameters and kept
+/// cells as [`crate::Threshold`]; DPP point numbering (grid order).
+#[derive(Debug, Clone)]
+pub struct DppThreshold {
+    pub field: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub policy: ThresholdPolicy,
+}
+
+impl DppThreshold {
+    pub fn new(field: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "threshold range is inverted: [{lo}, {hi}]");
+        DppThreshold {
+            field: field.into(),
+            lo,
+            hi,
+            policy: ThresholdPolicy::AllPoints,
+        }
+    }
+
+    #[inline]
+    fn in_range(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+impl Filter for DppThreshold {
+    fn name(&self) -> &'static str {
+        "Threshold"
+    }
+
+    fn execute(&self, input: &DataSet) -> FilterOutput {
+        let grid = input
+            .as_uniform()
+            // lint: infallible because the study harness only feeds uniform grids
+            .expect("threshold expects a structured dataset");
+        let cell_vals = input.cell_scalars(&self.field);
+        let point_vals = input.point_scalars(&self.field);
+        assert!(
+            cell_vals.is_some() || point_vals.is_some(),
+            "missing scalar field '{}'",
+            self.field
+        );
+        let num_cells = grid.num_cells();
+        let num_points = grid.num_points();
+        let mut trace = DppTrace::new();
+
+        // 1. map: the keep flag per cell (same predicate as traditional).
+        let bytes_per_cell = if cell_vals.is_some() { 8 } else { 64 + 32 };
+        let keep: Vec<bool> = primitives::map_n(&mut trace, num_cells, bytes_per_cell, |c| {
+            if let Some(vals) = cell_vals {
+                self.in_range(vals[c])
+            } else {
+                // lint: infallible because the assert above guarantees point values
+                let vals = point_vals.unwrap();
+                let ids = grid.cell_point_ids(c);
+                match self.policy {
+                    ThresholdPolicy::AllPoints => ids.iter().all(|&p| self.in_range(vals[p])),
+                    ThresholdPolicy::AnyPoint => ids.iter().any(|&p| self.in_range(vals[p])),
+                }
+            }
+        });
+        trace.record_flops(PrimitiveOp::Map, 2 * num_cells as u64);
+
+        // 2. compact: the kept cell ids, in cell order.
+        let kept = primitives::compact_indices(&mut trace, &keep);
+
+        // 3. point weld, DPP-style: scatter a used flag per referenced
+        // point, scan it into dense ranks, gather coordinates in grid
+        // order. (The traditional filter instead numbers points by first
+        // use — same set, different order.)
+        let mut used: Vec<u32> = vec![0; num_points];
+        mark_used_points(grid, &kept, &mut used);
+        trace.record(
+            PrimitiveOp::Scatter,
+            8 * kept.len() as u64,
+            32 * kept.len() as u64,
+            4 * 8 * kept.len() as u64,
+        );
+        let ranks = primitives::inclusive_scan(&mut trace, &used);
+        let num_out_points = ranks.last().copied().unwrap_or(0) as usize;
+        let used_flags: Vec<bool> = primitives::map(&mut trace, &used, |&u| u != 0);
+        let used_pids = primitives::compact_indices(&mut trace, &used_flags);
+        let points: Vec<Vec3> = primitives::map(&mut trace, &used_pids, |&pid| {
+            grid.point_coord_id(pid as usize)
+        });
+        debug_assert_eq!(points.len(), num_out_points);
+
+        // 4. gather: connectivity through the rank table, cell payloads.
+        let cells = emit_cells(grid, &kept, &ranks);
+        trace.record(
+            PrimitiveOp::Gather,
+            8 * kept.len() as u64,
+            (8 * (4 + 4) * kept.len()) as u64,
+            4 * 8 * kept.len() as u64,
+        );
+        let out_cell_vals: Vec<f64> = match cell_vals {
+            Some(vals) => primitives::gather(&mut trace, vals, &kept),
+            None => Vec::new(),
+        };
+
+        let mut ds = DataSet::explicit(points, cells);
+        if cell_vals.is_some() {
+            ds.add_field(Field::scalar(
+                self.field.clone(),
+                Association::Cells,
+                out_cell_vals,
+            ));
+        }
+        FilterOutput::data_with_primitives(ds, trace.kernel_reports(), trace.reports())
+    }
+}
+
+/// Scatter worklet: flag every point referenced by a kept cell.
+fn mark_used_points(grid: &UniformGrid, kept: &[u32], used: &mut [u32]) {
+    for &c in kept {
+        for &pid in &grid.cell_point_ids(c as usize) {
+            used[pid] = 1;
+        }
+    }
+}
+
+/// Gather worklet: kept-cell connectivity through the scanned ranks
+/// (`rank − 1` is the dense id of a used point).
+fn emit_cells(grid: &UniformGrid, kept: &[u32], ranks: &[u32]) -> CellSet {
+    let mut cells = CellSet::with_capacity(kept.len(), 8 * kept.len());
+    for &c in kept {
+        let ids = grid.cell_point_ids(c as usize);
+        let mut conn = [0u32; 8];
+        for (slot, &pid) in ids.iter().enumerate() {
+            conn[slot] = ranks[pid] - 1;
+        }
+        cells.push(CellShape::Hexahedron, &conn);
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::Threshold;
+    use vizmesh::UniformGrid;
+
+    fn x_ramp(n: usize) -> DataSet {
+        let grid = UniformGrid::cube_cells(n);
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|c| grid.cell_ijk(c)[0] as f64)
+            .collect();
+        DataSet::uniform(grid).with_field(Field::scalar("v", Association::Cells, vals))
+    }
+
+    #[test]
+    fn dpp_threshold_keeps_the_same_cells_and_values() {
+        let ds = x_ramp(4);
+        let trad = Threshold::new("v", 1.0, 2.0).execute(&ds);
+        let dpp = DppThreshold::new("v", 1.0, 2.0).execute(&ds);
+        let t = trad.dataset.unwrap();
+        let d = dpp.dataset.unwrap();
+        assert_eq!(t.num_cells(), d.num_cells());
+        assert_eq!(t.num_points(), d.num_points());
+        // Kept cells come out in the same order, carrying the same cell
+        // values bit-for-bit.
+        assert_eq!(t.cell_scalars("v").unwrap(), d.cell_scalars("v").unwrap());
+        // The point *sets* agree even though the numbering differs:
+        // compare sorted coordinate triples exactly.
+        let (tp, _) = t.as_explicit().unwrap();
+        let (dp, _) = d.as_explicit().unwrap();
+        let mut ts: Vec<_> = tp
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+            .collect();
+        let mut dsx: Vec<_> = dp
+            .iter()
+            .map(|p| (p.x.to_bits(), p.y.to_bits(), p.z.to_bits()))
+            .collect();
+        ts.sort_unstable();
+        dsx.sort_unstable();
+        assert_eq!(ts, dsx);
+        assert!(!dpp.primitives.is_empty());
+    }
+
+    #[test]
+    fn dpp_threshold_empty_and_full_ranges() {
+        let ds = x_ramp(3);
+        let empty = DppThreshold::new("v", 100.0, 200.0).execute(&ds);
+        assert_eq!(empty.dataset.unwrap().num_cells(), 0);
+        let full = DppThreshold::new("v", 0.0, 3.0).execute(&ds);
+        let out = full.dataset.unwrap();
+        assert_eq!(out.num_cells(), 27);
+        assert_eq!(out.num_points(), 64);
+    }
+
+    #[test]
+    fn dpp_threshold_point_policy_matches_traditional_counts() {
+        let grid = UniformGrid::cube_cells(2);
+        let vals: Vec<f64> = (0..grid.num_points())
+            .map(|p| grid.point_coord_id(p).x)
+            .collect();
+        let ds = DataSet::uniform(grid).with_field(Field::scalar("v", Association::Points, vals));
+        let out = DppThreshold::new("v", 0.0, 0.5).execute(&ds);
+        assert_eq!(out.dataset.unwrap().num_cells(), 4);
+    }
+}

@@ -70,6 +70,10 @@ pub struct FilterOutput {
     pub images: Vec<Image>,
     /// Per-kernel work reports, in execution order.
     pub kernels: Vec<KernelReport>,
+    /// Per-primitive traffic reports, for filters executed through the
+    /// DPP backend (empty for traditional executions); journaled as
+    /// schema-v6 `Primitive` spans by the bench/conformance drivers.
+    pub primitives: Vec<crate::dpp::PrimitiveReport>,
 }
 
 impl FilterOutput {
@@ -78,6 +82,21 @@ impl FilterOutput {
             dataset: Some(dataset),
             images: Vec::new(),
             kernels,
+            primitives: Vec::new(),
+        }
+    }
+
+    /// [`data`](FilterOutput::data), carrying the DPP primitive trail.
+    pub fn data_with_primitives(
+        dataset: DataSet,
+        kernels: Vec<KernelReport>,
+        primitives: Vec<crate::dpp::PrimitiveReport>,
+    ) -> Self {
+        FilterOutput {
+            dataset: Some(dataset),
+            images: Vec::new(),
+            kernels,
+            primitives,
         }
     }
 
@@ -86,6 +105,7 @@ impl FilterOutput {
             dataset: None,
             images,
             kernels,
+            primitives: Vec::new(),
         }
     }
 
@@ -214,6 +234,7 @@ mod tests {
                 KernelReport::new("a", KernelClass::CellClassify, w1),
                 KernelReport::new("b", KernelClass::Interpolate, w2),
             ],
+            primitives: vec![],
         };
         let total = out.total_work();
         assert_eq!(total.items, 30);

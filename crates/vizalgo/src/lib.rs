@@ -29,6 +29,13 @@
 //! share: packed-key vertex-welding maps and reusable clip scratch
 //! buffers (see docs/PERFORMANCE.md for the policy they implement).
 //!
+//! The [`dpp`] module is the second execution backend: the same kernels
+//! re-expressed over an instrumented data-parallel-primitive vocabulary
+//! (map / scan / gather / scatter / compact / sort / reduce-by-key),
+//! selectable per spec via [`Backend`] and
+//! [`AlgorithmSpec::build_with`](spec::AlgorithmSpec::build_with) (see
+//! docs/DPP.md).
+//!
 //! The [`registry`] module is the single source of truth describing the
 //! eight algorithms (names, aliases, kernel taxonomy, cell-centered
 //! flags), and [`spec`] carries the canonical serializable
@@ -42,6 +49,7 @@ pub mod arena;
 pub mod clip;
 pub mod colormap;
 pub mod contour;
+pub mod dpp;
 pub mod filter;
 pub mod gradient;
 pub mod isovolume;
@@ -58,6 +66,9 @@ pub use advection::ParticleAdvection;
 pub use arena::{TetScratch, WeldMap};
 pub use clip::SphericalClip;
 pub use contour::Contour;
+pub use dpp::{
+    Backend, DppContour, DppIsovolume, DppSlice, DppThreshold, PrimitiveOp, PrimitiveReport,
+};
 pub use filter::{Algorithm, Filter, FilterOutput, KernelClass, KernelReport};
 pub use gradient::Gradient;
 pub use isovolume::Isovolume;

@@ -21,6 +21,7 @@
 use crate::advection::ParticleAdvection;
 use crate::clip::SphericalClip;
 use crate::contour::Contour;
+use crate::dpp::{Backend, DppContour, DppIsovolume, DppSlice, DppThreshold};
 use crate::filter::{Algorithm, Filter};
 use crate::isovolume::Isovolume;
 use crate::raytrace::RayTracer;
@@ -333,6 +334,91 @@ impl AlgorithmSpec {
     pub fn fingerprint(&self) -> u64 {
         fnv1a(self.canonical().as_bytes()) & 0xFFFF_FFFF_FFFF
     }
+
+    /// [`build`](AlgorithmSpec::build) for a chosen execution
+    /// [`Backend`]. `Traditional` is exactly `build`; `Dpp` constructs
+    /// the data-parallel-primitives formulation (callers gate on
+    /// [`Backend::supports`] first — four algorithms have one).
+    ///
+    /// This is the second sanctioned arm of the single construction
+    /// site: the registry-dispatch lint knows the `Dpp*` constructors
+    /// the same way it knows the traditional ones.
+    pub fn build_with(&self, backend: Backend, input: &DataSet) -> Box<dyn Filter> {
+        match backend {
+            Backend::Traditional => self.build(input),
+            Backend::Dpp => self.build_dpp(input),
+        }
+    }
+
+    /// Construct the DPP formulation. Data-dependent parameters are
+    /// resolved by the *traditional* constructor first and its resolved
+    /// fields move into the DPP filter, so both backends always execute
+    /// the same resolved plan (same isovalues, same band bounds, same
+    /// planes).
+    fn build_dpp(&self, input: &DataSet) -> Box<dyn Filter> {
+        match self {
+            AlgorithmSpec::Contour { field, isovalues } => {
+                let t = match isovalues {
+                    IsoValues::Spanning(n) => Contour::spanning(field.clone(), input, *n),
+                    IsoValues::Explicit(values) => Contour::new(field.clone(), values.clone()),
+                };
+                Box::new(DppContour::new(t.field, t.isovalues))
+            }
+            AlgorithmSpec::Threshold { field, band } => {
+                let t = match band {
+                    ScalarBand::UpperFraction(frac) => {
+                        Threshold::upper_fraction(field.clone(), input, *frac)
+                    }
+                    ScalarBand::MiddleBand(frac) => {
+                        let (lo, hi) = middle_band(any_range(input, field), *frac);
+                        Threshold::new(field.clone(), lo, hi)
+                    }
+                    ScalarBand::Range { min, max } => Threshold::new(field.clone(), *min, *max),
+                };
+                let mut dpp = DppThreshold::new(t.field, t.lo, t.hi);
+                dpp.policy = t.policy;
+                Box::new(dpp)
+            }
+            AlgorithmSpec::Isovolume { field, band } => {
+                let t = match band {
+                    ScalarBand::MiddleBand(frac) => {
+                        Isovolume::middle_band(field.clone(), input, *frac)
+                    }
+                    ScalarBand::UpperFraction(frac) => {
+                        let (lo, hi) = point_range(input, field);
+                        let cut = hi - (hi - lo) * frac.clamp(0.0, 1.0);
+                        Isovolume::new(field.clone(), cut, hi)
+                    }
+                    ScalarBand::Range { min, max } => Isovolume::new(field.clone(), *min, *max),
+                };
+                Box::new(DppIsovolume::new(t.field, t.lo, t.hi))
+            }
+            AlgorithmSpec::Slice { field } => {
+                let t = ThreeSlice::centered(input, field.clone());
+                Box::new(DppSlice::new(t.planes, t.field))
+            }
+            other => {
+                // lint: infallible because callers gate on Backend::supports
+                panic!("no dpp formulation of '{}'", other.algorithm().name())
+            }
+        }
+    }
+
+    /// [`fingerprint`](AlgorithmSpec::fingerprint) for a backend:
+    /// `Traditional` is bit-identical to `fingerprint()` (every pinned
+    /// golden keeps its ids); other backends tag the canonical encoding
+    /// so the same plan on a different backend is a distinct,
+    /// content-addressable execution.
+    pub fn fingerprint_with(&self, backend: Backend) -> u64 {
+        match backend {
+            Backend::Traditional => self.fingerprint(),
+            Backend::Dpp => {
+                let mut canon = self.canonical();
+                canon.push_str("|backend=dpp");
+                fnv1a(canon.as_bytes()) & 0xFFFF_FFFF_FFFF
+            }
+        }
+    }
 }
 
 impl Algorithm {
@@ -518,6 +604,53 @@ mod tests {
             isovalues: IsoValues::Spanning(11),
         };
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn build_with_traditional_is_build() {
+        let ds = dataset();
+        for spec in every_variant() {
+            let a = spec.build(&ds).execute(&ds);
+            let b = spec.build_with(Backend::Traditional, &ds).execute(&ds);
+            assert_eq!(a.kernels.len(), b.kernels.len(), "{}", spec.canonical());
+            assert!(
+                b.primitives.is_empty(),
+                "traditional journals no primitives"
+            );
+        }
+    }
+
+    #[test]
+    fn build_with_dpp_covers_supported_kernels() {
+        let ds = dataset();
+        for spec in every_variant() {
+            let alg = spec.algorithm();
+            if !Backend::Dpp.supports(alg) {
+                continue;
+            }
+            let filter = spec.build_with(Backend::Dpp, &ds);
+            assert_eq!(filter.name(), alg.name(), "{}", spec.canonical());
+            let out = filter.execute(&ds);
+            assert!(
+                !out.primitives.is_empty(),
+                "{} on dpp journals primitive counters",
+                spec.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_with_tags_backend() {
+        for spec in every_variant() {
+            assert_eq!(
+                spec.fingerprint_with(Backend::Traditional),
+                spec.fingerprint(),
+                "traditional fingerprints are unchanged"
+            );
+            let dpp = spec.fingerprint_with(Backend::Dpp);
+            assert_ne!(dpp, spec.fingerprint(), "{}", spec.canonical());
+            assert!(dpp <= 0xFFFF_FFFF_FFFF, "fits in 48 bits");
+        }
     }
 
     #[test]

@@ -232,6 +232,21 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
             &[],
         ),
         (
+            "reproduce conformance --quick --backend dpp",
+            &[
+                "run",
+                "--release",
+                "--bin",
+                "reproduce",
+                "--",
+                "conformance",
+                "--quick",
+                "--backend",
+                "dpp",
+            ],
+            &[],
+        ),
+        (
             "reproduce bench --quick",
             &[
                 "run",
@@ -241,6 +256,23 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
                 "--",
                 "bench",
                 "--quick",
+            ],
+            &[],
+        ),
+        (
+            "reproduce bench --quick --backend both (DPP comparison)",
+            &[
+                "run",
+                "--release",
+                "--bin",
+                "reproduce",
+                "--",
+                "bench",
+                "--quick",
+                "--backend",
+                "both",
+                "--algo",
+                "contour,threshold,isovolume,slice",
             ],
             &[],
         ),

@@ -5,6 +5,8 @@
 /// panic-policy and reduction-determinism lints only apply here.
 /// `conformance` is included so the correctness checks themselves report
 /// setup failures as failed checks instead of panicking mid-suite.
+/// The DPP backend (`crates/vizalgo/src/dpp/`) is covered automatically:
+/// it is library code of `vizalgo`.
 pub const HOT_PATH_CRATES: &[&str] = &[
     "vizalgo",
     "cloverleaf",
@@ -92,6 +94,10 @@ pub const FILTER_CONSTRUCTORS: &[&str] = &[
     "ParticleAdvection::new(",
     "RayTracer::new(",
     "VolumeRenderer::new(",
+    "DppContour::new(",
+    "DppThreshold::new(",
+    "DppIsovolume::new(",
+    "DppSlice::new(",
 ];
 
 /// Returns the crate name (directory under `crates/`) for a

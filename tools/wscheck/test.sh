@@ -71,6 +71,7 @@ P() { crate=$1; name=$2; skip=$3; echo "=== proptest: $crate/$name ==="; \
 
 P vizmesh proptests
 P vizalgo proptests
+P vizalgo dpp_proptests
 P cloverleaf proptests
 P powersim proptests
 P insitu proptests "--skip actions_json_round_trip"
@@ -80,8 +81,12 @@ echo "=== smoke: reproduce governor --budget-sweep --quick ==="
 out/reproduce governor --budget-sweep --quick
 echo "=== smoke: reproduce conformance --quick ==="
 out/reproduce conformance --quick
+echo "=== smoke: reproduce conformance --quick --backend dpp ==="
+out/reproduce conformance --quick --backend dpp
 echo "=== smoke: reproduce bench --quick ==="
 out/reproduce bench --quick --out out/bench_quick.json
+echo "=== smoke: reproduce bench --quick --backend both (DPP comparison) ==="
+out/reproduce bench --quick --backend both --algo contour,threshold,isovolume,slice --out out/bench_dpp_quick.json
 echo "=== smoke: xtask lint + analyze --ratchet against the repo ==="
 out/xtask lint --root "$R"
 out/xtask analyze --ratchet --root "$R"
