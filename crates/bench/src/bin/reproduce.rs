@@ -24,6 +24,15 @@
 //!                                 # plus default-cap simulated J/IPC/LLC;
 //!                                 # --backend both adds a DPP row per
 //!                                 # supported algorithm
+//! reproduce serve [--quick] [--requests K] [--zipf S]
+//!                 [--nodes N] [--workers W]
+//!                                 # extension: the study service under
+//!                                 # synthetic Zipfian traffic — dedupe
+//!                                 # through the fingerprint-addressed
+//!                                 # cache, batch scheduling across N
+//!                                 # simulated nodes at 90 W budget each
+//!                                 # (hit rate, coalesce count, modeled
+//!                                 # latency percentiles)
 //!
 //! reproduce <target> --journal out.jsonl   # write the run journal (JSONL)
 //! reproduce <target> --trace out.trace.json # write a chrome://tracing file
@@ -48,7 +57,7 @@ use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>] [--backend <traditional|dpp|both>] [--algo <name,...>]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench|serve> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>] [--backend <traditional|dpp|both>] [--algo <name,...>] [--requests <K>] [--zipf <S>] [--nodes <N>] [--workers <W>]"
     ))
 }
 
@@ -88,6 +97,10 @@ fn main() -> Result<(), CliError> {
     let mut out_path: Option<PathBuf> = None;
     let mut backends: Option<Vec<vizalgo::Backend>> = None;
     let mut algorithms: Option<Vec<Algorithm>> = None;
+    let mut requests_flag: Option<usize> = None;
+    let mut zipf_flag: Option<f64> = None;
+    let mut nodes_flag: Option<usize> = None;
+    let mut workers_flag: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -118,6 +131,34 @@ fn main() -> Result<(), CliError> {
                     .ok_or_else(|| usage("--algo needs a comma-separated list"))?;
                 algorithms = Some(vizpower_bench::parse_algorithms(&names)?);
             }
+            "--requests" => {
+                let n = it.next().ok_or_else(|| usage("--requests needs a count"))?;
+                requests_flag = Some(
+                    n.parse()
+                        .map_err(|_| usage(&format!("--requests: '{n}' is not a count")))?,
+                );
+            }
+            "--zipf" => {
+                let s = it.next().ok_or_else(|| usage("--zipf needs an exponent"))?;
+                zipf_flag = Some(
+                    s.parse()
+                        .map_err(|_| usage(&format!("--zipf: '{s}' is not a number")))?,
+                );
+            }
+            "--nodes" => {
+                let n = it.next().ok_or_else(|| usage("--nodes needs a count"))?;
+                nodes_flag = Some(
+                    n.parse()
+                        .map_err(|_| usage(&format!("--nodes: '{n}' is not a count")))?,
+                );
+            }
+            "--workers" => {
+                let n = it.next().ok_or_else(|| usage("--workers needs a count"))?;
+                workers_flag = Some(
+                    n.parse()
+                        .map_err(|_| usage(&format!("--workers: '{n}' is not a count")))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(usage(&format!("unknown flag '{other}'")));
             }
@@ -134,6 +175,16 @@ fn main() -> Result<(), CliError> {
     }
     if algorithms.is_some() && target != "bench" {
         return Err(usage("--algo only applies to the bench target"));
+    }
+    if (requests_flag.is_some()
+        || zipf_flag.is_some()
+        || nodes_flag.is_some()
+        || workers_flag.is_some())
+        && target != "serve"
+    {
+        return Err(usage(
+            "--requests/--zipf/--nodes/--workers only apply to the serve target",
+        ));
     }
     let fidelity = if quick {
         Fidelity::Quick
@@ -339,6 +390,57 @@ fn main() -> Result<(), CliError> {
                 report.failed(),
                 report.checks.len()
             )));
+        }
+        "serve" => {
+            let requests = requests_flag.unwrap_or(if quick { 400 } else { 2000 });
+            let zipf_s = zipf_flag.unwrap_or(1.1);
+            let nodes = nodes_flag.unwrap_or(4);
+            let workers = workers_flag.unwrap_or(4);
+            // The fleet budget scales with the fleet: a 90 W share per
+            // node, so any node count stays admissible (floor is 40 W).
+            let cfg = service::ServiceConfig {
+                nodes,
+                workers,
+                fleet_budget: powersim::Watts(90.0) * nodes as f64,
+                study: fidelity.study_config(),
+                ..service::ServiceConfig::default()
+            };
+            let sizes: &[usize] = if quick { &[8, 12] } else { &[16, 32] };
+            let caps = [
+                powersim::Watts(120.0),
+                powersim::Watts(80.0),
+                powersim::Watts(40.0),
+            ];
+            println!(
+                "== Study service: {requests} zipf({zipf_s}) requests over {nodes} nodes at {:?}³ ==",
+                sizes
+            );
+            let universe = service::universe(&cfg.study, sizes, &caps);
+            let traffic = service::zipf_traffic(
+                &universe,
+                service::TrafficConfig {
+                    requests,
+                    zipf_s,
+                    seed: cfg.seed,
+                },
+            );
+            let mut svc =
+                service::StudyService::new(cfg).map_err(|e| CliError::new(e.to_string()))?;
+            let wall = std::time::Instant::now();
+            let out = svc
+                .serve(&traffic, &mut ctx.journal)
+                .map_err(|e| CliError::new(e.to_string()))?;
+            let wall = wall.elapsed().as_secs_f64();
+            print!("{}", out.report.render());
+            println!();
+            eprintln!(
+                "wall-clock: {wall:.2} s ({:.0} req/s) with {workers} workers; \
+                 physical cache {:?}",
+                requests as f64 / wall.max(1e-9),
+                svc.cache_stats()
+            );
+            write_journal_outputs(&ctx, journal_path.as_deref(), trace_path.as_deref())?;
+            return Ok(());
         }
         "bench" => {
             let sizes = fidelity.sizes();

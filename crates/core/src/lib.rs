@@ -46,10 +46,12 @@ pub mod energy;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+pub mod store;
 pub mod study;
 
 pub use characterize::{characterize, ClassSignature};
 pub use classify::{classify, PowerClass};
 pub use metrics::{first_slowdown_cap, Ratios, SLOWDOWN_THRESHOLD};
 pub use powersim::trace;
-pub use study::{AlgorithmRun, CapSweep, StudyConfig, PAPER_CAPS, PAPER_SIZES};
+pub use store::DatasetStore;
+pub use study::{AlgorithmRun, CapSweep, EmptySweepError, StudyConfig, PAPER_CAPS, PAPER_SIZES};

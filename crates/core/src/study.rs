@@ -9,6 +9,7 @@
 
 use crate::characterize::characterize;
 use crate::metrics::Ratios;
+use crate::store::DatasetStore;
 use cloverleaf::{Problem, SimConfig, Simulation};
 use powersim::trace::{Journal, Scope};
 use powersim::{CpuSpec, ExecResult, Joules, Package, Watts, Workload};
@@ -285,7 +286,53 @@ impl CapSweep {
     pub fn at_cap(&self, cap: Watts) -> Option<&ExecResult> {
         self.rows.iter().find(|r| (r.cap_watts - cap).abs() < 0.5)
     }
+
+    /// [`baseline`](CapSweep::baseline), but an empty sweep is an
+    /// actionable error instead of `None`. The Option-returning
+    /// accessors exist for report renderers that legitimately skip
+    /// empty sweeps; paths that *serve* a result — the study service's
+    /// job executor — must surface the misconfiguration instead of
+    /// silently dropping the request.
+    pub fn require_baseline(&self) -> Result<&ExecResult, EmptySweepError> {
+        self.baseline().ok_or(EmptySweepError {
+            algorithm: self.algorithm,
+            size: self.size,
+        })
+    }
+
+    /// [`ratios`](CapSweep::ratios), but an empty sweep is an
+    /// actionable error instead of an empty vector.
+    pub fn require_ratios(&self) -> Result<Vec<Ratios>, EmptySweepError> {
+        self.require_baseline()?;
+        Ok(self.ratios())
+    }
 }
+
+/// A cap sweep ran zero caps, so it has no baseline row and no ratios.
+/// Every Option-chain caller of [`CapSweep::baseline`]/[`CapSweep::ratios`]
+/// silently drops such a sweep; [`CapSweep::require_baseline`] turns it
+/// into this error for paths that must answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptySweepError {
+    /// Algorithm the empty sweep was for.
+    pub algorithm: Algorithm,
+    /// Data size (cells per axis) the empty sweep was for.
+    pub size: usize,
+}
+
+impl std::fmt::Display for EmptySweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cap sweep of {} at {}\u{b3} has no rows: the study config's cap \
+             list is empty, so there is no baseline to answer with; configure \
+             at least one cap (e.g. StudyConfig::paper()'s 120 W default)",
+            self.algorithm, self.size
+        )
+    }
+}
+
+impl std::error::Error for EmptySweepError {}
 
 /// Characterize a native run and execute it under every cap.
 pub fn sweep(run: &AlgorithmRun, caps: &[Watts], spec: &CpuSpec) -> CapSweep {
@@ -355,8 +402,7 @@ pub struct StudyContext {
     pub config: Option<StudyConfig>,
     /// The study-wide run journal (disabled unless enabled explicitly).
     pub journal: Journal,
-    base_datasets: BTreeMap<usize, Arc<DataSet>>,
-    datasets: BTreeMap<usize, Arc<DataSet>>,
+    store: DatasetStore,
     runs: BTreeMap<(Algorithm, usize), Arc<AlgorithmRun>>,
 }
 
@@ -365,8 +411,7 @@ impl StudyContext {
         StudyContext {
             config: Some(config),
             journal: Journal::off(),
-            base_datasets: BTreeMap::new(),
-            datasets: BTreeMap::new(),
+            store: DatasetStore::new(),
             runs: BTreeMap::new(),
         }
     }
@@ -386,40 +431,17 @@ impl StudyContext {
     }
 
     /// Dataset at `size`, computed once; the hydro base is shared, and a
-    /// hit returns another handle to the cached allocation.
+    /// hit returns another handle to the cached allocation. Delegates to
+    /// the context's [`DatasetStore`], journaling fresh base solves
+    /// exactly as before the extraction.
     pub fn dataset(&mut self, size: usize) -> Arc<DataSet> {
-        if let Some(ds) = self.datasets.get(&size) {
-            return Arc::clone(ds);
-        }
-        let base_n = size.min(HYDRO_BASE_MAX);
-        if !self.base_datasets.contains_key(&base_n) {
-            let t0 = self.journal.now();
-            let mut sim = Simulation::new(Problem::TwoState, base_n, SimConfig::default());
-            while sim.time() < HYDRO_T_END {
-                sim.step_journaled(&mut self.journal);
-            }
-            if self.journal.is_enabled() {
-                self.journal.push_span(
-                    Scope::Study,
-                    format!("dataset:{base_n}"),
-                    t0,
-                    None,
-                    vec![
-                        ("cells", (base_n * base_n * base_n) as f64),
-                        ("steps", sim.step_count() as f64),
-                    ],
-                );
-            }
-            self.base_datasets.insert(base_n, Arc::new(sim.dataset()));
-        }
-        let base = Arc::clone(&self.base_datasets[&base_n]);
-        let ds = if base_n == size {
-            base
-        } else {
-            Arc::new(upsample(&base, size))
-        };
-        self.datasets.insert(size, Arc::clone(&ds));
-        ds
+        self.store.dataset_journaled(size, &mut self.journal)
+    }
+
+    /// The context's dataset store, for consumers (the study service)
+    /// that share datasets across threads.
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
     }
 
     /// Native run for (algorithm, size), computed once; a hit returns
@@ -602,6 +624,42 @@ mod tests {
         assert!(sweep.baseline().is_none());
         assert!(sweep.ratios().is_empty());
         assert!(sweep.at_cap(Watts(120.0)).is_none());
+    }
+
+    #[test]
+    fn empty_sweep_errors_are_actionable() {
+        let sweep = CapSweep {
+            algorithm: Algorithm::Contour,
+            size: 8,
+            input_cells: 512,
+            rows: Vec::new(),
+        };
+        let err = sweep
+            .require_baseline()
+            .expect_err("empty sweep must error");
+        assert_eq!(
+            err,
+            EmptySweepError {
+                algorithm: Algorithm::Contour,
+                size: 8
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("Contour"), "names the algorithm: {msg}");
+        assert!(msg.contains("8³"), "names the size: {msg}");
+        assert!(
+            msg.contains("configure at least one cap"),
+            "says what to do: {msg}"
+        );
+        assert!(sweep.require_ratios().is_err());
+        // A non-empty sweep answers.
+        let mut ctx = StudyContext::new(tiny_config());
+        let full = ctx.sweep(Algorithm::Threshold, 8);
+        assert!(full.require_baseline().is_ok());
+        assert_eq!(
+            full.require_ratios().expect("has rows").len(),
+            full.rows.len()
+        );
     }
 
     #[test]

@@ -60,7 +60,16 @@ pub fn clamp_budget(budget_watts: Watts, spec: &CpuSpec) -> Watts {
 /// and the clamped caps still exceed the budget, the request is replaced
 /// by the uniform split — a deterministic fallback that keeps a buggy
 /// policy from ever breaking the budget contract.
-fn sanitize(
+///
+/// Public because the study service (`crates/service`) reuses this as
+/// its admission-control primitive: a requested per-job cap is a
+/// lone-survivor split (`sim` = request, `viz` = 0 W, viz inactive)
+/// sanitized against the node's share of the fleet budget. One caveat
+/// the service must handle itself: a lone survivor under a budget below
+/// `min_cap` gets the *budget* back (below the hardware floor) — the
+/// package clamp would silently raise it at programming time, so
+/// budgets below `min_cap` are not admissible.
+pub fn sanitize(
     raw: CapSplit,
     sim_active: bool,
     viz_active: bool,
@@ -362,6 +371,106 @@ mod tests {
             j.to_jsonl()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sanitize_zero_headroom_budget_forces_the_floor_split() {
+        // The tightest feasible budget is exactly two hardware floors
+        // (clamp_budget's lower bound). Any both-active request that
+        // overshoots must collapse to the uniform split at the floor —
+        // zero headroom means zero discretion.
+        let spec = spec();
+        let budget = 2.0 * spec.min_cap_watts;
+        assert_eq!(clamp_budget(Watts(0.0), &spec), budget);
+        let greedy = CapSplit {
+            sim: spec.tdp_watts,
+            viz: spec.tdp_watts,
+        };
+        let split = sanitize(greedy, true, true, budget, &spec);
+        assert_eq!(split.sim, spec.min_cap_watts);
+        assert_eq!(split.viz, spec.min_cap_watts);
+        assert_eq!(split.total(), budget);
+    }
+
+    #[test]
+    fn sanitize_single_package_caps_at_budget_and_tdp() {
+        // A lone survivor (the service's single-package admission path):
+        // the cap is min(clamp(request), budget, TDP).
+        let spec = spec();
+        let lone = |req: f64, budget: f64| {
+            sanitize(
+                CapSplit {
+                    sim: Watts(req),
+                    viz: Watts::ZERO,
+                },
+                true,
+                false,
+                Watts(budget),
+                &spec,
+            )
+        };
+        // Over-TDP request under a generous budget clamps to TDP.
+        let s = lone(200.0, 150.0);
+        assert_eq!(s.sim, spec.tdp_watts);
+        assert_eq!(s.viz, Watts::ZERO, "inactive side stays pinned to 0 W");
+        // A tight budget wins over the hardware range.
+        assert_eq!(lone(200.0, 100.0).sim, Watts(100.0));
+        // An in-range request under an ample budget passes through.
+        assert_eq!(lone(75.0, 100.0).sim, Watts(75.0));
+        // Below-floor requests rise to the floor first.
+        assert_eq!(lone(10.0, 100.0).sim, spec.min_cap_watts);
+        // The viz-survivor arm mirrors the sim one.
+        let s = sanitize(
+            CapSplit {
+                sim: Watts::ZERO,
+                viz: Watts(200.0),
+            },
+            false,
+            true,
+            Watts(90.0),
+            &spec,
+        );
+        assert_eq!(s.viz, Watts(90.0));
+        assert_eq!(s.sim, Watts::ZERO);
+    }
+
+    #[test]
+    fn sanitize_lone_survivor_below_floor_budget_returns_the_budget() {
+        // Documented caveat: a budget below min_cap comes back as-is
+        // for a lone survivor — below the hardware floor. The RAPL
+        // layer would round it UP to the floor when programmed,
+        // breaking the budget, which is why the service refuses to
+        // admit onto nodes whose budget share is below min_cap.
+        let spec = spec();
+        let s = sanitize(
+            CapSplit {
+                sim: Watts(80.0),
+                viz: Watts::ZERO,
+            },
+            true,
+            false,
+            Watts(25.0),
+            &spec,
+        );
+        assert_eq!(s.sim, Watts(25.0));
+        assert!(s.sim < spec.min_cap_watts);
+    }
+
+    #[test]
+    fn sanitize_both_retired_is_all_zero() {
+        let spec = spec();
+        let s = sanitize(
+            CapSplit {
+                sim: Watts(120.0),
+                viz: Watts(120.0),
+            },
+            false,
+            false,
+            Watts(160.0),
+            &spec,
+        );
+        assert_eq!(s.sim, Watts::ZERO);
+        assert_eq!(s.viz, Watts::ZERO);
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub use exec::{ExecResult, Package, RunState, Sample};
 pub use msr::{MsrError, MsrFile};
 pub use node::{Node, NodeResult};
 pub use rapl::PowerLimiter;
-pub use trace::{CapChange, CounterSample, Event, Journal, PolicyDecision, Scope, Span};
+pub use trace::{
+    CacheEvent, CapChange, CounterSample, Event, Journal, PolicyDecision, Scope, ServiceRequest,
+    Span,
+};
 pub use units::{Joules, Watts};
 pub use workload::{KernelPhase, Workload};

@@ -57,7 +57,10 @@ use crate::units::{Joules, Watts};
 /// (algorithm, size) row of a `reproduce bench` run. v6 added the
 /// [`Scope::Primitive`] span scope carrying per-primitive element/byte
 /// counters from the data-parallel-primitives backend (`vizalgo::dpp`).
-pub const SCHEMA_VERSION: u32 = 6;
+/// v7 added the [`ServiceRequest`] and [`CacheEvent`] events plus the
+/// [`Scope::Service`] span scope for the fingerprint-addressed study
+/// service (`crates/service`).
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// Which layer of the stack emitted a [`Span`].
 ///
@@ -104,6 +107,10 @@ pub enum Scope {
     /// primitive op across a filter execution, journaled by the
     /// conformance and bench drivers as zero-width spans.
     Primitive,
+    /// Study-service orchestration (`crates/service`): one span per
+    /// scheduled request batch (`batch:{index}`) plus a `serve:{requests}`
+    /// rollup per traffic run, on the modeled fleet clock.
+    Service,
 }
 
 impl Scope {
@@ -120,6 +127,7 @@ impl Scope {
             Scope::Conformance => "conformance",
             Scope::Bench => "bench",
             Scope::Primitive => "primitive",
+            Scope::Service => "service",
         }
     }
 
@@ -136,12 +144,13 @@ impl Scope {
             Scope::Conformance => 8,
             Scope::Bench => 9,
             Scope::Primitive => 10,
+            Scope::Service => 11,
         }
     }
 }
 
 /// All scope/track pairs, for chrome-trace thread-name metadata.
-const ALL_SCOPES: [Scope; 10] = [
+const ALL_SCOPES: [Scope; 11] = [
     Scope::Study,
     Scope::Sweep,
     Scope::Workload,
@@ -152,6 +161,7 @@ const ALL_SCOPES: [Scope; 10] = [
     Scope::Conformance,
     Scope::Bench,
     Scope::Primitive,
+    Scope::Service,
 ];
 
 /// A closed interval of journal time attributed to one named unit of
@@ -265,6 +275,57 @@ pub struct ConformanceCheck {
     pub pass: bool,
 }
 
+/// One request served by the fingerprint-addressed study service
+/// (`crates/service`): its full cache key, how the scheduler classified
+/// it (fresh execution, in-batch coalesce, or cache hit), and its modeled
+/// completion on the fleet clock. Classification happens deterministically
+/// at dispatch time, so these events are byte-identical across worker
+/// counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRequest {
+    /// Journal time at which the response was ready (seconds; equals the
+    /// batch arrival time for cache hits).
+    pub t: f64,
+    /// Display name of the requested algorithm (`"Contour"`, ...).
+    pub algorithm: String,
+    /// Execution backend the request named (`"traditional"` / `"dpp"`).
+    pub backend: String,
+    /// 48-bit spec fingerprint component of the cache key (exact in f64).
+    pub spec_fp: f64,
+    /// 48-bit dataset fingerprint component of the cache key.
+    pub data_fp: f64,
+    /// Admitted power-cap component of the cache key.
+    pub cap_watts: Watts,
+    /// Scheduler classification: `"hit"`, `"miss"`, or `"coalesced"`.
+    pub outcome: String,
+    /// Simulated node the backing execution was placed on (the node of
+    /// the coalesced-onto job for coalesced requests; 0 for hits, which
+    /// run on no node).
+    pub node: u32,
+    /// Modeled seconds from batch arrival to response (0 for hits).
+    pub latency_seconds: f64,
+}
+
+/// One result-cache lookup outcome from the study service's sharded
+/// fingerprint-addressed cache, recorded at batch-dispatch time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEvent {
+    /// Journal time of the lookup (seconds; the batch arrival time).
+    pub t: f64,
+    /// 48-bit spec fingerprint component of the looked-up key.
+    pub spec_fp: f64,
+    /// 48-bit dataset fingerprint component of the looked-up key.
+    pub data_fp: f64,
+    /// Admitted power-cap component of the looked-up key.
+    pub cap_watts: Watts,
+    /// Backend component of the looked-up key (`"traditional"` / `"dpp"`).
+    pub backend: String,
+    /// Lookup outcome: `"hit"`, `"miss"`, or `"coalesced"`.
+    pub outcome: String,
+    /// Cache shard the key hashes to.
+    pub shard: u32,
+}
+
 /// One journal entry. Every variant is documented in the schema table of
 /// `docs/OBSERVABILITY.md`; `cargo xtask lint` fails if a variant is
 /// added without a matching row.
@@ -280,6 +341,11 @@ pub enum Event {
     PolicyDecision(PolicyDecision),
     /// One conformance-suite verdict (measured vs expected).
     ConformanceCheck(ConformanceCheck),
+    /// One study-service request: cache key, classification, and modeled
+    /// completion (`crates/service`).
+    ServiceRequest(ServiceRequest),
+    /// One study-service result-cache lookup outcome.
+    CacheEvent(CacheEvent),
 }
 
 /// Ring-buffered event journal with a logical clock.
@@ -591,6 +657,40 @@ fn write_jsonl_line(out: &mut String, seq: u64, event: &Event) {
             out.push_str(",\"pass\":");
             out.push_str(if c.pass { "true" } else { "false" });
         }
+        Event::ServiceRequest(r) => {
+            out.push_str("\"ev\":\"service_request\",\"t\":");
+            push_f64(out, r.t);
+            out.push_str(",\"algorithm\":\"");
+            json_escape_into(out, &r.algorithm);
+            out.push_str("\",\"backend\":\"");
+            json_escape_into(out, &r.backend);
+            out.push_str("\",\"spec_fp\":");
+            push_f64(out, r.spec_fp);
+            out.push_str(",\"data_fp\":");
+            push_f64(out, r.data_fp);
+            out.push_str(",\"cap_watts\":");
+            push_f64(out, r.cap_watts.value());
+            out.push_str(",\"outcome\":\"");
+            json_escape_into(out, &r.outcome);
+            let _ = write!(out, "\",\"node\":{},", r.node);
+            out.push_str("\"latency_seconds\":");
+            push_f64(out, r.latency_seconds);
+        }
+        Event::CacheEvent(c) => {
+            out.push_str("\"ev\":\"cache_event\",\"t\":");
+            push_f64(out, c.t);
+            out.push_str(",\"spec_fp\":");
+            push_f64(out, c.spec_fp);
+            out.push_str(",\"data_fp\":");
+            push_f64(out, c.data_fp);
+            out.push_str(",\"cap_watts\":");
+            push_f64(out, c.cap_watts.value());
+            out.push_str(",\"backend\":\"");
+            json_escape_into(out, &c.backend);
+            out.push_str("\",\"outcome\":\"");
+            json_escape_into(out, &c.outcome);
+            let _ = write!(out, "\",\"shard\":{}", c.shard);
+        }
     }
     out.push_str("}\n");
 }
@@ -694,6 +794,50 @@ fn write_chrome_event(out: &mut String, event: &Event) {
             out.push_str(",\"pass\":");
             out.push_str(if c.pass { "true" } else { "false" });
             out.push_str("}}");
+        }
+        Event::ServiceRequest(r) => {
+            // A complete event on the service track spanning the modeled
+            // latency: hits are zero-width instants at batch arrival,
+            // misses stretch to their node's completion time.
+            out.push_str("{\"ph\":\"X\",\"name\":\"");
+            json_escape_into(out, &r.algorithm);
+            out.push_str("\",\"cat\":\"service\",\"pid\":1,\"tid\":");
+            let _ = write!(out, "{},\"ts\":", Scope::Service.tid());
+            push_f64(out, (r.t - r.latency_seconds) * 1e6);
+            out.push_str(",\"dur\":");
+            push_f64(out, r.latency_seconds * 1e6);
+            out.push_str(",\"args\":{\"backend\":\"");
+            json_escape_into(out, &r.backend);
+            out.push_str("\",\"spec_fp\":");
+            push_f64(out, r.spec_fp);
+            out.push_str(",\"data_fp\":");
+            push_f64(out, r.data_fp);
+            out.push_str(",\"cap_watts\":");
+            push_f64(out, r.cap_watts.value());
+            out.push_str(",\"outcome\":\"");
+            json_escape_into(out, &r.outcome);
+            let _ = write!(out, "\",\"node\":{}}}}}", r.node);
+        }
+        Event::CacheEvent(c) => {
+            // A thread-scoped instant on the service track, named by the
+            // lookup outcome, so hit/miss streaks read off the timeline.
+            out.push_str("{\"ph\":\"i\",\"s\":\"t\",\"name\":\"cache:");
+            json_escape_into(out, &c.outcome);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"service\",\"pid\":1,\"tid\":{},\"ts\":",
+                Scope::Service.tid()
+            );
+            push_f64(out, c.t * 1e6);
+            out.push_str(",\"args\":{\"spec_fp\":");
+            push_f64(out, c.spec_fp);
+            out.push_str(",\"data_fp\":");
+            push_f64(out, c.data_fp);
+            out.push_str(",\"cap_watts\":");
+            push_f64(out, c.cap_watts.value());
+            out.push_str(",\"backend\":\"");
+            json_escape_into(out, &c.backend);
+            let _ = write!(out, "\",\"shard\":{}}}}}", c.shard);
         }
     }
 }
@@ -805,17 +949,17 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"v\":6,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
+            "{\"v\":7,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
              \"requested_watts\":250,\"actual_watts\":120}"
         );
         assert_eq!(
             lines[1],
-            "{\"v\":6,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
+            "{\"v\":7,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
              \"effective_freq_ghz\":2.6,\"ipc\":1.25,\"llc_miss_rate\":0.05}"
         );
         assert_eq!(
             lines[2],
-            "{\"v\":6,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
+            "{\"v\":7,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
              \"t0\":0,\"t1\":0.1,\"joules\":8.55,\"watts\":85.5,\"args\":{\"phases\":2}}"
         );
     }
@@ -839,7 +983,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":6,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
+            "{\"v\":7,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
              \"sim_cap_watts\":110,\"viz_cap_watts\":50,\"sim_power_watts\":88.25,\
              \"viz_power_watts\":46.5,\"sim_ipc\":1.8,\"viz_ipc\":0.4,\
              \"sim_llc_miss_rate\":0.05,\"viz_llc_miss_rate\":0.9}"
@@ -869,7 +1013,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":6,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
+            "{\"v\":7,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
              \"algorithm\":\"Contour\",\"check\":\"oracle:sphere-area\",\
              \"kind\":\"oracle\",\"grid\":32,\"measured\":1.1286,\
              \"expected\":1.13097,\"tolerance\":0.0226,\"pass\":true}"
@@ -881,6 +1025,65 @@ mod tests {
         );
         assert!(trace.contains("\"pass\":true"), "{trace}");
         assert!(trace.contains("\"name\":\"conformance\""), "{trace}");
+    }
+
+    #[test]
+    fn service_request_jsonl_shape_is_exact() {
+        let mut j = Journal::with_capacity(4);
+        j.advance(1.5);
+        j.push(Event::ServiceRequest(ServiceRequest {
+            t: j.now(),
+            algorithm: "Contour".into(),
+            backend: "traditional".into(),
+            spec_fp: 123456789.0,
+            data_fp: 987654321.0,
+            cap_watts: Watts(80.0),
+            outcome: "miss".into(),
+            node: 2,
+            latency_seconds: 0.5,
+        }));
+        let jsonl = j.to_jsonl();
+        assert_eq!(
+            jsonl.trim_end(),
+            "{\"v\":7,\"seq\":0,\"ev\":\"service_request\",\"t\":1.5,\
+             \"algorithm\":\"Contour\",\"backend\":\"traditional\",\
+             \"spec_fp\":123456789,\"data_fp\":987654321,\"cap_watts\":80,\
+             \"outcome\":\"miss\",\"node\":2,\"latency_seconds\":0.5}"
+        );
+        let trace = j.to_chrome_trace();
+        assert!(
+            trace.contains("\"ph\":\"X\",\"name\":\"Contour\",\"cat\":\"service\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"dur\":500000"), "{trace}");
+        assert!(trace.contains("\"name\":\"service\""), "{trace}");
+    }
+
+    #[test]
+    fn cache_event_jsonl_shape_is_exact() {
+        let mut j = Journal::with_capacity(4);
+        j.push(Event::CacheEvent(CacheEvent {
+            t: 0.0,
+            spec_fp: 42.0,
+            data_fp: 7.0,
+            cap_watts: Watts(120.0),
+            backend: "dpp".into(),
+            outcome: "coalesced".into(),
+            shard: 5,
+        }));
+        let jsonl = j.to_jsonl();
+        assert_eq!(
+            jsonl.trim_end(),
+            "{\"v\":7,\"seq\":0,\"ev\":\"cache_event\",\"t\":0,\"spec_fp\":42,\
+             \"data_fp\":7,\"cap_watts\":120,\"backend\":\"dpp\",\
+             \"outcome\":\"coalesced\",\"shard\":5}"
+        );
+        let trace = j.to_chrome_trace();
+        assert!(
+            trace.contains("\"ph\":\"i\",\"s\":\"t\",\"name\":\"cache:coalesced\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"shard\":5"), "{trace}");
     }
 
     #[test]
@@ -913,7 +1116,7 @@ mod tests {
         j.push_span(Scope::Timestep, "step:1", 0.0, None, vec![("dt", 0.5)]);
         let trace = j.to_chrome_trace();
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
-        assert!(trace.contains("\"schema_version\":6"), "{trace}");
+        assert!(trace.contains("\"schema_version\":7"), "{trace}");
         assert!(trace.contains("\"thread_name\""), "{trace}");
         assert!(
             trace.contains("\"ph\":\"X\",\"name\":\"step:1\""),

@@ -1,0 +1,120 @@
+//! Admission control: the governor's cap sanitizer as a service-side
+//! budget gate.
+//!
+//! The fleet budget divides evenly across the simulated nodes; each
+//! node's share must admit at least one package at the hardware floor
+//! (`min_cap`), otherwise the node could never legally run anything —
+//! [`Admission::new`] rejects such configurations up front instead of
+//! letting `governor::sanitize`'s documented lone-survivor caveat
+//! (budgets below `min_cap` pass through unclamped) leak into the
+//! schedule.
+//!
+//! A request's cap is admitted as a lone-survivor governor split: the
+//! request is the `sim` side, the `viz` side is retired, and
+//! [`governor::sanitize`] clamps against the node budget and the
+//! hardware range. The service builds its cache key from the *admitted*
+//! cap — a 120 W ask on a 90 W node is served, journaled, and cached at
+//! 90 W, so over-budget requests still dedupe with each other.
+
+use governor::{sanitize, CapSplit};
+use powersim::{CpuSpec, Watts};
+
+use crate::engine::ServiceError;
+
+/// Per-node admission gate under a fleet-wide power budget.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    node_budget: Watts,
+    spec: CpuSpec,
+}
+
+impl Admission {
+    /// Split `fleet_budget` across `nodes` and validate that each share
+    /// clears the hardware floor of `spec`.
+    pub fn new(
+        fleet_budget: Watts,
+        nodes: usize,
+        spec: CpuSpec,
+    ) -> Result<Admission, ServiceError> {
+        let nodes = nodes.max(1);
+        let node_budget = fleet_budget / nodes as f64;
+        if node_budget < spec.min_cap_watts {
+            return Err(ServiceError::BudgetBelowFloor {
+                node_budget,
+                floor: spec.min_cap_watts,
+                nodes,
+            });
+        }
+        Ok(Admission { node_budget, spec })
+    }
+
+    /// The per-node share of the fleet budget.
+    pub fn node_budget(&self) -> Watts {
+        self.node_budget
+    }
+
+    /// The processor spec whose hardware range bounds every admitted cap.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Admit a requested cap onto one node: the lone-survivor
+    /// `governor::sanitize` split against the node budget. The result is
+    /// always within `[min_cap, min(node_budget, tdp)]`.
+    pub fn admit(&self, requested: Watts) -> Watts {
+        sanitize(
+            CapSplit {
+                sim: requested,
+                viz: Watts::ZERO,
+            },
+            true,
+            false,
+            self.node_budget,
+            &self.spec,
+        )
+        .sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::broadwell_e5_2695v4()
+    }
+
+    #[test]
+    fn admitted_caps_stay_inside_budget_and_hardware_range() {
+        let adm = Admission::new(Watts(360.0), 4, spec()).expect("feasible");
+        assert_eq!(adm.node_budget(), Watts(90.0));
+        assert_eq!(adm.admit(Watts(120.0)), Watts(90.0), "budget-capped");
+        assert_eq!(adm.admit(Watts(80.0)), Watts(80.0), "within budget");
+        assert_eq!(adm.admit(Watts(10.0)), Watts(40.0), "floor-clamped");
+        assert_eq!(adm.admit(Watts(500.0)), Watts(90.0), "tdp then budget");
+    }
+
+    #[test]
+    fn roomy_budget_caps_at_tdp_not_budget() {
+        let adm = Admission::new(Watts(400.0), 2, spec()).expect("feasible");
+        assert_eq!(adm.node_budget(), Watts(200.0));
+        assert_eq!(adm.admit(Watts(500.0)), spec().tdp_watts);
+    }
+
+    #[test]
+    fn infeasible_share_is_rejected_at_construction() {
+        let err = Admission::new(Watts(100.0), 4, spec()).expect_err("25 W/node < 40 W floor");
+        match err {
+            ServiceError::BudgetBelowFloor {
+                node_budget,
+                floor,
+                nodes,
+            } => {
+                assert_eq!(node_budget, Watts(25.0));
+                assert_eq!(floor, Watts(40.0));
+                assert_eq!(nodes, 4);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

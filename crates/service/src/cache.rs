@@ -1,0 +1,301 @@
+//! Sharded, fingerprint-addressed, single-flight result cache.
+//!
+//! The cache maps a [`CacheKey`] to an `Arc<V>`. Its one structural
+//! guarantee is **single-flight**: for any key, the compute closure runs
+//! at most once no matter how many threads ask concurrently — the first
+//! caller inserts an in-flight marker and computes *outside* the shard
+//! lock; everyone else parks on that marker's condvar and receives the
+//! same `Arc`. Shard locks are therefore only ever held for map
+//! bookkeeping, never across a study execution.
+//!
+//! Sharding is by [`CacheKey::hash48`] modulo the shard count, so
+//! unrelated keys contend on different mutexes. Outcome counters
+//! (hit / miss / coalesced) are atomics updated at classification time;
+//! the service reads them through [`ResultCache::stats`].
+//!
+//! One sharp edge, documented rather than papered over: if a compute
+//! closure panics, its in-flight marker is never published and waiters
+//! on that key would block. The service runs computes on scoped worker
+//! threads whose panics propagate at join, so a panicking compute takes
+//! the whole serve call down with it — it cannot silently wedge.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::key::CacheKey;
+
+/// How a request resolved against the cache, decided at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The key was already resident (computed by an earlier batch).
+    Hit,
+    /// First sight of the key: this request pays for the compute.
+    Miss,
+    /// The key was already in flight (scheduled earlier in the same
+    /// batch or being computed by another thread); this request rides
+    /// along without scheduling new work.
+    Coalesced,
+}
+
+impl Outcome {
+    /// Journal spelling of the outcome.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Hit => "hit",
+            Outcome::Miss => "miss",
+            Outcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Counter snapshot: outcomes observed since the cache was built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from a resident entry.
+    pub hits: u64,
+    /// Requests that computed a new entry.
+    pub misses: u64,
+    /// Requests coalesced onto an in-flight compute.
+    pub coalesced: u64,
+}
+
+/// A published-or-pending cache slot.
+enum Slot<V> {
+    Ready(Arc<V>),
+    InFlight(Arc<Flight<V>>),
+}
+
+/// Rendezvous for threads waiting on an in-flight compute.
+struct Flight<V> {
+    slot: Mutex<Option<Arc<V>>>,
+    ready: Condvar,
+}
+
+/// The sharded single-flight cache. See the module docs for the
+/// concurrency contract.
+pub struct ResultCache<V> {
+    shards: Vec<Mutex<HashMap<CacheKey, Slot<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<V> std::fmt::Debug for ResultCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<V> ResultCache<V> {
+    /// A cache with `shards` independent lock domains (minimum 1).
+    pub fn new(shards: usize) -> ResultCache<V> {
+        let shards = shards.max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Slot<V>>> {
+        &self.shards[key.shard(self.shards.len())]
+    }
+
+    /// The value for `key`, computing it with `f` if absent. Exactly one
+    /// concurrent caller per key runs `f`; the rest block until the
+    /// value is published and share the same `Arc`.
+    pub fn get_or_compute<F>(&self, key: CacheKey, f: F) -> Arc<V>
+    where
+        F: FnOnce() -> V,
+    {
+        let flight = {
+            let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+            match shard.get(&key) {
+                Some(Slot::Ready(v)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(v);
+                }
+                Some(Slot::InFlight(flight)) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(flight)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let flight = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    shard.insert(key, Slot::InFlight(Arc::clone(&flight)));
+                    // Compute outside the shard lock, publish, wake waiters.
+                    drop(shard);
+                    let value = Arc::new(f());
+                    let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+                    shard.insert(key, Slot::Ready(Arc::clone(&value)));
+                    drop(shard);
+                    *flight.slot.lock().expect("flight slot poisoned") = Some(Arc::clone(&value));
+                    flight.ready.notify_all();
+                    return value;
+                }
+            }
+        };
+        let mut slot = flight.slot.lock().expect("flight slot poisoned");
+        while slot.is_none() {
+            slot = flight.ready.wait(slot).expect("flight slot poisoned");
+        }
+        Arc::clone(slot.as_ref().expect("flight published empty"))
+    }
+
+    /// The resident value for `key`, if already published.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<V>> {
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.get(key) {
+            Some(Slot::Ready(v)) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` is resident (published, not merely in flight).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Count one classification-time outcome. The service classifies
+    /// requests at dispatch (before workers run), so batch-level hit
+    /// accounting lives here rather than inside [`Self::get_or_compute`].
+    pub fn record(&self, outcome: Outcome) {
+        match outcome {
+            Outcome::Hit => &self.hits,
+            Outcome::Miss => &self.misses,
+            Outcome::Coalesced => &self.coalesced,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resident entry count across all shards (in-flight slots included).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no key has ever been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the outcome counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersim::Watts;
+    use std::sync::atomic::AtomicUsize;
+    use vizalgo::{Algorithm, Backend};
+
+    fn key(data_fp: u64) -> CacheKey {
+        CacheKey::new(
+            &Algorithm::Slice.default_spec(),
+            data_fp,
+            Watts(100.0),
+            Backend::Traditional,
+        )
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_sharing_the_allocation() {
+        let cache: ResultCache<String> = ResultCache::new(4);
+        let a = cache.get_or_compute(key(1), || "built".to_string());
+        let b = cache.get_or_compute(key(1), || unreachable_value());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                coalesced: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    fn unreachable_value() -> String {
+        panic!("compute must not rerun for a resident key")
+    }
+
+    #[test]
+    fn distinct_keys_occupy_distinct_slots() {
+        let cache: ResultCache<u64> = ResultCache::new(2);
+        for fp in 0..16 {
+            cache.get_or_compute(key(fp), || fp * 10);
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.stats().misses, 16);
+        assert_eq!(*cache.get(&key(7)).expect("resident"), 70);
+        assert!(!cache.contains(&key(99)));
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_exactly_once() {
+        let cache: ResultCache<usize> = ResultCache::new(8);
+        let computes = AtomicUsize::new(0);
+        let results: Vec<Arc<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    scope.spawn(|| {
+                        cache.get_or_compute(key(42), || {
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so later arrivals
+                            // coalesce instead of missing the flight.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            7usize
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single flight");
+        for r in &results {
+            assert!(Arc::ptr_eq(r, &results[0]));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 15);
+    }
+
+    #[test]
+    fn record_feeds_the_classification_counters() {
+        let cache: ResultCache<()> = ResultCache::new(1);
+        cache.record(Outcome::Hit);
+        cache.record(Outcome::Hit);
+        cache.record(Outcome::Miss);
+        cache.record(Outcome::Coalesced);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                coalesced: 1
+            }
+        );
+        assert_eq!(Outcome::Coalesced.name(), "coalesced");
+    }
+}

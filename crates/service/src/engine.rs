@@ -1,0 +1,297 @@
+//! The execution engine behind the service: request/response types, the
+//! service error, and the two-level compute path (native filter run,
+//! then cap-dependent power model).
+//!
+//! A cached study result factors into two stages with different key
+//! spaces:
+//!
+//! * the **native run** — `spec.build_with(backend).execute(dataset)` —
+//!   depends on `(spec, backend, dataset)` but *not* the cap, so it is
+//!   cached once per backend-qualified spec fingerprint and shared by
+//!   every cap the fleet serves it under;
+//! * the **capped execution** — `characterize` + `Package::run_capped`
+//!   via [`vizpower::study::sweep`] — depends on all four key
+//!   components and is what the service's main result cache stores.
+//!
+//! The native entry keeps the `Debug` rendering of the full
+//! [`FilterOutput`](vizalgo::FilterOutput) (geometry, images, kernels,
+//! primitives). That string is the differential-parity oracle: the
+//! root `service_parity` suite compares it byte-for-byte against a cold
+//! direct run of the same spec.
+
+use std::sync::Arc;
+
+use powersim::{CpuSpec, ExecResult, Watts};
+use vizalgo::{Algorithm, AlgorithmSpec, Backend, KernelReport};
+use vizpower::study::sweep;
+use vizpower::{AlgorithmRun, DatasetStore, EmptySweepError};
+
+use crate::cache::ResultCache;
+use crate::key::CacheKey;
+
+/// One unit of incoming traffic: run `spec` on the `size`³ study
+/// dataset under a requested power cap, on a backend.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The algorithm plan to execute.
+    pub spec: AlgorithmSpec,
+    /// Study dataset size (cells per axis).
+    pub size: usize,
+    /// Requested power cap — admission may clamp it before keying.
+    pub cap: Watts,
+    /// Execution backend.
+    pub backend: Backend,
+}
+
+/// The cached product of one unit of work: the native output rendering
+/// (the parity oracle) plus the power-model execution at the key's cap.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The key this result is cached under (admitted cap included).
+    pub key: CacheKey,
+    /// The executed algorithm.
+    pub algorithm: Algorithm,
+    /// `format!("{:?}")` of the native [`vizalgo::FilterOutput`] —
+    /// byte-compared against cold direct runs by the parity suite.
+    pub output_debug: String,
+    /// The capped power-model execution (time, energy, counters).
+    pub exec: ExecResult,
+}
+
+/// Everything that can go wrong on the service path. `Clone` so one
+/// failure can be reported to every requester that coalesced onto it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The requested backend cannot express the requested algorithm.
+    UnsupportedBackend {
+        /// The backend asked for.
+        backend: Backend,
+        /// The algorithm it cannot run.
+        algorithm: Algorithm,
+    },
+    /// The fleet budget shared across nodes leaves some node below the
+    /// hardware minimum cap — no request could legally be admitted.
+    BudgetBelowFloor {
+        /// The per-node share of the fleet budget.
+        node_budget: Watts,
+        /// The hardware floor it fails to clear.
+        floor: Watts,
+        /// How many ways the fleet budget was split.
+        nodes: usize,
+    },
+    /// A service configuration knob was zero that must not be.
+    InvalidConfig(&'static str),
+    /// A cap sweep on the service path came back empty.
+    EmptySweep(EmptySweepError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnsupportedBackend { backend, algorithm } => write!(
+                f,
+                "the {backend:?} backend does not support {algorithm:?}; \
+                 route this request to the traditional backend"
+            ),
+            ServiceError::BudgetBelowFloor {
+                node_budget,
+                floor,
+                nodes,
+            } => write!(
+                f,
+                "fleet budget splits to {node_budget:?} per node across {nodes} nodes, \
+                 below the {floor:?} hardware floor: no cap could be admitted; \
+                 raise the budget or shrink the fleet"
+            ),
+            ServiceError::InvalidConfig(what) => {
+                write!(f, "invalid service configuration: {what}")
+            }
+            ServiceError::EmptySweep(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EmptySweepError> for ServiceError {
+    fn from(e: EmptySweepError) -> ServiceError {
+        ServiceError::EmptySweep(e)
+    }
+}
+
+/// A cached native filter run: the parity-oracle rendering plus the
+/// kernel reports that feed `characterize`.
+#[derive(Debug)]
+pub struct NativeRun {
+    /// `Debug` rendering of the full `FilterOutput`.
+    pub output_debug: String,
+    /// Measured per-kernel work counts, in execution order.
+    pub reports: Vec<KernelReport>,
+    /// Cells in the input dataset.
+    pub input_cells: usize,
+}
+
+/// The compute core shared by every worker thread: dataset store,
+/// processor model, and the cap-independent native-run cache.
+#[derive(Debug)]
+pub struct Engine {
+    store: Arc<DatasetStore>,
+    cpu: CpuSpec,
+    natives: ResultCache<NativeRun>,
+}
+
+impl Engine {
+    /// An engine over `store`, modeling `cpu`, with `shards` native
+    /// cache shards.
+    pub fn new(store: Arc<DatasetStore>, cpu: CpuSpec, shards: usize) -> Engine {
+        Engine {
+            store,
+            cpu,
+            natives: ResultCache::new(shards),
+        }
+    }
+
+    /// The processor model the engine executes against.
+    pub fn cpu(&self) -> &CpuSpec {
+        &self.cpu
+    }
+
+    /// The shared dataset store (lazily built, fingerprint-cached).
+    pub fn store(&self) -> &Arc<DatasetStore> {
+        &self.store
+    }
+
+    /// 48-bit fingerprint of the `size`³ study dataset.
+    pub fn data_fp(&self, size: usize) -> u64 {
+        self.store.fingerprint(size)
+    }
+
+    /// Reject requests the backend cannot serve. Runs at dispatch time
+    /// so invalid traffic fails before any scheduling happens.
+    pub fn validate(&self, req: &Request) -> Result<(), ServiceError> {
+        let algorithm = req.spec.algorithm();
+        if !req.backend.supports(algorithm) {
+            return Err(ServiceError::UnsupportedBackend {
+                backend: req.backend,
+                algorithm,
+            });
+        }
+        Ok(())
+    }
+
+    /// The native run for a request, built at most once per
+    /// `(backend-qualified spec fingerprint, dataset)` across all caps
+    /// and all worker threads. The synthetic key reuses the result
+    /// cache's single-flight machinery with `cap_milliwatts = 0` (a cap
+    /// no admitted key can have, since admission floors at `min_cap`).
+    pub fn native(&self, req: &Request, data_fp: u64) -> Arc<NativeRun> {
+        let key = CacheKey {
+            spec_fp: req.spec.fingerprint_with(req.backend),
+            data_fp,
+            cap_milliwatts: 0,
+            backend: req.backend,
+        };
+        self.natives.get_or_compute(key, || {
+            let ds = self.store.dataset(req.size);
+            let out = req.spec.build_with(req.backend, &ds).execute(&ds);
+            NativeRun {
+                output_debug: format!("{out:?}"),
+                reports: out.kernels,
+                input_cells: ds.num_cells(),
+            }
+        })
+    }
+
+    /// Execute one validated, admitted unit of work: native run (cached
+    /// across caps), then the power model at exactly the key's cap.
+    pub fn execute(&self, req: &Request, key: CacheKey) -> JobResult {
+        let algorithm = req.spec.algorithm();
+        let native = self.native(req, key.data_fp);
+        let run = AlgorithmRun {
+            algorithm,
+            size: req.size,
+            input_cells: native.input_cells,
+            spec: req.spec.clone(),
+            reports: native.reports.clone(),
+        };
+        let sw = sweep(&run, &[key.cap()], &self.cpu);
+        let exec = sw
+            .rows
+            .first()
+            .expect("single-cap sweep has exactly one row")
+            .clone();
+        JobResult {
+            key,
+            algorithm,
+            output_debug: native.output_debug.clone(),
+            exec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersim::CpuSpec;
+
+    fn engine() -> Engine {
+        Engine::new(
+            Arc::new(DatasetStore::new()),
+            CpuSpec::broadwell_e5_2695v4(),
+            4,
+        )
+    }
+
+    fn request(cap: f64, backend: Backend) -> Request {
+        Request {
+            spec: Algorithm::Slice.default_spec(),
+            size: 6,
+            cap: Watts(cap),
+            backend,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_dpp_only_where_unsupported() {
+        let e = engine();
+        let bad = Request {
+            spec: Algorithm::RayTracing.default_spec(),
+            ..request(80.0, Backend::Dpp)
+        };
+        match e.validate(&bad) {
+            Err(ServiceError::UnsupportedBackend { backend, algorithm }) => {
+                assert_eq!(backend, Backend::Dpp);
+                assert_eq!(algorithm, Algorithm::RayTracing);
+            }
+            other => panic!("expected UnsupportedBackend, got {other:?}"),
+        }
+        e.validate(&request(80.0, Backend::Dpp))
+            .expect("slice has a DPP formulation");
+    }
+
+    #[test]
+    fn native_runs_are_shared_across_caps_but_not_backends() {
+        let e = engine();
+        let data_fp = e.data_fp(6);
+        let lo = request(60.0, Backend::Traditional);
+        let hi = request(120.0, Backend::Traditional);
+        let a = e.native(&lo, data_fp);
+        let b = e.native(&hi, data_fp);
+        assert!(Arc::ptr_eq(&a, &b), "cap does not key the native run");
+        let dpp = e.native(&request(60.0, Backend::Dpp), data_fp);
+        assert!(!Arc::ptr_eq(&a, &dpp), "backend does key the native run");
+    }
+
+    #[test]
+    fn execute_runs_the_power_model_at_exactly_the_key_cap() {
+        let e = engine();
+        let req = request(60.0, Backend::Traditional);
+        let key = CacheKey::new(&req.spec, e.data_fp(6), req.cap, req.backend);
+        let job = e.execute(&req, key);
+        assert_eq!(job.key, key);
+        assert_eq!(job.exec.cap_watts, Watts(60.0));
+        assert!(job.exec.seconds > 0.0);
+        assert!(!job.output_debug.is_empty());
+        assert_eq!(job.algorithm, Algorithm::Slice);
+    }
+}

@@ -1,0 +1,43 @@
+//! # service — the study service at scale
+//!
+//! Everything below `crates/service` turns the one-shot study pipeline
+//! (`vizpower::study`) into a long-lived, concurrency-safe service: it
+//! accepts thousands of requests, dedupes identical work through a
+//! fingerprint-addressed cache, and schedules what remains across a
+//! simulated fleet without ever exceeding a power budget.
+//!
+//! * [`key`] — the [`CacheKey`]: `(spec fingerprint, dataset
+//!   fingerprint, admitted cap, backend)`, the four axes along which
+//!   two requests are the same work.
+//! * [`cache`] — [`ResultCache`], a sharded single-flight map: one
+//!   compute per key no matter how many threads ask at once.
+//! * [`admission`] — [`Admission`], `governor::sanitize` repurposed as
+//!   the service's budget gate: every admitted cap fits its node's
+//!   share of the fleet budget and the hardware range.
+//! * [`engine`] — [`Engine`], the two-level compute path: cap-independent
+//!   native filter runs (cached per backend-qualified spec) feeding the
+//!   cap-dependent power model.
+//! * [`service`] — [`StudyService`], the batched dispatcher/scheduler
+//!   and its determinism argument: responses, report, and journal are
+//!   byte-identical across worker counts.
+//! * [`traffic`] — seeded Zipfian synthetic traffic for the
+//!   `reproduce serve` driver.
+//!
+//! The architecture and the cache-key derivation (including why keys
+//! carry the *admitted* cap, not the requested one) are documented in
+//! `docs/SERVICE.md`; journal events are in `docs/OBSERVABILITY.md`
+//! (schema v7).
+
+pub mod admission;
+pub mod cache;
+pub mod engine;
+pub mod key;
+pub mod service;
+pub mod traffic;
+
+pub use admission::Admission;
+pub use cache::{CacheStats, Outcome, ResultCache};
+pub use engine::{Engine, JobResult, NativeRun, Request, ServiceError};
+pub use key::CacheKey;
+pub use service::{Response, ServeOutcome, ServeReport, ServiceConfig, StudyService, WindowLoad};
+pub use traffic::{universe, zipf_traffic, TrafficConfig, XorShift};

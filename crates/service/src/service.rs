@@ -1,0 +1,780 @@
+//! The study service proper: batched dispatch, deterministic node
+//! placement, budget-bounded wave scheduling, and journaling.
+//!
+//! # Determinism argument
+//!
+//! Everything a caller can observe — responses, report, journal — is a
+//! pure function of `(config, requests)` regardless of worker count or
+//! thread interleaving, because every observable quantity is fixed at
+//! **dispatch time**, before any worker runs:
+//!
+//! 1. Requests are classified in request order against the cache state
+//!    left by *earlier batches* (hit), the keys scheduled *earlier in
+//!    the same batch* (coalesced), or neither (miss → new job).
+//! 2. Jobs are placed by the seeded [`CacheKey::placement`] hash and
+//!    packed into per-node waves greedily in job order; each wave's
+//!    admitted power is bounded by the node's budget share.
+//! 3. Completion times come from the *modeled* clock: a node runs its
+//!    waves sequentially, a wave takes the max modeled duration of its
+//!    jobs, and modeled durations come from the deterministic power
+//!    model.
+//!
+//! Worker threads only ever compute `JobResult`s through the
+//! single-flight cache; they never touch the journal, the report, or
+//! the clock. The wall-clock speedup from more workers is real, but the
+//! modeled outputs are byte-identical — the root `service_golden` suite
+//! pins exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+use powersim::{CacheEvent, CpuSpec, Event, Journal, Scope, ServiceRequest, Watts};
+use vizalgo::Algorithm;
+use vizpower::study::sweep;
+use vizpower::{AlgorithmRun, CapSweep, DatasetStore, StudyConfig};
+
+use crate::admission::Admission;
+use crate::cache::{CacheStats, Outcome, ResultCache};
+use crate::engine::{Engine, JobResult, Request, ServiceError};
+use crate::key::CacheKey;
+
+/// Tolerance when packing admitted caps against a node budget. Keyed
+/// caps truncate toward zero so they never quantize above the admitted
+/// value; this only absorbs float-summation noise when a wave fills.
+const CAP_EPS: f64 = 1e-6;
+
+/// Everything that parameterizes a [`StudyService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Simulated nodes the fleet schedules across.
+    pub nodes: usize,
+    /// Worker threads executing jobs (affects wall-clock only).
+    pub workers: usize,
+    /// Requests per dispatch batch.
+    pub batch: usize,
+    /// Fleet-wide power budget, split evenly across nodes.
+    pub fleet_budget: Watts,
+    /// Seed for the deterministic placement hash.
+    pub seed: u64,
+    /// Shards in the result cache (and the native-run cache).
+    pub shards: usize,
+    /// Study parameterization behind [`StudyConfig::spec`] and the
+    /// service-side cap sweep.
+    pub study: StudyConfig,
+    /// Processor model executed against.
+    pub cpu: CpuSpec,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            nodes: 4,
+            workers: 4,
+            batch: 64,
+            fleet_budget: Watts(360.0),
+            seed: 0x5eed_0009,
+            shards: 16,
+            study: StudyConfig::quick(),
+            cpu: CpuSpec::broadwell_e5_2695v4(),
+        }
+    }
+}
+
+/// One scheduled execution wave: the admitted power concurrently drawn
+/// on one node during one scheduling window. The service's core budget
+/// invariant — checked by the property suite — is that `admitted` never
+/// exceeds the node's share of the fleet budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowLoad {
+    /// Node the wave ran on.
+    pub node: u32,
+    /// Wave ordinal on that node (monotonic across batches).
+    pub wave: u32,
+    /// Sum of admitted caps of the wave's jobs.
+    pub admitted: Watts,
+    /// Jobs that ran concurrently in the wave.
+    pub jobs: u32,
+}
+
+/// Aggregate outcome of one [`StudyService::serve`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Requests served.
+    pub requests: usize,
+    /// Requests answered from resident cache entries.
+    pub hits: usize,
+    /// Requests that scheduled a new job.
+    pub misses: usize,
+    /// Requests that rode along on a job scheduled earlier in their
+    /// own batch.
+    pub coalesced: usize,
+    /// Dispatch batches the traffic was split into.
+    pub batches: usize,
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Per-node share of the fleet budget.
+    pub node_budget: Watts,
+    /// The fleet-wide budget.
+    pub fleet_budget: Watts,
+    /// Jobs executed per node, indexed by node.
+    pub per_node_jobs: Vec<u64>,
+    /// Requests (misses + coalesced) backed by each node.
+    pub per_node_requests: Vec<u64>,
+    /// Every scheduling window, in (batch, node, wave) order.
+    pub windows: Vec<WindowLoad>,
+    /// Modeled seconds from first dispatch to last completion.
+    pub modeled_seconds: f64,
+    /// Modeled latency of each request, in request order.
+    pub latencies: Vec<f64>,
+}
+
+impl ServeReport {
+    /// Strict hit rate: hits over requests (coalesced requests are
+    /// *not* hits — they paid for a compute, just a shared one).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Modeled latency percentile (`p` in 0..=100), nearest-rank over
+    /// the sorted latencies.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// The most heavily loaded scheduling window, if any job ran.
+    pub fn max_window(&self) -> Option<&WindowLoad> {
+        self.windows
+            .iter()
+            .max_by(|a, b| a.admitted.value().total_cmp(&b.admitted.value()))
+    }
+
+    /// Modeled request throughput (requests per modeled second).
+    pub fn throughput(&self) -> f64 {
+        if self.modeled_seconds > 0.0 {
+            self.requests as f64 / self.modeled_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Deterministic plain-text rendering (pinned by `service_golden`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "study service: {} requests in {} batches over {} nodes \
+             (budget {:.0} W fleet, {:.0} W/node)\n",
+            self.requests,
+            self.batches,
+            self.nodes,
+            self.fleet_budget.value(),
+            self.node_budget.value(),
+        ));
+        out.push_str(&format!(
+            "  outcomes: {} hits ({:.1}%), {} misses, {} coalesced\n",
+            self.hits,
+            100.0 * self.hit_rate(),
+            self.misses,
+            self.coalesced,
+        ));
+        out.push_str(&format!(
+            "  modeled: {:.3} s total, {:.1} req/s, latency p50 {:.3} s \
+             p95 {:.3} s p99 {:.3} s\n",
+            self.modeled_seconds,
+            self.throughput(),
+            self.latency_percentile(50.0),
+            self.latency_percentile(95.0),
+            self.latency_percentile(99.0),
+        ));
+        match self.max_window() {
+            Some(w) => out.push_str(&format!(
+                "  peak window: {:.1} W across {} jobs on node {} \
+                 (budget {:.0} W)\n",
+                w.admitted.value(),
+                w.jobs,
+                w.node,
+                self.node_budget.value(),
+            )),
+            None => out.push_str("  peak window: none (no jobs executed)\n"),
+        }
+        out.push_str("  node  jobs  requests\n");
+        for node in 0..self.nodes {
+            out.push_str(&format!(
+                "  {:>4}  {:>4}  {:>8}\n",
+                node, self.per_node_jobs[node], self.per_node_requests[node],
+            ));
+        }
+        out
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Index of the request in the served slice.
+    pub request_index: usize,
+    /// The (admitted) cache key the request resolved to.
+    pub key: CacheKey,
+    /// Dispatch classification.
+    pub outcome: Outcome,
+    /// Node that backed the response (0 for hits).
+    pub node: u32,
+    /// Modeled seconds from batch arrival to response (0 for hits).
+    pub latency_seconds: f64,
+    /// Journal time the response was ready.
+    pub completed_at: f64,
+    /// The result, shared with every other request on the same key.
+    pub result: Arc<JobResult>,
+}
+
+/// Responses plus the aggregate report for one serve call.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// One response per request, in request order.
+    pub responses: Vec<Response>,
+    /// The aggregate report.
+    pub report: ServeReport,
+}
+
+/// A unique unit of scheduled work within one batch.
+struct Job {
+    key: CacheKey,
+    req: Request,
+    node: usize,
+}
+
+/// A wave being packed: job indices plus their admitted-cap sum.
+struct Wave {
+    jobs: Vec<usize>,
+    load: Watts,
+}
+
+/// The fingerprint-addressed study service. See the module docs for
+/// the determinism argument and `docs/SERVICE.md` for the architecture.
+#[derive(Debug)]
+pub struct StudyService {
+    cfg: ServiceConfig,
+    engine: Engine,
+    cache: ResultCache<JobResult>,
+    admission: Admission,
+    waves_started: Vec<u32>,
+}
+
+impl StudyService {
+    /// Validate `cfg` and build the service (empty caches, fresh
+    /// dataset store).
+    pub fn new(cfg: ServiceConfig) -> Result<StudyService, ServiceError> {
+        StudyService::with_store(cfg, Arc::new(DatasetStore::new()))
+    }
+
+    /// Like [`StudyService::new`] but sharing an existing dataset store
+    /// (so embedding drivers reuse already-built study datasets).
+    pub fn with_store(
+        cfg: ServiceConfig,
+        store: Arc<DatasetStore>,
+    ) -> Result<StudyService, ServiceError> {
+        if cfg.nodes == 0 {
+            return Err(ServiceError::InvalidConfig("nodes must be at least 1"));
+        }
+        if cfg.workers == 0 {
+            return Err(ServiceError::InvalidConfig("workers must be at least 1"));
+        }
+        if cfg.batch == 0 {
+            return Err(ServiceError::InvalidConfig("batch must be at least 1"));
+        }
+        if cfg.shards == 0 {
+            return Err(ServiceError::InvalidConfig("shards must be at least 1"));
+        }
+        let admission = Admission::new(cfg.fleet_budget, cfg.nodes, cfg.cpu.clone())?;
+        let engine = Engine::new(store, cfg.cpu.clone(), cfg.shards);
+        let cache = ResultCache::new(cfg.shards);
+        let waves_started = vec![0; cfg.nodes];
+        Ok(StudyService {
+            cfg,
+            engine,
+            cache,
+            admission,
+            waves_started,
+        })
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The per-node share of the fleet budget.
+    pub fn node_budget(&self) -> Watts {
+        self.admission.node_budget()
+    }
+
+    /// Physical result-cache counters (per `get_or_compute` call by the
+    /// worker pool; classification counts live in the [`ServeReport`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resident result-cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serve a traffic slice: dispatch in batches, dedupe through the
+    /// result cache, schedule unique jobs across the fleet, and journal
+    /// one `cache_event` per request at dispatch plus one
+    /// `service_request` at its modeled completion.
+    pub fn serve(
+        &mut self,
+        requests: &[Request],
+        journal: &mut Journal,
+    ) -> Result<ServeOutcome, ServiceError> {
+        let serve_t0 = journal.now();
+        let nodes = self.cfg.nodes;
+        let budget = self.admission.node_budget();
+        let mut responses: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        let mut report = ServeReport {
+            requests: requests.len(),
+            hits: 0,
+            misses: 0,
+            coalesced: 0,
+            batches: 0,
+            nodes,
+            node_budget: budget,
+            fleet_budget: self.cfg.fleet_budget,
+            per_node_jobs: vec![0; nodes],
+            per_node_requests: vec![0; nodes],
+            windows: Vec::new(),
+            modeled_seconds: 0.0,
+            latencies: vec![0.0; requests.len()],
+        };
+
+        for (bi, batch) in requests.chunks(self.cfg.batch).enumerate() {
+            let base = bi * self.cfg.batch;
+            let batch_start = journal.now();
+            report.batches += 1;
+
+            // 1. Classify in request order; collect unique jobs.
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut scheduled: HashMap<CacheKey, usize> = HashMap::new();
+            let mut classes: Vec<(CacheKey, Outcome, Option<usize>)> =
+                Vec::with_capacity(batch.len());
+            for req in batch {
+                self.engine.validate(req)?;
+                let admitted = self.admission.admit(req.cap);
+                let key = CacheKey::new(
+                    &req.spec,
+                    self.engine.data_fp(req.size),
+                    admitted,
+                    req.backend,
+                );
+                let (outcome, job) = if self.cache.contains(&key) {
+                    (Outcome::Hit, None)
+                } else if let Some(&j) = scheduled.get(&key) {
+                    (Outcome::Coalesced, Some(j))
+                } else {
+                    let j = jobs.len();
+                    scheduled.insert(key, j);
+                    jobs.push(Job {
+                        key,
+                        req: Request {
+                            cap: admitted,
+                            ..req.clone()
+                        },
+                        node: key.placement(self.cfg.seed, nodes),
+                    });
+                    (Outcome::Miss, Some(j))
+                };
+                classes.push((key, outcome, job));
+            }
+
+            // 2. Pack jobs into budget-bounded waves, greedily in job
+            //    order, per node.
+            let mut waves_of: Vec<Vec<Wave>> = (0..nodes).map(|_| Vec::new()).collect();
+            for (j, job) in jobs.iter().enumerate() {
+                let cap = job.key.cap();
+                let node_waves = &mut waves_of[job.node];
+                match node_waves.last_mut() {
+                    Some(w) if (w.load + cap).value() <= budget.value() + CAP_EPS => {
+                        w.jobs.push(j);
+                        w.load += cap;
+                    }
+                    _ => node_waves.push(Wave {
+                        jobs: vec![j],
+                        load: cap,
+                    }),
+                }
+            }
+
+            // 3. Execute unique jobs on the worker pool (wall-clock
+            //    only; no observable state is produced here).
+            let results = self.execute_jobs(&jobs);
+
+            // 4. Modeled time: nodes run their waves sequentially; a
+            //    wave lasts as long as its slowest job.
+            let mut completion = vec![batch_start; jobs.len()];
+            let mut batch_end = batch_start;
+            for (node, waves) in waves_of.iter().enumerate() {
+                let mut t = batch_start;
+                for w in waves {
+                    let mut width = 0.0f64;
+                    for &j in &w.jobs {
+                        completion[j] = t + results[j].exec.seconds;
+                        width = width.max(results[j].exec.seconds);
+                    }
+                    t += width;
+                    report.windows.push(WindowLoad {
+                        node: node as u32,
+                        wave: self.waves_started[node],
+                        admitted: w.load,
+                        jobs: w.jobs.len() as u32,
+                    });
+                    self.waves_started[node] += 1;
+                }
+                batch_end = batch_end.max(t);
+            }
+
+            // 5. Journal + respond. Cache events carry the dispatch
+            //    time; service requests carry modeled completions.
+            for (key, outcome, _) in &classes {
+                journal.push(Event::CacheEvent(CacheEvent {
+                    t: batch_start,
+                    spec_fp: key.spec_fp as f64,
+                    data_fp: key.data_fp as f64,
+                    cap_watts: key.cap(),
+                    backend: key.backend.name().to_string(),
+                    outcome: outcome.name().to_string(),
+                    shard: key.shard(self.cfg.shards) as u32,
+                }));
+            }
+            journal.advance(batch_end - batch_start);
+            let mut batch_hits = 0usize;
+            let mut batch_coalesced = 0usize;
+            for (i, (key, outcome, job)) in classes.iter().enumerate() {
+                let (node, completed_at, result) = match (outcome, job) {
+                    (Outcome::Hit, _) => {
+                        batch_hits += 1;
+                        report.hits += 1;
+                        let r = self.cache.get(key).expect("classified hit is resident");
+                        (0u32, batch_start, r)
+                    }
+                    (outcome, Some(j)) => {
+                        let j = *j;
+                        let node = jobs[j].node;
+                        report.per_node_requests[node] += 1;
+                        match outcome {
+                            Outcome::Miss => report.misses += 1,
+                            _ => {
+                                batch_coalesced += 1;
+                                report.coalesced += 1;
+                            }
+                        }
+                        (node as u32, completion[j], Arc::clone(&results[j]))
+                    }
+                    (outcome, None) => unreachable!("{outcome:?} classified without a job"),
+                };
+                let latency = completed_at - batch_start;
+                journal.push(Event::ServiceRequest(ServiceRequest {
+                    t: completed_at,
+                    algorithm: result.algorithm.name().to_string(),
+                    backend: key.backend.name().to_string(),
+                    spec_fp: key.spec_fp as f64,
+                    data_fp: key.data_fp as f64,
+                    cap_watts: key.cap(),
+                    outcome: outcome.name().to_string(),
+                    node,
+                    latency_seconds: latency,
+                }));
+                report.latencies[base + i] = latency;
+                responses[base + i] = Some(Response {
+                    request_index: base + i,
+                    key: *key,
+                    outcome: *outcome,
+                    node,
+                    latency_seconds: latency,
+                    completed_at,
+                    result,
+                });
+            }
+            for (node, waves) in waves_of.iter().enumerate() {
+                report.per_node_jobs[node] +=
+                    waves.iter().map(|w| w.jobs.len() as u64).sum::<u64>();
+            }
+            journal.push_span(
+                Scope::Service,
+                format!("batch:{bi}"),
+                batch_start,
+                None,
+                vec![
+                    ("requests", batch.len() as f64),
+                    ("hits", batch_hits as f64),
+                    ("misses", jobs.len() as f64),
+                    ("coalesced", batch_coalesced as f64),
+                    ("jobs", jobs.len() as f64),
+                    ("seconds", batch_end - batch_start),
+                ],
+            );
+        }
+
+        report.modeled_seconds = journal.now() - serve_t0;
+        journal.push_span(
+            Scope::Service,
+            format!("serve:{}", requests.len()),
+            serve_t0,
+            None,
+            vec![
+                ("requests", requests.len() as f64),
+                ("hits", report.hits as f64),
+                ("misses", report.misses as f64),
+                ("coalesced", report.coalesced as f64),
+                ("nodes", nodes as f64),
+                ("budget_watts", self.cfg.fleet_budget.value()),
+            ],
+        );
+        let responses = responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect();
+        Ok(ServeOutcome { responses, report })
+    }
+
+    /// Run every unique job of a batch through the single-flight cache
+    /// on `workers` scoped threads. Work is claimed from a shared
+    /// atomic counter; results return over a channel keyed by job
+    /// index, so the output order is deterministic even though the
+    /// execution order is not.
+    fn execute_jobs(&self, jobs: &[Job]) -> Vec<Arc<JobResult>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.cfg.workers.min(jobs.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Arc<JobResult>)>();
+        let mut results: Vec<Option<Arc<JobResult>>> = jobs.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    if j >= jobs.len() {
+                        break;
+                    }
+                    let job = &jobs[j];
+                    let result = self
+                        .cache
+                        .get_or_compute(job.key, || self.engine.execute(&job.req, job.key));
+                    tx.send((j, result)).expect("result channel open");
+                });
+            }
+        });
+        drop(tx);
+        for (j, result) in rx {
+            results[j] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job executed"))
+            .collect()
+    }
+
+    /// A study-style cap sweep served through the engine's native-run
+    /// cache: sweeps the configured study caps for `algorithm` at
+    /// `size`. An empty configured cap list is an actionable
+    /// [`ServiceError::EmptySweep`], not a silently empty report.
+    pub fn cap_sweep(&self, algorithm: Algorithm, size: usize) -> Result<CapSweep, ServiceError> {
+        let spec = self.cfg.study.spec(algorithm);
+        let req = Request {
+            spec: spec.clone(),
+            size,
+            cap: self.cfg.cpu.tdp_watts,
+            backend: vizalgo::Backend::Traditional,
+        };
+        self.engine.validate(&req)?;
+        let native = self.engine.native(&req, self.engine.data_fp(size));
+        let run = AlgorithmRun {
+            algorithm,
+            size,
+            input_cells: native.input_cells,
+            spec,
+            reports: native.reports.clone(),
+        };
+        let sw = sweep(&run, &self.cfg.study.caps, self.engine.cpu());
+        sw.require_ratios().map_err(ServiceError::EmptySweep)?;
+        Ok(sw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizalgo::Backend;
+
+    fn tiny_cfg() -> ServiceConfig {
+        ServiceConfig {
+            nodes: 2,
+            workers: 2,
+            batch: 4,
+            fleet_budget: Watts(180.0),
+            shards: 4,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn req(algorithm: Algorithm, cap: f64) -> Request {
+        Request {
+            spec: algorithm.default_spec(),
+            size: 6,
+            cap: Watts(cap),
+            backend: Backend::Traditional,
+        }
+    }
+
+    #[test]
+    fn serve_dedupes_and_balances_the_books() {
+        let mut svc = StudyService::new(tiny_cfg()).expect("valid config");
+        let traffic = vec![
+            req(Algorithm::Slice, 80.0),
+            req(Algorithm::Slice, 80.0),      // same batch → coalesced
+            req(Algorithm::Threshold, 80.0),  // distinct work → miss
+            req(Algorithm::Slice, 80.0),      // still batch 1 → coalesced
+            req(Algorithm::Slice, 80.0),      // batch 2 → hit
+            req(Algorithm::Threshold, 120.0), // distinct cap → miss
+        ];
+        let out = svc
+            .serve(&traffic, &mut Journal::off())
+            .expect("traffic serves");
+        let r = &out.report;
+        assert_eq!(
+            (r.hits, r.misses, r.coalesced),
+            (1, 3, 2),
+            "classification: {r:?}"
+        );
+        assert_eq!(r.hits + r.misses + r.coalesced, r.requests);
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.per_node_jobs.iter().sum::<u64>(), 3);
+        // Requests 0, 1, 3, 4 share one key; byte-identical results.
+        let slice0 = &out.responses[0];
+        for i in [1usize, 3, 4] {
+            assert_eq!(out.responses[i].key, slice0.key);
+            assert!(Arc::ptr_eq(&out.responses[i].result, &slice0.result));
+        }
+        assert_eq!(out.responses[4].outcome, Outcome::Hit);
+        assert_eq!(out.responses[4].latency_seconds, 0.0);
+        // The 120 W ask was admitted at the 90 W node budget.
+        assert_eq!(out.responses[5].key.cap(), Watts(90.0));
+        // Every window respects the node budget.
+        for w in &r.windows {
+            assert!(w.admitted.value() <= r.node_budget.value() + CAP_EPS);
+        }
+        assert!(r.modeled_seconds > 0.0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_observables() {
+        let traffic: Vec<Request> = vec![
+            req(Algorithm::Slice, 60.0),
+            req(Algorithm::Threshold, 60.0),
+            req(Algorithm::Slice, 90.0),
+            req(Algorithm::Slice, 60.0),
+            req(Algorithm::Contour, 60.0),
+        ];
+        let serve_with = |workers: usize| {
+            let mut svc = StudyService::new(ServiceConfig {
+                workers,
+                ..tiny_cfg()
+            })
+            .expect("valid config");
+            let mut journal = Journal::with_capacity(1 << 12);
+            let out = svc.serve(&traffic, &mut journal).expect("serves");
+            (format!("{:?}", out.report), journal.to_jsonl())
+        };
+        let (report1, journal1) = serve_with(1);
+        let (report8, journal8) = serve_with(8);
+        assert_eq!(report1, report8, "report is worker-count-invariant");
+        assert_eq!(journal1, journal8, "journal is worker-count-invariant");
+        assert!(journal1.contains("\"ev\":\"cache_event\""));
+        assert!(journal1.contains("\"ev\":\"service_request\""));
+        assert!(journal1.contains("batch:0"));
+        assert!(journal1.contains("serve:5"));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        for (cfg, what) in [
+            (
+                ServiceConfig {
+                    nodes: 0,
+                    ..ServiceConfig::default()
+                },
+                "nodes",
+            ),
+            (
+                ServiceConfig {
+                    workers: 0,
+                    ..ServiceConfig::default()
+                },
+                "workers",
+            ),
+            (
+                ServiceConfig {
+                    batch: 0,
+                    ..ServiceConfig::default()
+                },
+                "batch",
+            ),
+            (
+                ServiceConfig {
+                    shards: 0,
+                    ..ServiceConfig::default()
+                },
+                "shards",
+            ),
+        ] {
+            match StudyService::new(cfg) {
+                Err(ServiceError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(what), "{msg} should mention {what}")
+                }
+                other => panic!("expected InvalidConfig({what}), got {other:?}"),
+            }
+        }
+        match StudyService::new(ServiceConfig {
+            fleet_budget: Watts(100.0),
+            ..ServiceConfig::default()
+        }) {
+            Err(ServiceError::BudgetBelowFloor { .. }) => {}
+            other => panic!("expected BudgetBelowFloor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_sweep_propagates_the_empty_sweep_error() {
+        let mut study = StudyConfig::quick();
+        study.caps.clear();
+        let svc = StudyService::new(ServiceConfig {
+            study,
+            ..ServiceConfig::default()
+        })
+        .expect("valid config");
+        let err = svc
+            .cap_sweep(Algorithm::Contour, 6)
+            .expect_err("no caps configured");
+        let msg = err.to_string();
+        assert!(msg.contains("Contour"), "{msg}");
+        assert!(msg.contains("configure at least one cap"), "{msg}");
+        let ok = StudyService::new(ServiceConfig::default())
+            .expect("valid config")
+            .cap_sweep(Algorithm::Slice, 6)
+            .expect("default caps sweep");
+        assert_eq!(ok.rows.len(), ServiceConfig::default().study.caps.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the study service's hard laws:
+//!
+//! 1. **Budget law** — no scheduling window's admitted power exceeds a
+//!    node's share of the fleet budget, for any traffic and any
+//!    feasible fleet shape; and the fleet never exceeds the budget in
+//!    aggregate (per-node share × nodes ≤ fleet budget).
+//! 2. **Bookkeeping law** — hits + misses + coalesced always equals the
+//!    request count, and the responses agree with the report.
+//! 3. **Key-sensitivity law** — perturbing any one of the four cache-key
+//!    components (spec, dataset, cap, backend) forces a miss where the
+//!    unperturbed request hits.
+//! 4. **Replay law** — identical `(config, traffic)` produce
+//!    byte-identical reports and journals, regardless of worker count.
+//!
+//! Kept intentionally small (cheap algorithms, 6³/8³ data, single-digit
+//! case counts): each case executes real filter kernels through the
+//! full service path.
+
+use powersim::trace::Journal;
+use powersim::Watts;
+use proptest::prelude::*;
+use service::{Outcome, Request, ServiceConfig, StudyService};
+use vizalgo::{Algorithm, Backend};
+
+fn algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Slice),
+        Just(Algorithm::Threshold),
+        Just(Algorithm::Contour),
+    ]
+}
+
+fn backend() -> impl Strategy<Value = Backend> {
+    // All three algorithms above have DPP formulations, so both
+    // backends are always valid traffic.
+    prop_oneof![Just(Backend::Traditional), Just(Backend::Dpp)]
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    (
+        algorithm(),
+        prop_oneof![Just(6usize), Just(8usize)],
+        30.0f64..200.0,
+        backend(),
+    )
+        .prop_map(|(algorithm, size, cap, backend)| Request {
+            spec: algorithm.default_spec(),
+            size,
+            cap: Watts(cap),
+            backend,
+        })
+}
+
+fn service(nodes: usize, workers: usize, batch: usize, share: f64, seed: u64) -> StudyService {
+    StudyService::new(ServiceConfig {
+        nodes,
+        workers,
+        batch,
+        fleet_budget: Watts(share * nodes as f64),
+        seed,
+        shards: 4,
+        ..ServiceConfig::default()
+    })
+    .expect("per-node share >= 40 W is always feasible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn admitted_power_never_exceeds_the_budget_and_books_balance(
+        traffic in prop::collection::vec(request(), 1..14),
+        nodes in 1usize..4,
+        workers in 1usize..4,
+        batch in 2usize..6,
+        share in 40.0f64..120.0,
+    ) {
+        let mut svc = service(nodes, workers, batch, share, 0x5eed_0009);
+        let budget = svc.node_budget();
+        let fleet = svc.config().fleet_budget;
+        prop_assert!(budget.value() * nodes as f64 <= fleet.value() + 1e-6);
+        let out = svc.serve(&traffic, &mut Journal::off()).expect("serves");
+        let r = &out.report;
+        prop_assert_eq!(r.hits + r.misses + r.coalesced, r.requests);
+        prop_assert_eq!(r.requests, traffic.len());
+        prop_assert_eq!(out.responses.len(), traffic.len());
+        for w in &r.windows {
+            prop_assert!(
+                w.admitted.value() <= budget.value() + 1e-6,
+                "window {w:?} over node budget {budget:?}"
+            );
+            prop_assert!(w.jobs > 0);
+        }
+        for resp in &out.responses {
+            // Every admitted cap individually fits its node's budget
+            // and the hardware range.
+            prop_assert!(resp.key.cap().value() <= budget.value() + 1e-6);
+            prop_assert!(resp.key.cap() >= svc.config().cpu.min_cap_watts);
+            prop_assert!((resp.node as usize) < nodes);
+        }
+        let hits = out.responses.iter().filter(|r| r.outcome == Outcome::Hit).count();
+        prop_assert_eq!(hits, r.hits, "responses agree with the report");
+    }
+
+    #[test]
+    fn perturbing_any_key_component_forces_a_miss(
+        cap in 50.0f64..90.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut svc = service(2, 2, 8, 90.0, seed);
+        let base = Request {
+            spec: Algorithm::Threshold.default_spec(),
+            size: 6,
+            cap: Watts(cap),
+            backend: Backend::Traditional,
+        };
+        // Warm the cache; re-serving the identical request must hit.
+        let cold = svc.serve(std::slice::from_ref(&base), &mut Journal::off()).expect("serves");
+        prop_assert_eq!(cold.responses[0].outcome, Outcome::Miss);
+        let warm = svc.serve(std::slice::from_ref(&base), &mut Journal::off()).expect("serves");
+        prop_assert_eq!(warm.responses[0].outcome, Outcome::Hit);
+        // One perturbation per key component. The cap nudge stays
+        // admissible and cannot collide after admission: both caps are
+        // in-range, and min(cap + 5, budget) > cap for cap < budget.
+        let perturbed = [
+            Request { spec: Algorithm::Slice.default_spec(), ..base.clone() },
+            Request { size: 8, ..base.clone() },
+            Request { cap: base.cap + Watts(5.0), ..base.clone() },
+            Request { backend: Backend::Dpp, ..base.clone() },
+        ];
+        for req in perturbed {
+            let out = svc.serve(std::slice::from_ref(&req), &mut Journal::off()).expect("serves");
+            prop_assert_eq!(
+                out.responses[0].outcome,
+                Outcome::Miss,
+                "perturbed request must not reuse {:?}: {:?}",
+                base,
+                req
+            );
+            prop_assert!(out.responses[0].key != cold.responses[0].key);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_replay_byte_identically_across_worker_counts(
+        traffic in prop::collection::vec(request(), 1..10),
+        seed in 0u64..1_000_000,
+        workers_a in 1usize..5,
+        workers_b in 1usize..5,
+    ) {
+        let run = |workers: usize| {
+            let mut svc = service(2, workers, 4, 90.0, seed);
+            let mut journal = Journal::with_capacity(1 << 12);
+            let out = svc.serve(&traffic, &mut journal).expect("serves");
+            (format!("{:?}", out.report), journal.to_jsonl())
+        };
+        let (report_a, journal_a) = run(workers_a);
+        let (report_b, journal_b) = run(workers_b);
+        prop_assert_eq!(report_a, report_b);
+        prop_assert_eq!(journal_a, journal_b);
+    }
+}

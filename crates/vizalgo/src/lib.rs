@@ -51,6 +51,7 @@ pub mod colormap;
 pub mod contour;
 pub mod dpp;
 pub mod filter;
+pub mod fingerprint;
 pub mod gradient;
 pub mod isovolume;
 pub mod marching_tetra;
@@ -70,6 +71,7 @@ pub use dpp::{
     Backend, DppContour, DppIsovolume, DppSlice, DppThreshold, PrimitiveOp, PrimitiveReport,
 };
 pub use filter::{Algorithm, Filter, FilterOutput, KernelClass, KernelReport};
+pub use fingerprint::{dataset_fingerprint, fingerprint48, Fnv1a, FINGERPRINT_MASK};
 pub use gradient::Gradient;
 pub use isovolume::Isovolume;
 pub use raytrace::RayTracer;

@@ -332,7 +332,7 @@ impl AlgorithmSpec {
     /// exactly representable as an `f64`, which is how it rides in
     /// journal span args (`spec_fp`, schema v4 — docs/OBSERVABILITY.md).
     pub fn fingerprint(&self) -> u64 {
-        fnv1a(self.canonical().as_bytes()) & 0xFFFF_FFFF_FFFF
+        crate::fingerprint::fingerprint48(self.canonical().as_bytes())
     }
 
     /// [`build`](AlgorithmSpec::build) for a chosen execution
@@ -415,7 +415,7 @@ impl AlgorithmSpec {
             Backend::Dpp => {
                 let mut canon = self.canonical();
                 canon.push_str("|backend=dpp");
-                fnv1a(canon.as_bytes()) & 0xFFFF_FFFF_FFFF
+                crate::fingerprint::fingerprint48(canon.as_bytes())
             }
         }
     }
@@ -482,16 +482,6 @@ fn band_canonical(band: &ScalarBand) -> String {
 /// IEEE-754 bit pattern of a float, as fixed-width hex.
 fn f64_hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
-}
-
-/// 64-bit FNV-1a.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 /// Scalar range of a field under any association (the lookup

@@ -277,6 +277,19 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
             &[],
         ),
         (
+            "reproduce serve --quick (study service smoke)",
+            &[
+                "run",
+                "--release",
+                "--bin",
+                "reproduce",
+                "--",
+                "serve",
+                "--quick",
+            ],
+            &[],
+        ),
+        (
             "cargo doc --no-deps (RUSTDOCFLAGS='-D warnings')",
             &["doc", "--no-deps", "--workspace"],
             &[("RUSTDOCFLAGS", "-D warnings")],

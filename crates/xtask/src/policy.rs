@@ -42,6 +42,8 @@ pub const UNIT_BOUNDARY_FILES: &[&str] = &[
     "crates/governor/src/control.rs",
     "crates/governor/src/study.rs",
     "crates/governor/src/pair.rs",
+    "crates/service/src/admission.rs",
+    "crates/service/src/service.rs",
 ];
 
 /// Files exempt from the unit-safety lint: the newtype definitions

@@ -13,6 +13,9 @@
 //!   classification, the power advisor, and the table/figure harness).
 //! * [`governor`] — the closed-loop online power governor and its
 //!   budget-sweep study.
+//! * [`service`] — the study service at scale: fingerprint-addressed
+//!   single-flight result cache, deterministic sharded batch scheduler,
+//!   and governor-backed admission control under a fleet power budget.
 //! * [`conformance`] — the analytic-oracle conformance suite verifying
 //!   the eight kernels against closed-form answers.
 
@@ -21,6 +24,7 @@ pub use conformance;
 pub use governor;
 pub use insitu;
 pub use powersim;
+pub use service;
 pub use vizalgo;
 pub use vizmesh;
 pub use vizpower;

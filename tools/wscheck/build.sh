@@ -41,6 +41,7 @@ copysrc crates/cloverleaf/src cloverleaf
 copysrc crates/insitu/src insitu
 copysrc crates/core/src vizpower
 copysrc crates/governor/src governor
+copysrc crates/service/src service
 copysrc crates/conformance/src conformance
 copysrc crates/bench/src bench
 copysrc crates/xtask/src xtask
@@ -74,6 +75,10 @@ X governor  --crate-type rlib --crate-name governor src/governor/lib.rs \
   --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizpower=out/libvizpower.rlib \
   -o out/libgovernor.rlib
+X service   --crate-type rlib --crate-name service src/service/lib.rs \
+  --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
+  --extern powersim=out/libpowersim.rlib --extern vizpower=out/libvizpower.rlib \
+  --extern governor=out/libgovernor.rlib -o out/libservice.rlib
 X conformance --crate-type rlib --crate-name conformance src/conformance/lib.rs \
   --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern powersim=out/libpowersim.rlib --extern rayon=out/librayon.rlib \
@@ -86,7 +91,8 @@ X vizpower_bench --crate-type rlib --crate-name vizpower_bench src/bench/lib.rs 
 X reproduce-bin --crate-name reproduce src/bench/bin/reproduce.rs \
   --extern vizpower_bench=out/libvizpower_bench.rlib \
   --extern vizpower=out/libvizpower.rlib --extern powersim=out/libpowersim.rlib \
-  --extern governor=out/libgovernor.rlib --extern conformance=out/libconformance.rlib \
+  --extern governor=out/libgovernor.rlib --extern service=out/libservice.rlib \
+  --extern conformance=out/libconformance.rlib \
   --extern cloverleaf=out/libcloverleaf.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizmesh=out/libvizmesh.rlib \
   --extern serde_json=out/libserde_json.rlib -o out/reproduce
@@ -98,7 +104,8 @@ X vizpower_suite --crate-type rlib --crate-name vizpower_suite src/suite/lib.rs 
   --extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
   --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
   --extern insitu=out/libinsitu.rlib --extern vizpower=out/libvizpower.rlib \
-  --extern governor=out/libgovernor.rlib --extern conformance=out/libconformance.rlib \
+  --extern governor=out/libgovernor.rlib --extern service=out/libservice.rlib \
+  --extern conformance=out/libconformance.rlib \
   --extern rayon=out/librayon.rlib --extern serde_json=out/libserde_json.rlib \
   -o out/libvizpower_suite.rlib
 

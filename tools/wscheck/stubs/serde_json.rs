@@ -30,6 +30,9 @@ impl Value {
     pub fn is_string(&self) -> bool {
         matches!(self, Value::String(_))
     }
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
@@ -64,6 +67,11 @@ impl PartialEq<i32> for Value {
 impl PartialEq<u64> for Value {
     fn eq(&self, other: &u64) -> bool {
         matches!(self, Value::Number(n) if *n == *other as f64)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
     }
 }
 

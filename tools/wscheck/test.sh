@@ -12,7 +12,8 @@ E="--edition 2021 -O -L dependency=out"
 EXT="--extern vizmesh=out/libvizmesh.rlib --extern vizalgo=out/libvizalgo.rlib \
  --extern cloverleaf=out/libcloverleaf.rlib --extern powersim=out/libpowersim.rlib \
  --extern insitu=out/libinsitu.rlib --extern vizpower=out/libvizpower.rlib \
- --extern governor=out/libgovernor.rlib --extern conformance=out/libconformance.rlib \
+ --extern governor=out/libgovernor.rlib --extern service=out/libservice.rlib \
+ --extern conformance=out/libconformance.rlib \
  --extern rayon=out/librayon.rlib --extern serde_json=out/libserde_json.rlib \
  --extern rand=out/librand.rlib"
 
@@ -30,6 +31,7 @@ rustc $E --test --crate-name insitu_t src/insitu/lib.rs $EXT -o out/insitu_t
 out/insitu_t -q --skip json_round_trip --skip parses_handwritten_json --skip serde_round_trip
 T vizpower src/vizpower/lib.rs
 T governor src/governor/lib.rs
+T service src/service/lib.rs
 T conformance src/conformance/lib.rs
 T vizpower_bench src/bench/lib.rs
 echo "=== unit: xtask (std-only) ==="
@@ -58,6 +60,8 @@ I experiments_smoke
 I governor_golden
 I conformance_golden
 I registry_parity
+I service_parity
+I service_golden
 
 # Property suites from crates/*/tests/, compiled and run against the
 # stub proptest (fixed per-test seeds, no shrinking or regression-seed
@@ -76,7 +80,12 @@ P cloverleaf proptests
 P powersim proptests
 P insitu proptests "--skip actions_json_round_trip"
 P governor invariants
+P service invariants
 
+echo "=== smoke: reproduce serve --quick (gate: >= 50% cache hit rate) ==="
+out/reproduce serve --quick | tee out/serve_quick.txt
+hit_pct=$(sed -n 's/.*outcomes: [0-9]* hits (\([0-9]*\)\.[0-9]*%).*/\1/p' out/serve_quick.txt)
+test -n "$hit_pct" && test "$hit_pct" -ge 50 || { echo "serve --quick hit rate below 50% (got ${hit_pct:-none})"; exit 1; }
 echo "=== smoke: reproduce governor --budget-sweep --quick ==="
 out/reproduce governor --budget-sweep --quick
 echo "=== smoke: reproduce conformance --quick ==="
