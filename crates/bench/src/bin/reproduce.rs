@@ -24,6 +24,13 @@
 //!                                 # plus default-cap simulated J/IPC/LLC;
 //!                                 # --backend both adds a DPP row per
 //!                                 # supported algorithm
+//! reproduce advect [--quick]      # extension: time-varying flow — the
+//!                                 # hydro runs past step 200 recording a
+//!                                 # snapshot ring, then a scenario sweep
+//!                                 # (streamline/pathline × seeding ×
+//!                                 # step control × termination) executes
+//!                                 # against it, one schema-v8
+//!                                 # flow_scenario span per cell
 //! reproduce serve [--quick] [--requests K] [--zipf S]
 //!                 [--nodes N] [--workers W]
 //!                                 # extension: the study service under
@@ -57,7 +64,7 @@ use vizpower_bench::{CliError, Fidelity, JOURNAL_CAPACITY};
 
 fn usage(context: &str) -> CliError {
     CliError::new(format!(
-        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench|serve> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>] [--backend <traditional|dpp|both>] [--algo <name,...>] [--requests <K>] [--zipf <S>] [--nodes <N>] [--workers <W>]"
+        "{context}\nusage: reproduce <all|table1|table2|table3|fig2a|fig2b|fig2c|fig3|fig4|fig5|fig6|summary|energy|arch|ablation|governor|conformance|bench|advect|serve> [--quick] [--budget-sweep] [--journal <out.jsonl>] [--trace <out.trace.json>] [--out <bench.json>] [--backend <traditional|dpp|both>] [--algo <name,...>] [--requests <K>] [--zipf <S>] [--nodes <N>] [--workers <W>]"
     ))
 }
 
@@ -390,6 +397,22 @@ fn main() -> Result<(), CliError> {
                 report.failed(),
                 report.checks.len()
             )));
+        }
+        "advect" => {
+            let cfg = if quick {
+                vizpower::advect::AdvectConfig::quick()
+            } else {
+                vizpower::advect::AdvectConfig::full()
+            };
+            println!(
+                "== Extension: time-varying advection scenario sweep ({}³ hydro, {} steps, ring of {}) ==",
+                cfg.hydro_n, cfg.hydro_steps, cfg.ring_capacity
+            );
+            let report = vizpower::advect::run_sweep(&cfg, &mut ctx.journal);
+            print!("{}", vizpower::advect::render_table(&report));
+            println!();
+            write_journal_outputs(&ctx, journal_path.as_deref(), trace_path.as_deref())?;
+            return Ok(());
         }
         "serve" => {
             let requests = requests_flag.unwrap_or(if quick { 400 } else { 2000 });

@@ -5,7 +5,8 @@ use crate::problems::Problem;
 use crate::state::State;
 use powersim::trace::{Journal, Scope};
 use serde::{Deserialize, Serialize};
-use vizmesh::{DataSet, WorkCounters};
+use std::sync::Arc;
+use vizmesh::{DataSet, FieldSeries, WorkCounters};
 
 /// Driver configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -202,6 +203,62 @@ impl Simulation {
         total
     }
 
+    /// Run `n` steps, recording a snapshot of the state into `series`
+    /// every `every`-th step (by global step count) — the feed for
+    /// time-varying consumers (pathline advection). The series' ring
+    /// capacity bounds retention, so a long run keeps a sliding window
+    /// rather than every exported state. The final state is always
+    /// recorded, so the retained window ends at the simulation's
+    /// current time even when `n` is off-cadence.
+    pub fn run_steps_recording(
+        &mut self,
+        n: u64,
+        every: u64,
+        series: &mut FieldSeries,
+    ) -> WorkCounters {
+        self.run_recording(n, every, series, None)
+    }
+
+    /// [`Simulation::run_steps_recording`] with the journaling of
+    /// [`Simulation::run_steps_journaled`]. Snapshot recording itself
+    /// emits nothing: the journal sees exactly the same timestep spans
+    /// as an unrecorded run, so recording cannot perturb golden traces.
+    pub fn run_steps_recording_journaled(
+        &mut self,
+        n: u64,
+        every: u64,
+        series: &mut FieldSeries,
+        journal: &mut Journal,
+    ) -> WorkCounters {
+        self.run_recording(n, every, series, Some(journal))
+    }
+
+    fn run_recording(
+        &mut self,
+        n: u64,
+        every: u64,
+        series: &mut FieldSeries,
+        mut journal: Option<&mut Journal>,
+    ) -> WorkCounters {
+        // lint: cadence precondition, caller bug
+        assert!(every > 0, "recording cadence must be positive");
+        let mut total = WorkCounters::new();
+        for _ in 0..n {
+            let report = match journal.as_deref_mut() {
+                Some(j) => self.step_journaled(j),
+                None => self.step(),
+            };
+            total += report.work;
+            if self.step % every == 0 {
+                series.record(self.time, Arc::new(self.dataset()));
+            }
+        }
+        if n > 0 && series.last_time() != Some(self.time) {
+            series.record(self.time, Arc::new(self.dataset()));
+        }
+        total
+    }
+
     /// Export the current state for visualization.
     pub fn dataset(&self) -> DataSet {
         self.state.to_dataset()
@@ -319,6 +376,62 @@ mod tests {
             assert_eq!(a.work.instructions, b.work.instructions);
         }
         assert_eq!(plain.state.energy, observed.state.energy);
+    }
+
+    #[test]
+    fn recording_retains_a_bounded_ring_past_step_200() {
+        let mut sim = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+        let mut series = FieldSeries::with_capacity(4);
+        sim.run_steps_recording(240, 20, &mut series);
+        assert_eq!(sim.step_count(), 240);
+        // 12 recorded snapshots (steps 20, 40, ..., 240), ring keeps 4.
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.evicted(), 8);
+        let times: Vec<f64> = series.snapshots().map(|(t, _)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "times increase");
+        assert_eq!(series.last_time(), Some(sim.time()));
+        // The retained snapshots are genuinely different states.
+        let energies: Vec<f64> = series
+            .snapshots()
+            .map(|(_, ds)| {
+                ds.point_scalars("energy")
+                    .expect("hydro exports energy") // lint: export contract
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        assert!(
+            energies.windows(2).any(|w| w[0] != w[1]),
+            "snapshots must not alias one evolving state"
+        );
+    }
+
+    #[test]
+    fn recording_appends_the_final_state_when_off_cadence() {
+        let mut sim = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+        let mut series = FieldSeries::with_capacity(8);
+        sim.run_steps_recording(10, 4, &mut series);
+        // Cadence snapshots at steps 4 and 8, plus the final state at 10.
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.last_time(), Some(sim.time()));
+    }
+
+    #[test]
+    fn recording_journaled_matches_plain_recording() {
+        let run = |journaled: bool| {
+            let mut sim = Simulation::new(Problem::TwoState, 6, SimConfig::default());
+            let mut series = FieldSeries::with_capacity(4);
+            if journaled {
+                let mut journal = Journal::with_capacity(256);
+                sim.run_steps_recording_journaled(24, 8, &mut series, &mut journal);
+                assert!((journal.now() - sim.time()).abs() < 1e-12);
+            } else {
+                sim.run_steps_recording(24, 8, &mut series);
+            }
+            let times: Vec<f64> = series.snapshots().map(|(t, _)| t).collect();
+            (times, sim.state.energy.clone())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -72,6 +72,22 @@ pub fn rotation_dataset(n: usize) -> DataSet {
     DataSet::uniform(grid).with_field(Field::vector(VELOCITY, Association::Points, vals))
 }
 
+/// Rigid-rotation field scaled to angular rate `omega`:
+/// `v = ω·(−(y−c), x−c, 0)`. Still linear in space, so trilinear
+/// sampling stays exact; snapshots of this field at rates `ω(t_k)`
+/// linear in `t` make the series' temporal lerp exact too (the basis of
+/// the time-varying pathline oracle in [`crate::flow`]).
+pub fn rotation_dataset_scaled(n: usize, omega: f64) -> DataSet {
+    let grid = UniformGrid::cube_cells(n);
+    let vals: Vec<Vec3> = (0..grid.num_points())
+        .map(|p| {
+            let q = grid.point_coord_id(p) - CENTER;
+            Vec3::new(-q.y * omega, q.x * omega, 0.0)
+        })
+        .collect();
+    DataSet::uniform(grid).with_field(Field::vector(VELOCITY, Association::Points, vals))
+}
+
 /// Constant point scalar named `energy` (the spherical clip's carry
 /// field), value 1.
 pub fn energy_dataset(n: usize) -> DataSet {

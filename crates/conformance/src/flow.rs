@@ -1,0 +1,227 @@
+//! Time-varying flow checks: the pathline generalization against a
+//! closed-form unsteady rotation, plus the frozen-series metamorphic law.
+//!
+//! * **Pathline oracle** — a [`FieldSeries`] of rigid-rotation snapshots
+//!   whose angular rate grows linearly, `ω(t) = ω₀ + a·t`. The field is
+//!   linear in space (trilinear sampling is exact) and linear in `t`
+//!   between snapshots (the series' temporal lerp is exact), so the RK4
+//!   pathline integrates the true ODE `dθ/dt = ω(t)`, `dr/dt = 0`:
+//!   trajectories stay planar to the bit, conserve radius to integrator
+//!   order, and turn through exactly `Δθ(T) = ω₀·T + a·T²/2` where `T`
+//!   is the polyline's integrated time. The angle check documents RK4's
+//!   global `O(h⁴)` error: at the suite's step sizes (`h ≈ 1.7·10⁻³`
+//!   diagonals) the drift is ≲ 10⁻¹¹, pinned at 10⁻⁸ relative.
+//! * **Frozen metamorphic law** — a pathline on a single-snapshot
+//!   [`FieldSeries::frozen`] series must be *byte-identical* to the
+//!   steady streamline on the same dataset (the kernel's documented
+//!   bit-exactness guarantee): same output dataset, same kernel report.
+//!
+//! Kernels are built through [`AlgorithmSpec::build_flow`], the
+//! sanctioned registry arm for series execution.
+
+use crate::fields::{self, CENTER};
+use crate::{CheckKind, CheckResult, ConformanceConfig};
+use std::f64::consts::PI;
+use std::sync::Arc;
+use vizalgo::{Algorithm, AlgorithmSpec, FlowMode, FlowScenario, ParticleAdvection};
+use vizmesh::{CellShape, FieldSeries};
+
+/// Initial angular rate of the unsteady rotation.
+const OMEGA0: f64 = 1.0;
+/// dω/dt — linear in `t`, so piecewise-linear temporal lerp is exact.
+const OMEGA_RATE: f64 = 0.5;
+/// Snapshot spacing and count: knots at `t = 0, 0.05, …, 0.45`, past the
+/// longest pathline the full config integrates (200 steps × √3·10⁻³ ≈
+/// 0.35 time units).
+const SNAP_DT: f64 = 0.05;
+const SNAPSHOTS: usize = 10;
+
+/// The two time-varying flow groups, run at the largest configured grid:
+/// the unsteady-rotation pathline oracle and the frozen-series
+/// metamorphic law.
+pub fn groups(cfg: &ConformanceConfig) -> Vec<(Algorithm, u32, Vec<CheckResult>)> {
+    let n = cfg.grids.last().copied().unwrap_or(32);
+    vec![
+        (
+            Algorithm::ParticleAdvection,
+            n as u32,
+            pathline_oracle(cfg, n),
+        ),
+        (
+            Algorithm::ParticleAdvection,
+            n as u32,
+            vec![frozen_pathline_exact(cfg, n)],
+        ),
+    ]
+}
+
+/// The canonical advection spec under `scenario` (identical to
+/// [`crate::spec_for`]'s advection arm apart from the scenario).
+fn advection_spec(cfg: &ConformanceConfig, scenario: FlowScenario) -> AlgorithmSpec {
+    AlgorithmSpec::ParticleAdvection {
+        field: fields::VELOCITY.into(),
+        particles: cfg.particles,
+        steps: cfg.advect_steps,
+        step_fraction: cfg.step_fraction,
+        seed: cfg.seed,
+        scenario,
+    }
+}
+
+fn pathline_kernel(cfg: &ConformanceConfig) -> Option<ParticleAdvection> {
+    let scenario = FlowScenario {
+        mode: FlowMode::Pathline,
+        ..FlowScenario::default()
+    };
+    advection_spec(cfg, scenario).build_flow()
+}
+
+/// Pathlines through the accelerating rotation, checked against the
+/// closed-form answer.
+fn pathline_oracle(cfg: &ConformanceConfig, n: usize) -> Vec<CheckResult> {
+    const KIND: CheckKind = CheckKind::Oracle;
+    let alg = Algorithm::ParticleAdvection;
+    let mut series = FieldSeries::with_capacity(SNAPSHOTS);
+    for k in 0..SNAPSHOTS {
+        let t = k as f64 * SNAP_DT;
+        let omega = OMEGA0 + OMEGA_RATE * t;
+        series.record(t, Arc::new(fields::rotation_dataset_scaled(n, omega)));
+    }
+    let Some(kernel) = pathline_kernel(cfg) else {
+        return vec![CheckResult::setup_failure(alg, KIND, "pathline-angle", n)];
+    };
+    let out = kernel.execute_series(&series);
+    let parts = out
+        .dataset
+        .as_ref()
+        .and_then(|ds| crate::explicit_parts(ds));
+    let Some((points, cells)) = parts else {
+        return vec![CheckResult::setup_failure(alg, KIND, "pathline-angle", n)];
+    };
+    // Step length and start time match the kernel: h in fractions of the
+    // input diagonal, integration starting at the first knot.
+    let Some((_, first)) = series.get(0) else {
+        return vec![CheckResult::setup_failure(alg, KIND, "pathline-angle", n)];
+    };
+    let h = first.bounds().diagonal() * cfg.step_fraction;
+    let mut max_z = 0.0f64;
+    let mut max_radius_drift = 0.0f64;
+    let mut max_angle_err = 0.0f64;
+    let mut path = Vec::with_capacity(cfg.advect_steps + 1);
+    for (shape, conn) in cells.iter() {
+        if shape != CellShape::PolyLine || conn.len() < 2 {
+            continue;
+        }
+        path.clear();
+        path.extend(conn.iter().map(|&i| points[i as usize]));
+        let r0 = ((path[0].x - CENTER.x).powi(2) + (path[0].y - CENTER.y).powi(2)).sqrt();
+        for p in &path {
+            max_z = max_z.max((p.z - path[0].z).abs());
+        }
+        // As in the steady oracle: tight orbits amplify rounding, the
+        // macroscopic ones carry the law.
+        if r0 < 0.05 {
+            continue;
+        }
+        let mut angle = 0.0f64;
+        let mut prev = f64::atan2(path[0].y - CENTER.y, path[0].x - CENTER.x);
+        for p in &path[1..] {
+            let r = ((p.x - CENTER.x).powi(2) + (p.y - CENTER.y).powi(2)).sqrt();
+            max_radius_drift = max_radius_drift.max((r - r0).abs() / r0);
+            let th = f64::atan2(p.y - CENTER.y, p.x - CENTER.x);
+            let mut d = th - prev;
+            if d > PI {
+                d -= 2.0 * PI;
+            } else if d < -PI {
+                d += 2.0 * PI;
+            }
+            angle += d;
+            prev = th;
+        }
+        // Closed form: Δθ = ω₀·T + a·T²/2 over the polyline's own
+        // integrated span (early domain exits shorten T, not the law).
+        let t_total = (path.len() - 1) as f64 * h;
+        let expected = OMEGA0 * t_total + 0.5 * OMEGA_RATE * t_total * t_total;
+        max_angle_err = max_angle_err.max((angle - expected).abs() / expected);
+    }
+    vec![
+        CheckResult::new(alg, KIND, "pathline-planar", n, max_z, 0.0, 0.0),
+        CheckResult::new(
+            alg,
+            KIND,
+            "pathline-radius-drift",
+            n,
+            max_radius_drift,
+            0.0,
+            1e-9,
+        ),
+        CheckResult::new(alg, KIND, "pathline-angle", n, max_angle_err, 0.0, 1e-8),
+    ]
+}
+
+/// Streamline ≡ pathline-on-frozen-series: the steady kernel's output and
+/// the pathline executed over `FieldSeries::frozen` of the same dataset
+/// must match byte-for-byte, kernel report included.
+fn frozen_pathline_exact(cfg: &ConformanceConfig, n: usize) -> CheckResult {
+    const KIND: CheckKind = CheckKind::Metamorphic;
+    let alg = Algorithm::ParticleAdvection;
+    let check = "frozen-pathline-exact";
+    let input = fields::rotation_dataset(n);
+    let steady = advection_spec(cfg, FlowScenario::default())
+        .build(&input)
+        .execute(&input);
+    let Some(kernel) = pathline_kernel(cfg) else {
+        return CheckResult::setup_failure(alg, KIND, check, n);
+    };
+    let frozen = kernel.execute_series(&FieldSeries::frozen(Arc::new(input)));
+    let identical = steady.dataset == frozen.dataset
+        && format!("{:?}", steady.kernels) == format!("{:?}", frozen.kernels);
+    let measured = if identical { 0.0 } else { 1.0 };
+    CheckResult::new(alg, KIND, check, n, measured, 0.0, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_groups_pass_at_quick_resolution() {
+        let cfg = ConformanceConfig::quick();
+        let groups = groups(&cfg);
+        assert_eq!(groups.len(), 2);
+        for (alg, grid, checks) in &groups {
+            assert_eq!(*alg, Algorithm::ParticleAdvection);
+            assert_eq!(*grid, 32);
+            for c in checks {
+                assert!(
+                    c.pass(),
+                    "{}: measured {} vs {} ± {}",
+                    c.check,
+                    c.measured,
+                    c.expected,
+                    c.tolerance
+                );
+            }
+        }
+        let names: Vec<_> = groups
+            .iter()
+            .flat_map(|(_, _, cs)| cs.iter().map(|c| c.check.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "oracle:pathline-planar",
+                "oracle:pathline-radius-drift",
+                "oracle:pathline-angle",
+                "metamorphic:frozen-pathline-exact",
+            ]
+        );
+    }
+
+    #[test]
+    fn scaled_rotation_matches_the_unit_field_at_omega_one() {
+        let a = fields::rotation_dataset(8);
+        let b = fields::rotation_dataset_scaled(8, 1.0);
+        assert_eq!(a, b);
+    }
+}

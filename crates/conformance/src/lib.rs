@@ -18,6 +18,10 @@
 //!   interior cells, contour areas must grow with the isovalue, and the
 //!   contour discretization error must shrink at second order under grid
 //!   refinement.
+//! * **Time-varying flow** ([`flow`]): the pathline generalization
+//!   against an unsteady rotation with a closed-form answer, plus the
+//!   frozen-series law (pathline on a single-snapshot series must be
+//!   byte-identical to the steady streamline).
 //!
 //! Every check reduces to one [`CheckResult`] — `|measured − expected| ≤
 //! tolerance` — so the whole suite serializes into the run journal as
@@ -27,6 +31,7 @@
 
 pub mod backend;
 pub mod fields;
+pub mod flow;
 pub mod metamorphic;
 pub mod oracle;
 pub mod reference;
@@ -221,6 +226,7 @@ pub fn spec_for(alg: Algorithm, cfg: &ConformanceConfig) -> AlgorithmSpec {
             steps: cfg.advect_steps,
             step_fraction: cfg.step_fraction,
             seed: cfg.seed,
+            scenario: Default::default(),
         },
         Algorithm::RayTracing => AlgorithmSpec::RayTracing {
             field: fields::FIELD.into(),
@@ -309,6 +315,7 @@ pub fn run_grouped(cfg: &ConformanceConfig) -> Vec<(Algorithm, u32, Vec<CheckRes
         }
     }
     groups.extend(metamorphic::groups(cfg));
+    groups.extend(flow::groups(cfg));
     groups
 }
 

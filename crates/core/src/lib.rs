@@ -27,8 +27,10 @@
 //!
 //! Extensions beyond the paper (its §VIII future work): [`energy`]
 //! (energy/EDP view of the §V-A tradeoff), [`arch`] (the same study on
-//! Skylake-SP-class and Xeon-D-class packages), and [`ablation`]
-//! (switching off model mechanisms to show each one earns its place).
+//! Skylake-SP-class and Xeon-D-class packages), [`ablation`]
+//! (switching off model mechanisms to show each one earns its place),
+//! and [`advect`] (the time-varying flow pipeline: a hydro snapshot
+//! ring driving a pathline/streamline scenario sweep).
 //!
 //! Every layer can record into the run journal ([`powersim::trace`],
 //! re-exported as [`trace`]): enable it with
@@ -37,6 +39,7 @@
 //! The event schema is documented in `docs/OBSERVABILITY.md`.
 
 pub mod ablation;
+pub mod advect;
 pub mod advisor;
 pub mod arch;
 pub mod characterize;

@@ -69,24 +69,7 @@ impl DatasetStore {
             if let Some(base) = bases.get(&base_n) {
                 Arc::clone(base)
             } else {
-                let t0 = journal.now();
-                let mut sim = Simulation::new(Problem::TwoState, base_n, SimConfig::default());
-                while sim.time() < HYDRO_T_END {
-                    sim.step_journaled(journal);
-                }
-                if journal.is_enabled() {
-                    journal.push_span(
-                        Scope::Study,
-                        format!("dataset:{base_n}"),
-                        t0,
-                        None,
-                        vec![
-                            ("cells", (base_n * base_n * base_n) as f64),
-                            ("steps", sim.step_count() as f64),
-                        ],
-                    );
-                }
-                let base = Arc::new(sim.dataset());
+                let base = Arc::new(solve_base(base_n, journal));
                 bases.insert(base_n, Arc::clone(&base));
                 base
             }
@@ -130,6 +113,34 @@ impl DatasetStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// The **one** construction site for study hydro bases: solve the
+/// TwoState problem at `base_n` to [`HYDRO_T_END`], journaling
+/// per-timestep [`Scope::Timestep`] spans plus one `dataset:{base_n}`
+/// [`Scope::Study`] span when the journal is live. Both the store above
+/// and the free [`crate::study::dataset_for`] (which passes
+/// [`Journal::off`]) build through here, so the solve loop and its
+/// journal shape cannot drift apart.
+pub(crate) fn solve_base(base_n: usize, journal: &mut Journal) -> DataSet {
+    let t0 = journal.now();
+    let mut sim = Simulation::new(Problem::TwoState, base_n, SimConfig::default());
+    while sim.time() < HYDRO_T_END {
+        sim.step_journaled(journal);
+    }
+    if journal.is_enabled() {
+        journal.push_span(
+            Scope::Study,
+            format!("dataset:{base_n}"),
+            t0,
+            None,
+            vec![
+                ("cells", (base_n * base_n * base_n) as f64),
+                ("steps", sim.step_count() as f64),
+            ],
+        );
+    }
+    sim.dataset()
 }
 
 #[cfg(test)]

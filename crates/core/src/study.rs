@@ -10,7 +10,6 @@
 use crate::characterize::characterize;
 use crate::metrics::Ratios;
 use crate::store::DatasetStore;
-use cloverleaf::{Problem, SimConfig, Simulation};
 use powersim::trace::{Journal, Scope};
 use powersim::{CpuSpec, ExecResult, Joules, Package, Watts, Workload};
 use serde::{Deserialize, Serialize};
@@ -109,6 +108,7 @@ impl StudyConfig {
                 steps: self.advect_steps,
                 step_fraction: 5e-4,
                 seed: 0x5eed_1234,
+                scenario: Default::default(),
             },
             Algorithm::RayTracing => AlgorithmSpec::RayTracing {
                 field: "energy".into(),
@@ -146,13 +146,13 @@ pub const HYDRO_BASE_MAX: usize = 64;
 /// exact at the target size. It also makes the field structure identical
 /// across sizes, which is the premise of the paper's Figs. 4–6 (IPC
 /// trends attributed to data volume, not field differences).
+///
+/// Delegates to the one journaled construction site
+/// ([`crate::store::solve_base`]) with the journal off, so the free
+/// function and [`DatasetStore`] can never produce different bits.
 pub fn dataset_for(size: usize) -> DataSet {
     let base_n = size.min(HYDRO_BASE_MAX);
-    let mut sim = Simulation::new(Problem::TwoState, base_n, SimConfig::default());
-    while sim.time() < HYDRO_T_END {
-        sim.step();
-    }
-    let base = sim.dataset();
+    let base = crate::store::solve_base(base_n, &mut Journal::off());
     if base_n == size {
         base
     } else {

@@ -36,6 +36,7 @@ fn filter_spec_strategy() -> impl Strategy<Value = FilterSpec> {
                 steps,
                 step_fraction: 5e-4,
                 seed: 0x5eed_1234,
+                scenario: Default::default(),
             }
         }),
     ]

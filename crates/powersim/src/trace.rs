@@ -59,8 +59,11 @@ use crate::units::{Joules, Watts};
 /// counters from the data-parallel-primitives backend (`vizalgo::dpp`).
 /// v7 added the [`ServiceRequest`] and [`CacheEvent`] events plus the
 /// [`Scope::Service`] span scope for the fingerprint-addressed study
-/// service (`crates/service`).
-pub const SCHEMA_VERSION: u32 = 7;
+/// service (`crates/service`). v8 added the [`Scope::FlowScenario`]
+/// span scope — one zero-width span per advection-scenario sweep row
+/// (`core::advect`) — and the `evict` outcome on [`CacheEvent`] for
+/// capacity-bounded result caches.
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// Which layer of the stack emitted a [`Span`].
 ///
@@ -111,6 +114,11 @@ pub enum Scope {
     /// scheduled request batch (`batch:{index}`) plus a `serve:{requests}`
     /// rollup per traffic run, on the modeled fleet clock.
     Service,
+    /// One advection-scenario sweep row (`core::advect`): a zero-width
+    /// span carrying the scenario's spec/window fingerprints and the
+    /// characterized cost of one (seeding × step-control × termination
+    /// × flow-mode) cell.
+    FlowScenario,
 }
 
 impl Scope {
@@ -128,6 +136,7 @@ impl Scope {
             Scope::Bench => "bench",
             Scope::Primitive => "primitive",
             Scope::Service => "service",
+            Scope::FlowScenario => "flow_scenario",
         }
     }
 
@@ -145,12 +154,13 @@ impl Scope {
             Scope::Bench => 9,
             Scope::Primitive => 10,
             Scope::Service => 11,
+            Scope::FlowScenario => 12,
         }
     }
 }
 
 /// All scope/track pairs, for chrome-trace thread-name metadata.
-const ALL_SCOPES: [Scope; 11] = [
+const ALL_SCOPES: [Scope; 12] = [
     Scope::Study,
     Scope::Sweep,
     Scope::Workload,
@@ -162,6 +172,7 @@ const ALL_SCOPES: [Scope; 11] = [
     Scope::Bench,
     Scope::Primitive,
     Scope::Service,
+    Scope::FlowScenario,
 ];
 
 /// A closed interval of journal time attributed to one named unit of
@@ -320,7 +331,9 @@ pub struct CacheEvent {
     pub cap_watts: Watts,
     /// Backend component of the looked-up key (`"traditional"` / `"dpp"`).
     pub backend: String,
-    /// Lookup outcome: `"hit"`, `"miss"`, or `"coalesced"`.
+    /// Lookup outcome: `"hit"`, `"miss"`, or `"coalesced"` — or
+    /// `"evict"` (schema v8) when a capacity-bounded cache drops its
+    /// oldest ready entry.
     pub outcome: String,
     /// Cache shard the key hashes to.
     pub shard: u32,
@@ -949,17 +962,17 @@ mod tests {
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(
             lines[0],
-            "{\"v\":7,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
+            "{\"v\":8,\"seq\":0,\"ev\":\"cap_change\",\"t\":0,\
              \"requested_watts\":250,\"actual_watts\":120}"
         );
         assert_eq!(
             lines[1],
-            "{\"v\":7,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
+            "{\"v\":8,\"seq\":1,\"ev\":\"counter\",\"t\":0.1,\"power_watts\":85.5,\
              \"effective_freq_ghz\":2.6,\"ipc\":1.25,\"llc_miss_rate\":0.05}"
         );
         assert_eq!(
             lines[2],
-            "{\"v\":7,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
+            "{\"v\":8,\"seq\":2,\"ev\":\"span\",\"scope\":\"workload\",\"name\":\"contour_64\",\
              \"t0\":0,\"t1\":0.1,\"joules\":8.55,\"watts\":85.5,\"args\":{\"phases\":2}}"
         );
     }
@@ -983,7 +996,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":7,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
+            "{\"v\":8,\"seq\":0,\"ev\":\"policy_decision\",\"t\":0.1,\"budget_watts\":160,\
              \"sim_cap_watts\":110,\"viz_cap_watts\":50,\"sim_power_watts\":88.25,\
              \"viz_power_watts\":46.5,\"sim_ipc\":1.8,\"viz_ipc\":0.4,\
              \"sim_llc_miss_rate\":0.05,\"viz_llc_miss_rate\":0.9}"
@@ -1013,7 +1026,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":7,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
+            "{\"v\":8,\"seq\":0,\"ev\":\"conformance_check\",\"t\":0,\
              \"algorithm\":\"Contour\",\"check\":\"oracle:sphere-area\",\
              \"kind\":\"oracle\",\"grid\":32,\"measured\":1.1286,\
              \"expected\":1.13097,\"tolerance\":0.0226,\"pass\":true}"
@@ -1045,7 +1058,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":7,\"seq\":0,\"ev\":\"service_request\",\"t\":1.5,\
+            "{\"v\":8,\"seq\":0,\"ev\":\"service_request\",\"t\":1.5,\
              \"algorithm\":\"Contour\",\"backend\":\"traditional\",\
              \"spec_fp\":123456789,\"data_fp\":987654321,\"cap_watts\":80,\
              \"outcome\":\"miss\",\"node\":2,\"latency_seconds\":0.5}"
@@ -1074,7 +1087,7 @@ mod tests {
         let jsonl = j.to_jsonl();
         assert_eq!(
             jsonl.trim_end(),
-            "{\"v\":7,\"seq\":0,\"ev\":\"cache_event\",\"t\":0,\"spec_fp\":42,\
+            "{\"v\":8,\"seq\":0,\"ev\":\"cache_event\",\"t\":0,\"spec_fp\":42,\
              \"data_fp\":7,\"cap_watts\":120,\"backend\":\"dpp\",\
              \"outcome\":\"coalesced\",\"shard\":5}"
         );
@@ -1116,7 +1129,7 @@ mod tests {
         j.push_span(Scope::Timestep, "step:1", 0.0, None, vec![("dt", 0.5)]);
         let trace = j.to_chrome_trace();
         assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""), "{trace}");
-        assert!(trace.contains("\"schema_version\":7"), "{trace}");
+        assert!(trace.contains("\"schema_version\":8"), "{trace}");
         assert!(trace.contains("\"thread_name\""), "{trace}");
         assert!(
             trace.contains("\"ph\":\"X\",\"name\":\"step:1\""),

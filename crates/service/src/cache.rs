@@ -165,6 +165,22 @@ impl<V> ResultCache<V> {
         self.get(key).is_some()
     }
 
+    /// Remove the resident entry for `key`, returning whether one was
+    /// dropped. In-flight slots are never removed — the flight owns its
+    /// slot until it publishes, so a concurrent compute can't be orphaned.
+    /// Outcome counters are untouched: eviction is a capacity decision,
+    /// not a request outcome (the service journals it separately).
+    pub fn remove(&self, key: &CacheKey) -> bool {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.get(key) {
+            Some(Slot::Ready(_)) => {
+                shard.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Count one classification-time outcome. The service classifies
     /// requests at dispatch (before workers run), so batch-level hit
     /// accounting lives here rather than inside [`Self::get_or_compute`].
@@ -279,6 +295,22 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits + stats.coalesced, 15);
+    }
+
+    #[test]
+    fn remove_drops_resident_entries_only() {
+        let cache: ResultCache<u64> = ResultCache::new(2);
+        cache.get_or_compute(key(1), || 10);
+        cache.get_or_compute(key(2), || 20);
+        assert!(cache.remove(&key(1)), "resident entry drops");
+        assert!(!cache.remove(&key(1)), "second remove is a no-op");
+        assert!(!cache.remove(&key(9)), "absent key is a no-op");
+        assert!(!cache.contains(&key(1)));
+        assert_eq!(cache.len(), 1);
+        // A removed key recomputes (and the stats see a fresh miss).
+        let v = cache.get_or_compute(key(1), || 11);
+        assert_eq!(*v, 11);
+        assert_eq!(cache.stats().misses, 3);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! The architecture and the cache-key derivation (including why keys
 //! carry the *admitted* cap, not the requested one) are documented in
 //! `docs/SERVICE.md`; journal events are in `docs/OBSERVABILITY.md`
-//! (schema v7).
+//! (schema v8).
 
 pub mod admission;
 pub mod cache;

@@ -59,6 +59,12 @@ pub struct ServiceConfig {
     pub seed: u64,
     /// Shards in the result cache (and the native-run cache).
     pub shards: usize,
+    /// Result-cache slot capacity. `Some(n)`: at each batch end the
+    /// service evicts its oldest-scheduled resident entries until at
+    /// most `n` remain, journaling one `cache_event` with outcome
+    /// `evict` per dropped key. `None` (the default) keeps every
+    /// result resident, the pre-capacity behavior.
+    pub cache_slots: Option<usize>,
     /// Study parameterization behind [`StudyConfig::spec`] and the
     /// service-side cap sweep.
     pub study: StudyConfig,
@@ -75,6 +81,7 @@ impl Default for ServiceConfig {
             fleet_budget: Watts(360.0),
             seed: 0x5eed_0009,
             shards: 16,
+            cache_slots: None,
             study: StudyConfig::quick(),
             cpu: CpuSpec::broadwell_e5_2695v4(),
         }
@@ -109,6 +116,9 @@ pub struct ServeReport {
     /// Requests that rode along on a job scheduled earlier in their
     /// own batch.
     pub coalesced: usize,
+    /// Resident entries dropped by capacity eviction (0 unless
+    /// [`ServiceConfig::cache_slots`] is set).
+    pub evictions: usize,
     /// Dispatch batches the traffic was split into.
     pub batches: usize,
     /// Simulated nodes.
@@ -187,6 +197,14 @@ impl ServeReport {
             self.misses,
             self.coalesced,
         ));
+        // Only slot-capped services evict; the default render is
+        // unchanged (pinned by `service_golden`).
+        if self.evictions > 0 {
+            out.push_str(&format!(
+                "  evictions: {} (slot-capped result cache)\n",
+                self.evictions,
+            ));
+        }
         out.push_str(&format!(
             "  modeled: {:.3} s total, {:.1} req/s, latency p50 {:.3} s \
              p95 {:.3} s p99 {:.3} s\n",
@@ -268,6 +286,11 @@ pub struct StudyService {
     cache: ResultCache<JobResult>,
     admission: Admission,
     waves_started: Vec<u32>,
+    /// Resident cache keys in first-scheduled order — the deterministic
+    /// eviction queue when [`ServiceConfig::cache_slots`] bounds the
+    /// cache. Every insert goes through `serve`, so this list mirrors
+    /// the resident set exactly.
+    resident_order: Vec<CacheKey>,
 }
 
 impl StudyService {
@@ -295,6 +318,11 @@ impl StudyService {
         if cfg.shards == 0 {
             return Err(ServiceError::InvalidConfig("shards must be at least 1"));
         }
+        if cfg.cache_slots == Some(0) {
+            return Err(ServiceError::InvalidConfig(
+                "cache_slots must be at least 1 when set",
+            ));
+        }
         let admission = Admission::new(cfg.fleet_budget, cfg.nodes, cfg.cpu.clone())?;
         let engine = Engine::new(store, cfg.cpu.clone(), cfg.shards);
         let cache = ResultCache::new(cfg.shards);
@@ -305,6 +333,7 @@ impl StudyService {
             cache,
             admission,
             waves_started,
+            resident_order: Vec::new(),
         })
     }
 
@@ -347,6 +376,7 @@ impl StudyService {
             hits: 0,
             misses: 0,
             coalesced: 0,
+            evictions: 0,
             batches: 0,
             nodes,
             node_budget: budget,
@@ -384,6 +414,7 @@ impl StudyService {
                 } else {
                     let j = jobs.len();
                     scheduled.insert(key, j);
+                    self.resident_order.push(key);
                     jobs.push(Job {
                         key,
                         req: Request {
@@ -523,6 +554,29 @@ impl StudyService {
                     ("seconds", batch_end - batch_start),
                 ],
             );
+
+            // 6. Capacity eviction: with a slot-capped cache, drop the
+            //    oldest-scheduled residents above the budget. Runs on
+            //    the main thread after every batch job has published,
+            //    so the evicted entries are always `Ready` and the
+            //    order is deterministic.
+            if let Some(slots) = self.cfg.cache_slots {
+                while self.resident_order.len() > slots {
+                    let key = self.resident_order.remove(0);
+                    if self.cache.remove(&key) {
+                        report.evictions += 1;
+                        journal.push(Event::CacheEvent(CacheEvent {
+                            t: journal.now(),
+                            spec_fp: key.spec_fp as f64,
+                            data_fp: key.data_fp as f64,
+                            cap_watts: key.cap(),
+                            backend: key.backend.name().to_string(),
+                            outcome: "evict".to_string(),
+                            shard: key.shard(self.cfg.shards) as u32,
+                        }));
+                    }
+                }
+            }
         }
 
         report.modeled_seconds = journal.now() - serve_t0;
@@ -709,6 +763,58 @@ mod tests {
     }
 
     #[test]
+    fn slot_capped_cache_evicts_oldest_and_journals_it() {
+        let mut svc = StudyService::new(ServiceConfig {
+            cache_slots: Some(2),
+            ..tiny_cfg()
+        })
+        .expect("valid config");
+        let traffic = vec![
+            req(Algorithm::Slice, 80.0),
+            req(Algorithm::Threshold, 80.0),
+            req(Algorithm::Contour, 80.0), // 3 unique keys > 2 slots
+            req(Algorithm::Slice, 80.0),   // same batch → coalesced
+            // batch 2: Slice was the oldest resident, evicted at the
+            // end of batch 1 — it must *miss* again, not hit.
+            req(Algorithm::Slice, 80.0),
+        ];
+        let mut journal = Journal::with_capacity(1 << 12);
+        let out = svc.serve(&traffic, &mut journal).expect("serves");
+        let r = &out.report;
+        assert_eq!(
+            (r.hits, r.misses, r.coalesced),
+            (0, 4, 1),
+            "evicted key recomputes: {r:?}"
+        );
+        // Batch 1 evicts Slice, batch 2 evicts Threshold.
+        assert_eq!(r.evictions, 2);
+        assert_eq!(svc.cache_len(), 2, "cache bounded to the slot budget");
+        let evict_lines = journal
+            .to_jsonl()
+            .lines()
+            .filter(|l| l.contains("\"outcome\":\"evict\""))
+            .count();
+        assert_eq!(evict_lines, 2, "one journaled evict per drop");
+        assert!(out.report.render().contains("evictions: 2"));
+    }
+
+    #[test]
+    fn uncapped_service_never_evicts() {
+        let mut svc = StudyService::new(tiny_cfg()).expect("valid config");
+        let traffic = vec![
+            req(Algorithm::Slice, 80.0),
+            req(Algorithm::Threshold, 80.0),
+            req(Algorithm::Contour, 80.0),
+        ];
+        let mut journal = Journal::with_capacity(1 << 12);
+        let out = svc.serve(&traffic, &mut journal).expect("serves");
+        assert_eq!(out.report.evictions, 0);
+        assert_eq!(svc.cache_len(), 3);
+        assert!(!journal.to_jsonl().contains("\"outcome\":\"evict\""));
+        assert!(!out.report.render().contains("evictions"));
+    }
+
+    #[test]
     fn invalid_configs_are_rejected_up_front() {
         for (cfg, what) in [
             (
@@ -738,6 +844,13 @@ mod tests {
                     ..ServiceConfig::default()
                 },
                 "shards",
+            ),
+            (
+                ServiceConfig {
+                    cache_slots: Some(0),
+                    ..ServiceConfig::default()
+                },
+                "cache_slots",
             ),
         ] {
             match StudyService::new(cfg) {

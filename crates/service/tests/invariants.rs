@@ -11,6 +11,10 @@
 //!    unperturbed request hits.
 //! 4. **Replay law** — identical `(config, traffic)` produce
 //!    byte-identical reports and journals, regardless of worker count.
+//! 5. **Traffic laws** — the Zipf sampler is seed-deterministic, draws
+//!    only from its universe with boundedly many distinct keys, and its
+//!    rank-binned frequencies decay monotonically (the heavy head the
+//!    cache's hit rate depends on).
 //!
 //! Kept intentionally small (cheap algorithms, 6³/8³ data, single-digit
 //! case counts): each case executes real filter kernels through the
@@ -19,8 +23,30 @@
 use powersim::trace::Journal;
 use powersim::Watts;
 use proptest::prelude::*;
+use service::traffic::{universe, zipf_traffic, TrafficConfig, XorShift};
 use service::{Outcome, Request, ServiceConfig, StudyService};
 use vizalgo::{Algorithm, Backend};
+use vizpower::StudyConfig;
+
+/// A stable identity for one universe entry (requests don't implement
+/// `Eq`, so comparisons go through the cache-key components).
+fn request_id(r: &Request) -> (u64, usize, u64, Backend) {
+    (
+        r.spec.fingerprint(),
+        r.size,
+        r.cap.value().to_bits(),
+        r.backend,
+    )
+}
+
+/// The traffic driver's quick universe (72 + 24 entries).
+fn quick_universe() -> Vec<Request> {
+    universe(
+        &StudyConfig::quick(),
+        &[8, 12],
+        &[Watts(120.0), Watts(80.0), Watts(40.0)],
+    )
+}
 
 fn algorithm() -> impl Strategy<Value = Algorithm> {
     prop_oneof![
@@ -158,5 +184,81 @@ proptest! {
         let (report_b, journal_b) = run(workers_b);
         prop_assert_eq!(report_a, report_b);
         prop_assert_eq!(journal_a, journal_b);
+    }
+
+    #[test]
+    fn zipf_traffic_is_seed_deterministic(
+        seed in 0u64..1_000_000,
+        requests in 1usize..200,
+        s in 0.8f64..1.5,
+    ) {
+        let u = quick_universe();
+        let cfg = TrafficConfig { requests, zipf_s: s, seed };
+        let a = zipf_traffic(&u, cfg);
+        let b = zipf_traffic(&u, cfg);
+        prop_assert_eq!(a.len(), requests);
+        let ids = |t: &[Request]| t.iter().map(request_id).collect::<Vec<_>>();
+        prop_assert_eq!(ids(&a), ids(&b), "same config replays identically");
+    }
+
+    #[test]
+    fn zipf_rank_binned_frequencies_decay_monotonically(
+        seed in 0u64..1_000_000,
+        s in 0.8f64..1.5,
+    ) {
+        let u = quick_universe();
+        let cfg = TrafficConfig { requests: 6000, zipf_s: s, seed };
+        let traffic = zipf_traffic(&u, cfg);
+        // Recover the sampler's rank order by replaying its shuffle:
+        // the first draws of the same xorshift stream are the
+        // Fisher–Yates swaps that assigned ranks to universe entries.
+        let mut rng = XorShift::new(seed);
+        let mut ranked: Vec<usize> = (0..u.len()).collect();
+        for i in (1..ranked.len()).rev() {
+            ranked.swap(i, rng.below(i + 1));
+        }
+        let mut count_at_rank = vec![0usize; u.len()];
+        let by_id: std::collections::HashMap<_, _> = ranked
+            .iter()
+            .enumerate()
+            .map(|(rank, &idx)| (request_id(&u[idx]), rank))
+            .collect();
+        for r in &traffic {
+            count_at_rank[by_id[&request_id(r)]] += 1;
+        }
+        // Quartile bins over the rank axis: at 6000 draws the smallest
+        // expected bin gap (s = 0.8, tail quartiles) is ≈ 4.6 σ of the
+        // sampling noise, so the binned law must be non-increasing even
+        // though individual adjacent ranks may jitter.
+        let quarter = count_at_rank.len() / 4;
+        let bins: Vec<usize> = (0..4)
+            .map(|q| count_at_rank[q * quarter..(q + 1) * quarter].iter().sum())
+            .collect();
+        for pair in bins.windows(2) {
+            prop_assert!(
+                pair[0] >= pair[1],
+                "rank-binned frequencies must decay: {bins:?} (s = {s})"
+            );
+        }
+        prop_assert!(bins[0] > bins[3], "the head must beat the tail: {bins:?}");
+    }
+
+    #[test]
+    fn zipf_draws_stay_inside_the_universe_with_bounded_coverage(
+        seed in 0u64..1_000_000,
+        requests in 1usize..400,
+        s in 0.8f64..1.5,
+    ) {
+        let u = quick_universe();
+        let ids: std::collections::HashSet<_> = u.iter().map(request_id).collect();
+        let traffic = zipf_traffic(&u, TrafficConfig { requests, zipf_s: s, seed });
+        let mut distinct = std::collections::HashSet::new();
+        for r in &traffic {
+            let id = request_id(r);
+            prop_assert!(ids.contains(&id), "draw outside the universe: {r:?}");
+            distinct.insert(id);
+        }
+        prop_assert!(!distinct.is_empty());
+        prop_assert!(distinct.len() <= requests.min(u.len()));
     }
 }

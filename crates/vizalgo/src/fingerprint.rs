@@ -17,7 +17,7 @@
 //! clone or buffer it.
 
 use vizmesh::dataset::Geometry;
-use vizmesh::{DataSet, Field, FieldData};
+use vizmesh::{DataSet, Field, FieldData, TimeWindow};
 
 /// The 48-bit mask every fingerprint is reduced by: the largest width
 /// that stays exact in an `f64`, so journals can carry fingerprints as
@@ -123,6 +123,23 @@ pub fn dataset_fingerprint(ds: &DataSet) -> u64 {
     h.finish48()
 }
 
+/// 48-bit content fingerprint of a time window over a field series:
+/// the snapshot count, then each in-view snapshot's time bit pattern
+/// followed by its dataset fingerprint, in order. This is the
+/// per-window `data_fp` for time-varying requests — two windows
+/// fingerprint equal iff they hold bit-identical snapshots at
+/// bit-identical times.
+pub fn series_fingerprint(window: &TimeWindow<'_>) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(b"series\0");
+    h.update_u64(window.len() as u64);
+    for (t, ds) in window.snapshots() {
+        h.update_f64(t);
+        h.update_u64(dataset_fingerprint(ds));
+    }
+    h.finish48()
+}
+
 /// Absorb one field: name bytes, association tag, then every value's
 /// bit pattern in storage order.
 fn field_fingerprint_into(h: &mut Fnv1a, field: &Field) {
@@ -209,6 +226,48 @@ mod tests {
             base,
             dataset_fingerprint(&renamed),
             "field name change moves the fingerprint"
+        );
+    }
+
+    #[test]
+    fn series_fingerprint_tracks_snapshots_and_times() {
+        use std::sync::Arc;
+        use vizmesh::FieldSeries;
+        let series_at = |times: &[f64], scale: f64| {
+            let mut s = FieldSeries::with_capacity(8);
+            for &t in times {
+                s.record(t, Arc::new(sample(4, scale)));
+            }
+            s
+        };
+        let a = series_at(&[0.0, 1.0], 0.5);
+        let fp = series_fingerprint(&a.full_window());
+        assert_eq!(
+            fp,
+            series_fingerprint(&series_at(&[0.0, 1.0], 0.5).full_window()),
+            "same content, same fingerprint"
+        );
+        assert!(fp <= FINGERPRINT_MASK);
+        assert_ne!(
+            fp,
+            series_fingerprint(&series_at(&[0.0, 2.0], 0.5).full_window()),
+            "snapshot time moves the fingerprint"
+        );
+        assert_ne!(
+            fp,
+            series_fingerprint(&series_at(&[0.0, 1.0], 0.25).full_window()),
+            "snapshot payload moves the fingerprint"
+        );
+        assert_ne!(
+            fp,
+            series_fingerprint(&series_at(&[0.0], 0.5).full_window()),
+            "window length moves the fingerprint"
+        );
+        // A narrowed window fingerprints differently from the full one.
+        let long = series_at(&[0.0, 1.0, 2.0, 3.0], 0.5);
+        assert_ne!(
+            series_fingerprint(&long.window(0.0, 1.0)),
+            series_fingerprint(&long.full_window())
         );
     }
 

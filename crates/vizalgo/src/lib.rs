@@ -11,7 +11,7 @@
 //! | [`clip`] | Spherical clip with cell subdivision | 3 |
 //! | [`isovolume`] | Scalar-range volume extraction | 4 |
 //! | [`slice`] | Three axis-aligned slices via signed distance + contour | 5 |
-//! | [`advection`] | RK4 particle advection → streamlines | 6 |
+//! | [`advection`] | RK4 particle advection → streamlines / pathlines | 6 |
 //! | [`raytrace`] | External-face ray tracing with a BVH (50 images) | 7 |
 //! | [`volren`] | Volume rendering by ray marching (50 images) | 8 |
 //!
@@ -63,7 +63,7 @@ pub mod tetclip;
 pub mod threshold;
 pub mod volren;
 
-pub use advection::ParticleAdvection;
+pub use advection::{FlowMode, FlowScenario, ParticleAdvection, Seeding, StepControl, Termination};
 pub use arena::{TetScratch, WeldMap};
 pub use clip::SphericalClip;
 pub use contour::Contour;
@@ -71,7 +71,9 @@ pub use dpp::{
     Backend, DppContour, DppIsovolume, DppSlice, DppThreshold, PrimitiveOp, PrimitiveReport,
 };
 pub use filter::{Algorithm, Filter, FilterOutput, KernelClass, KernelReport};
-pub use fingerprint::{dataset_fingerprint, fingerprint48, Fnv1a, FINGERPRINT_MASK};
+pub use fingerprint::{
+    dataset_fingerprint, fingerprint48, series_fingerprint, Fnv1a, FINGERPRINT_MASK,
+};
 pub use gradient::Gradient;
 pub use isovolume::Isovolume;
 pub use raytrace::RayTracer;

@@ -18,7 +18,7 @@
 //! study/sweep/conformance run emits is attributable to an exact
 //! parameterization (see docs/REGISTRY.md and docs/OBSERVABILITY.md).
 
-use crate::advection::ParticleAdvection;
+use crate::advection::{FlowScenario, ParticleAdvection, StepControl, Termination};
 use crate::clip::SphericalClip;
 use crate::contour::Contour;
 use crate::dpp::{Backend, DppContour, DppIsovolume, DppSlice, DppThreshold};
@@ -124,6 +124,11 @@ pub enum AlgorithmSpec {
         /// Seed for the particle placement.
         #[serde(default = "default_seed")]
         seed: u64,
+        /// Flow mode × seeding × step control × termination. Defaults
+        /// to the paper's steady streamline scenario; pre-scenario wire
+        /// JSON parses unchanged.
+        #[serde(default)]
+        scenario: FlowScenario,
     },
     /// External-face ray tracing with a BVH (§III-B7).
     RayTracing {
@@ -230,13 +235,11 @@ impl AlgorithmSpec {
                 steps,
                 step_fraction,
                 seed,
-            } => Box::new(ParticleAdvection::new(
-                field.clone(),
-                *particles,
-                *steps,
-                *step_fraction,
-                *seed,
-            )),
+                scenario,
+            } => Box::new(
+                ParticleAdvection::new(field.clone(), *particles, *steps, *step_fraction, *seed)
+                    .with_scenario(*scenario),
+            ),
             AlgorithmSpec::RayTracing {
                 field,
                 width,
@@ -303,11 +306,21 @@ impl AlgorithmSpec {
                 steps,
                 step_fraction,
                 seed,
-            } => format!(
-                "particle_advection(field={field},particles={particles},steps={steps},\
-                 step_fraction={},seed={seed})",
-                f64_hex(*step_fraction)
-            ),
+                scenario,
+            } => {
+                let mut base = format!(
+                    "particle_advection(field={field},particles={particles},steps={steps},\
+                     step_fraction={},seed={seed})",
+                    f64_hex(*step_fraction)
+                );
+                // Appended only when non-default, so every pre-scenario
+                // fingerprint (and hence every pinned cache key and
+                // journal id) is unchanged.
+                if !scenario.is_default() {
+                    base.push_str(&scenario_canonical(scenario));
+                }
+                base
+            }
             AlgorithmSpec::RayTracing {
                 field,
                 width,
@@ -404,6 +417,29 @@ impl AlgorithmSpec {
         }
     }
 
+    /// The concrete advection kernel, for series (time-varying)
+    /// execution: `ParticleAdvection::execute_series` lives outside the
+    /// `dyn Filter` interface, so callers that advect through a
+    /// [`vizmesh::FieldSeries`] need the concrete type. `None` for
+    /// non-advection specs. This is the third sanctioned arm of the
+    /// single construction site (next to `build` / `build_with`).
+    pub fn build_flow(&self) -> Option<ParticleAdvection> {
+        match self {
+            AlgorithmSpec::ParticleAdvection {
+                field,
+                particles,
+                steps,
+                step_fraction,
+                seed,
+                scenario,
+            } => Some(
+                ParticleAdvection::new(field.clone(), *particles, *steps, *step_fraction, *seed)
+                    .with_scenario(*scenario),
+            ),
+            _ => None,
+        }
+    }
+
     /// [`fingerprint`](AlgorithmSpec::fingerprint) for a backend:
     /// `Traditional` is bit-identical to `fingerprint()` (every pinned
     /// golden keeps its ids); other backends tag the canonical encoding
@@ -453,6 +489,7 @@ impl Algorithm {
                 steps: 1000,
                 step_fraction: default_step_fraction(),
                 seed: default_seed(),
+                scenario: FlowScenario::default(),
             },
             Algorithm::RayTracing => AlgorithmSpec::RayTracing {
                 field: "energy".into(),
@@ -468,6 +505,26 @@ impl Algorithm {
             },
         }
     }
+}
+
+/// Canonical encoding of a non-default [`FlowScenario`], appended after
+/// the base advection encoding. Never emitted for the default scenario,
+/// which keeps every pre-scenario fingerprint byte-stable.
+fn scenario_canonical(s: &FlowScenario) -> String {
+    let step = match s.step_control {
+        StepControl::Fixed => "fixed".to_string(),
+        StepControl::Adaptive { tol } => format!("adaptive:{}", f64_hex(tol)),
+    };
+    let term = match s.termination {
+        Termination::MaxSteps => "max_steps".to_string(),
+        Termination::ExitDomain => "exit_domain".to_string(),
+        Termination::MaxTime { t_end } => format!("max_time:{}", f64_hex(t_end)),
+    };
+    format!(
+        "|scenario(mode={},seeding={},step={step},term={term})",
+        s.mode.wire_name(),
+        s.seeding.wire_name()
+    )
 }
 
 /// Canonical encoding of a [`ScalarBand`].
@@ -512,6 +569,7 @@ fn middle_band((lo, hi): (f64, f64), frac: f64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::advection::{FlowMode, Seeding};
     use vizmesh::{Association, Field, UniformGrid};
 
     fn dataset() -> DataSet {
@@ -549,6 +607,19 @@ mod tests {
         specs.push(AlgorithmSpec::Isovolume {
             field: "energy".into(),
             band: ScalarBand::Range { min: 0.3, max: 0.6 },
+        });
+        specs.push(AlgorithmSpec::ParticleAdvection {
+            field: "velocity".into(),
+            particles: 9,
+            steps: 12,
+            step_fraction: 1e-3,
+            seed: 7,
+            scenario: FlowScenario {
+                mode: FlowMode::Pathline,
+                seeding: Seeding::SparseGrid,
+                step_control: StepControl::Adaptive { tol: 1e-5 },
+                termination: Termination::ExitDomain,
+            },
         });
         specs
     }
@@ -688,7 +759,75 @@ mod tests {
                 steps: 9,
                 step_fraction: 5e-4,
                 seed: 0x5eed_1234,
+                scenario: FlowScenario::default(),
             }
         );
+    }
+
+    #[test]
+    fn scenario_extends_the_canonical_encoding_only_when_non_default() {
+        let base = Algorithm::ParticleAdvection.default_spec();
+        assert!(
+            !base.canonical().contains("|scenario("),
+            "default scenario must not move pre-scenario fingerprints: {}",
+            base.canonical()
+        );
+        let with_scenario = |scenario: FlowScenario| AlgorithmSpec::ParticleAdvection {
+            field: "velocity".into(),
+            particles: 1000,
+            steps: 1000,
+            step_fraction: default_step_fraction(),
+            seed: default_seed(),
+            scenario,
+        };
+        // Every scenario axis moves the fingerprint, and each encoding
+        // is distinct.
+        let variants = [
+            with_scenario(FlowScenario {
+                mode: FlowMode::Pathline,
+                ..FlowScenario::default()
+            }),
+            with_scenario(FlowScenario {
+                seeding: Seeding::AlongFeature,
+                ..FlowScenario::default()
+            }),
+            with_scenario(FlowScenario {
+                step_control: StepControl::Adaptive { tol: 1e-6 },
+                ..FlowScenario::default()
+            }),
+            with_scenario(FlowScenario {
+                termination: Termination::MaxTime { t_end: 0.25 },
+                ..FlowScenario::default()
+            }),
+        ];
+        let mut fps = vec![base.fingerprint()];
+        for v in &variants {
+            assert!(v.canonical().contains("|scenario("), "{}", v.canonical());
+            fps.push(v.fingerprint());
+        }
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), variants.len() + 1, "scenario axes collide");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_scenario() {
+        let spec = AlgorithmSpec::ParticleAdvection {
+            field: "velocity".into(),
+            particles: 11,
+            steps: 13,
+            step_fraction: 2e-4,
+            seed: 5,
+            scenario: FlowScenario {
+                mode: FlowMode::Pathline,
+                seeding: Seeding::AlongFeature,
+                step_control: StepControl::Adaptive { tol: 1e-4 },
+                termination: Termination::MaxTime { t_end: 0.5 },
+            },
+        };
+        let json = serde_json::to_string(&spec).expect("spec serializes");
+        let back: AlgorithmSpec = serde_json::from_str(&json).expect("spec parses");
+        assert_eq!(back, spec, "{json}");
+        assert_eq!(back.fingerprint(), spec.fingerprint());
     }
 }

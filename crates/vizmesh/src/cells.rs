@@ -146,7 +146,8 @@ impl CellSet {
 
     /// Count of cells per shape, for reporting.
     pub fn shape_histogram(&self) -> Vec<(CellShape, usize)> {
-        let mut hist: Vec<(CellShape, usize)> = Vec::new();
+        // Pre-sized for the handful of shapes the kernels emit.
+        let mut hist: Vec<(CellShape, usize)> = Vec::with_capacity(8);
         for &s in &self.shapes {
             match hist.iter_mut().find(|(h, _)| *h == s) {
                 Some((_, n)) => *n += 1,

@@ -176,12 +176,10 @@ impl DataSet {
             }
         }
         let mut new_cells = CellSet::with_capacity(cells.num_cells(), cells.connectivity_len());
+        let mut conn: Vec<u32> = Vec::with_capacity(8);
         for c in 0..cells.num_cells() {
-            let conn: Vec<u32> = cells
-                .cell_points(c)
-                .iter()
-                .map(|&p| remap[p as usize])
-                .collect();
+            conn.clear();
+            conn.extend(cells.cell_points(c).iter().map(|&p| remap[p as usize]));
             new_cells.push(cells.shape(c), &conn);
         }
         *points = new_points;

@@ -14,6 +14,9 @@
 //!   fields; either structured or unstructured.
 //! * [`Image`] / [`Camera`] — render targets and a pinhole camera with
 //!   orbit generation for image databases.
+//! * [`FieldSeries`] / [`TimeWindow`] — an ordered, bounded ring of
+//!   timestamped `Arc<DataSet>` snapshots, the time-varying view that
+//!   pathline advection consumes.
 //! * [`WorkCounters`] — the instrumentation record each kernel fills in as
 //!   it executes; consumed by the `vizpower` characterization bridge.
 //! * [`validate`] — watertightness / orientation / degenerate-cell
@@ -33,6 +36,7 @@ pub mod dataset;
 pub mod field;
 pub mod grid;
 pub mod image;
+pub mod series;
 pub mod validate;
 pub mod vec3;
 pub mod vtkio;
@@ -45,6 +49,7 @@ pub use dataset::DataSet;
 pub use field::{Association, Field, FieldData};
 pub use grid::UniformGrid;
 pub use image::Image;
+pub use series::{FieldSeries, TimeWindow};
 pub use validate::{validate_cells, validate_surface, CellReport, SurfaceReport};
 pub use vec3::Vec3;
 pub use vtkio::{save_vtk, write_vtk};

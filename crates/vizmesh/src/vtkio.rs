@@ -64,25 +64,22 @@ pub fn write_vtk<W: Write>(w: &mut W, ds: &DataSet, title: &str) -> io::Result<(
         }
     }
 
-    // Fields, grouped by association.
+    // Fields, grouped by association; the section header is emitted
+    // lazily so empty groups write nothing.
     for association in [Association::Points, Association::Cells] {
-        let fields: Vec<_> = ds
+        let mut header_written = false;
+        for f in ds
             .fields
             .iter()
             .filter(|f| f.association == association && !f.is_empty())
-            .collect();
-        if fields.is_empty() {
-            continue;
-        }
-        let count = match association {
-            Association::Points => ds.num_points(),
-            Association::Cells => ds.num_cells(),
-        };
-        match association {
-            Association::Points => writeln!(w, "POINT_DATA {count}")?,
-            Association::Cells => writeln!(w, "CELL_DATA {count}")?,
-        }
-        for f in fields {
+        {
+            if !header_written {
+                match association {
+                    Association::Points => writeln!(w, "POINT_DATA {}", ds.num_points())?,
+                    Association::Cells => writeln!(w, "CELL_DATA {}", ds.num_cells())?,
+                }
+                header_written = true;
+            }
             let name = f.name.replace(char::is_whitespace, "_");
             match &f.data {
                 FieldData::Scalar(values) => {

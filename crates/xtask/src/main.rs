@@ -290,6 +290,19 @@ fn run_ci(root: &Path, strict: bool) -> u8 {
             &[],
         ),
         (
+            "reproduce advect --quick (time-varying scenario sweep)",
+            &[
+                "run",
+                "--release",
+                "--bin",
+                "reproduce",
+                "--",
+                "advect",
+                "--quick",
+            ],
+            &[],
+        ),
+        (
             "cargo doc --no-deps (RUSTDOCFLAGS='-D warnings')",
             &["doc", "--no-deps", "--workspace"],
             &[("RUSTDOCFLAGS", "-D warnings")],

@@ -5,9 +5,12 @@
 /// panic-policy and reduction-determinism lints only apply here.
 /// `conformance` is included so the correctness checks themselves report
 /// setup failures as failed checks instead of panicking mid-suite.
-/// The DPP backend (`crates/vizalgo/src/dpp/`) is covered automatically:
-/// it is library code of `vizalgo`.
+/// `vizmesh` joined when the time-varying [`FieldSeries`] ring put mesh
+/// code inside the per-step recording loop. The DPP backend
+/// (`crates/vizalgo/src/dpp/`) is covered automatically: it is library
+/// code of `vizalgo`.
 pub const HOT_PATH_CRATES: &[&str] = &[
+    "vizmesh",
     "vizalgo",
     "cloverleaf",
     "powersim",
@@ -38,6 +41,7 @@ pub const UNIT_BOUNDARY_FILES: &[&str] = &[
     "crates/core/src/ablation.rs",
     "crates/core/src/arch.rs",
     "crates/core/src/classify.rs",
+    "crates/core/src/advect.rs",
     "crates/governor/src/policy.rs",
     "crates/governor/src/control.rs",
     "crates/governor/src/study.rs",

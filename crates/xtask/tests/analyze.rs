@@ -227,7 +227,7 @@ fn plain_analyze_lists_findings_but_exits_zero() {
 #[test]
 fn analyze_skips_non_hot_path_crates_and_binaries() {
     let tree = TempTree::new("scope");
-    tree.write("crates/vizmesh/src/hot.rs", HOT_LOOP);
+    tree.write("crates/insitu/src/hot.rs", HOT_LOOP);
     tree.write("crates/vizalgo/src/bin/tool.rs", HOT_LOOP);
     let (code, stdout, _) = tree.run(&[]);
     assert_eq!(code, 0);

@@ -67,7 +67,7 @@ fn panic_policy_good_fixture_is_clean() {
 #[test]
 fn panic_policy_ignores_non_hot_path_crates() {
     assert_eq!(
-        rendered("crates/vizmesh/src/fixture.rs", PANIC_BAD, false),
+        rendered("crates/insitu/src/fixture.rs", PANIC_BAD, false),
         Vec::<String>::new()
     );
 }
@@ -153,16 +153,16 @@ fn unit_safety_good_fixture_is_clean() {
 #[test]
 fn unit_safety_raw_f64_rule_only_applies_to_boundary_files() {
     // Outside the boundary list only the mixed-arithmetic rule applies.
-    let diags = rendered("crates/vizmesh/src/fixture.rs", UNITS_BAD, false);
+    let diags = rendered("crates/insitu/src/fixture.rs", UNITS_BAD, false);
     assert_eq!(
         diags,
         vec![
             format!(
-                "crates/vizmesh/src/fixture.rs:13: [unit-safety] mixed-unit arithmetic: \
+                "crates/insitu/src/fixture.rs:13: [unit-safety] mixed-unit arithmetic: \
                  `energy_joules + seconds` combines joules with seconds; {UNIT_HELP}"
             ),
             format!(
-                "crates/vizmesh/src/fixture.rs:17: [unit-safety] mixed-unit arithmetic: \
+                "crates/insitu/src/fixture.rs:17: [unit-safety] mixed-unit arithmetic: \
                  `cap_watts < freq_ghz` combines watts with hertz; {UNIT_HELP}"
             ),
         ]

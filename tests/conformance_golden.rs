@@ -88,6 +88,14 @@ const EXPECTED_CHECKS: &[(&str, u32, &str)] = &[
     ("Isovolume", 32, "metamorphic:interior-threshold"),
     ("Contour", 32, "metamorphic:isovalue-monotone"),
     ("Contour", 64, "metamorphic:refinement-order"),
+    ("Particle Advection", 32, "oracle:pathline-planar"),
+    ("Particle Advection", 32, "oracle:pathline-radius-drift"),
+    ("Particle Advection", 32, "oracle:pathline-angle"),
+    (
+        "Particle Advection",
+        32,
+        "metamorphic:frozen-pathline-exact",
+    ),
 ];
 
 #[test]
@@ -176,10 +184,14 @@ fn journaled_checks_mirror_the_report() {
             matches!(e, Event::Span(s) if s.scope == vizpower_suite::powersim::trace::Scope::Conformance)
         })
         .count();
-    assert_eq!(spans, 2 * 8 + 4, "one span per algorithm-grid group");
+    assert_eq!(
+        spans,
+        2 * 8 + 4 + 2,
+        "one span per algorithm-grid, metamorphic, and flow group"
+    );
 
     for line in journal.to_jsonl().lines().take(4) {
         let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
-        assert_eq!(v["v"], 7);
+        assert_eq!(v["v"], 8);
     }
 }

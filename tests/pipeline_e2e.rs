@@ -28,6 +28,7 @@ fn actions() -> ActionList {
                 steps: 40,
                 step_fraction: 5e-4,
                 seed: 0x5eed_1234,
+                scenario: Default::default(),
             }],
         },
         Action::AddScene {

@@ -1,7 +1,7 @@
 //! Golden pin of the `reproduce serve --quick` study-service run: the
 //! exact Zipfian traffic, classification counts, per-node totals, and
 //! rendered report, plus byte-identical journals across worker counts
-//! and the v7 journal span/event structure.
+//! and the v8 journal span/event structure.
 //!
 //! Anything that moves these numbers — traffic sampler, placement hash,
 //! admission clamp, cache keying, wave packing, power model — is a
@@ -99,7 +99,7 @@ fn journals_are_byte_identical_across_worker_counts_and_repeats() {
 }
 
 #[test]
-fn journal_carries_the_v7_service_schema() {
+fn journal_carries_the_v8_service_schema() {
     let (cfg, traffic) = quick_traffic();
     let mut svc = StudyService::new(cfg).expect("valid config");
     let mut journal = Journal::with_capacity(1 << 16);
@@ -113,7 +113,7 @@ fn journal_carries_the_v7_service_schema() {
     let mut spans = 0usize;
     for line in &lines {
         let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
-        assert_eq!(v["v"], 7, "schema version on every line: {line}");
+        assert_eq!(v["v"], 8, "schema version on every line: {line}");
         match v["ev"].as_str().expect("ev field") {
             "cache_event" => {
                 cache_events += 1;
@@ -121,7 +121,10 @@ fn journal_carries_the_v7_service_schema() {
                     assert!(v[field].is_number(), "cache_event.{field}: {line}");
                 }
                 assert!(
-                    matches!(v["outcome"].as_str(), Some("hit" | "miss" | "coalesced")),
+                    matches!(
+                        v["outcome"].as_str(),
+                        Some("hit" | "miss" | "coalesced" | "evict")
+                    ),
                     "{line}"
                 );
             }

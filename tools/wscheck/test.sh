@@ -62,6 +62,7 @@ I conformance_golden
 I registry_parity
 I service_parity
 I service_golden
+I advect_golden
 
 # Property suites from crates/*/tests/, compiled and run against the
 # stub proptest (fixed per-test seeds, no shrinking or regression-seed
@@ -96,6 +97,8 @@ echo "=== smoke: reproduce bench --quick ==="
 out/reproduce bench --quick --out out/bench_quick.json
 echo "=== smoke: reproduce bench --quick --backend both (DPP comparison) ==="
 out/reproduce bench --quick --backend both --algo contour,threshold,isovolume,slice --out out/bench_dpp_quick.json
+echo "=== smoke: reproduce advect --quick (time-varying scenario sweep) ==="
+out/reproduce advect --quick
 echo "=== smoke: xtask lint + analyze --ratchet against the repo ==="
 out/xtask lint --root "$R"
 out/xtask analyze --ratchet --root "$R"
